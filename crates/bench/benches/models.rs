@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks of the simulation kernels — the quantitative
+//! backing for Fig. 9(b): how much faster is one 2RM solve than one 4RM
+//! solve, as a function of thermal cell size.
+
+use coolnet::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup(grid: u16) -> (Benchmark, CoolingNetwork) {
+    let bench = Benchmark::iccad_scaled(1, GridDims::new(grid, grid));
+    let net = straight::build(
+        bench.dims,
+        &bench.tsv,
+        Dir::East,
+        &StraightParams::default(),
+    )
+    .expect("straight network");
+    (bench, net)
+}
+
+fn bench_flow_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_pressure_solve");
+    group.sample_size(10);
+    for grid in [21u16, 41, 61] {
+        let (bench, net) = setup(grid);
+        let config = Evaluator::flow_config_for(&bench);
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, _| {
+            b.iter(|| FlowModel::new(&net, &config).expect("flow model"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fourrm_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fourrm_steady_solve");
+    group.sample_size(10);
+    for grid in [21u16, 41] {
+        let (bench, net) = setup(grid);
+        let stack = bench.stack_with(std::slice::from_ref(&net)).unwrap();
+        let sim = FourRm::new(&stack, &ThermalConfig::default()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, _| {
+            b.iter(|| sim.simulate(Pascal::from_kilopascals(10.0)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_tworm_by_cell_size(c: &mut Criterion) {
+    // The Fig. 9(b) sweep: fixed stack, varying coarsening.
+    let (bench, net) = setup(41);
+    let stack = bench.stack_with(std::slice::from_ref(&net)).unwrap();
+    let mut group = c.benchmark_group("tworm_steady_solve_by_m");
+    group.sample_size(10);
+    for m in [1u16, 2, 4, 8] {
+        let sim = TwoRm::new(&stack, m, &ThermalConfig::default()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| sim.simulate(Pascal::from_kilopascals(10.0)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    let (bench, net) = setup(41);
+    let stack = bench.stack_with(std::slice::from_ref(&net)).unwrap();
+    let mut group = c.benchmark_group("model_assembly");
+    group.sample_size(10);
+    group.bench_function("fourrm_new", |b| {
+        b.iter(|| FourRm::new(&stack, &ThermalConfig::default()).unwrap());
+    });
+    group.bench_function("tworm_new_m4", |b| {
+        b.iter(|| TwoRm::new(&stack, 4, &ThermalConfig::default()).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flow_solve,
+    bench_fourrm_simulate,
+    bench_tworm_by_cell_size,
+    bench_assembly
+);
+criterion_main!(benches);

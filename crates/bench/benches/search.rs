@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the optimization primitives: Algorithm 3's
+//! probe count/latency, full network evaluation, and one SA iteration.
+
+use coolnet::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn setup() -> (Benchmark, CoolingNetwork) {
+    let bench = Benchmark::iccad_scaled(1, GridDims::new(31, 31));
+    let net = straight::build(
+        bench.dims,
+        &bench.tsv,
+        Dir::East,
+        &StraightParams::default(),
+    )
+    .expect("network");
+    (bench, net)
+}
+
+fn bench_algorithm3(c: &mut Criterion) {
+    let (bench, net) = setup();
+    let mut group = c.benchmark_group("algorithm3_pressure_search");
+    group.sample_size(10);
+    group.bench_function("problem1_network_evaluation", |b| {
+        b.iter(|| {
+            // A fresh evaluator per run so warm-start state doesn't leak
+            // between iterations.
+            let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
+            evaluate_problem1(
+                &ev,
+                bench.delta_t_limit,
+                bench.t_max_limit,
+                &PressureSearchOptions::default(),
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("problem2_network_evaluation", |b| {
+        b.iter(|| {
+            let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
+            evaluate_problem2(
+                &ev,
+                bench.w_pump_limit(),
+                bench.t_max_limit,
+                &PressureSearchOptions::default(),
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_single_probe(c: &mut Criterion) {
+    let (bench, net) = setup();
+    let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
+    let mut group = c.benchmark_group("thermal_probe");
+    group.sample_size(20);
+    group.bench_function("tworm_profile_warm", |b| {
+        b.iter(|| ev.profile(Pascal::from_kilopascals(10.0)).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_evaluator_construction(c: &mut Criterion) {
+    let (bench, net) = setup();
+    let mut group = c.benchmark_group("evaluator_construction");
+    group.sample_size(10);
+    group.bench_function("tworm_m4", |b| {
+        b.iter(|| Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm3,
+    bench_single_probe,
+    bench_evaluator_construction
+);
+criterion_main!(benches);

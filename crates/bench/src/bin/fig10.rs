@@ -1,0 +1,94 @@
+//! Fig. 10: temperature maps of the bottom source layer of case 1, for
+//! the Problem-1 and Problem-2 designs.
+//!
+//! Reads the designs saved by `table3` and `table4` if present (run those
+//! first for the exact maps); otherwise quickly redesigns both.
+//!
+//! ```sh
+//! cargo run --release -p coolnet-bench --bin fig10
+//! ```
+
+use coolnet::prelude::*;
+use coolnet_bench::{ascii_heatmap, read_json, write_csv, HarnessOpts};
+
+fn obtain(opts: &HarnessOpts, problem: Problem, file: &str) -> Option<DesignResult> {
+    let path = opts.out_path(file);
+    if path.exists() {
+        println!("using saved design {}", path.display());
+        return Some(read_json(&path));
+    }
+    println!("no saved design at {}; running a quick search", path.display());
+    let bench = opts.benchmark(1);
+    let mut tree_opts = opts.tree_options(problem);
+    tree_opts.seed = opts.seed;
+    TreeSearch::new(&bench, tree_opts).run(problem)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = HarnessOpts::from_args();
+    let bench = opts.benchmark(1);
+
+    for (problem, file, tag) in [
+        (
+            Problem::PumpingPower,
+            "table3_case1_network.json",
+            "problem1",
+        ),
+        (
+            Problem::ThermalGradient,
+            "table4_case1_network.json",
+            "problem2",
+        ),
+    ] {
+        let Some(design) = obtain(&opts, problem, file) else {
+            println!("{tag}: no feasible design available");
+            continue;
+        };
+        let ev = Evaluator::new(&bench, &design.network, ModelChoice::FourRm)?;
+        let sol = ev.solve(design.p_sys)?;
+        let layer = &sol.source_layers()[0];
+        println!(
+            "\nFig. 10 ({tag}): bottom source layer, case 1 — {}",
+            design.label
+        );
+        println!(
+            "P_sys = {:.2} kPa, W_pump = {:.3} mW, T_max = {:.2} K, dT = {:.2} K",
+            design.p_sys.to_kilopascals(),
+            design.w_pump.to_milliwatts(),
+            sol.max_temperature().value(),
+            sol.gradient().value()
+        );
+        println!(
+            "layer range: {:.2} K .. {:.2} K",
+            layer.min().value(),
+            layer.max().value()
+        );
+        print!("{}", ascii_heatmap(layer, 48));
+
+        // CSV: x, y, T.
+        let mut rows = Vec::new();
+        for cell in layer.dims().iter() {
+            rows.push(vec![
+                cell.x as f64,
+                cell.y as f64,
+                layer.temperature(cell).value(),
+            ]);
+        }
+        write_csv(
+            &opts.out_path(&format!("fig10_{tag}_map.csv")),
+            &["x", "y", "t_k"],
+            &rows,
+        );
+        let svg_path = opts.out_path(&format!("fig10_{tag}_map.svg"));
+        std::fs::write(&svg_path, coolnet_bench::svg_heatmap(layer, 8))?;
+        println!("  wrote {}", svg_path.display());
+        let net_path = opts.out_path(&format!("fig10_{tag}_network.svg"));
+        std::fs::write(&net_path, render::svg(&design.network, 8))?;
+        println!("  wrote {}", net_path.display());
+    }
+    println!(
+        "\nThe Problem-1 map runs hotter overall (lower W_pump) with a larger dT;\n\
+         the Problem-2 map is flatter at higher W_pump — the paper's trade-off."
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Fig. 2(c): pressure and flow-rate distribution on a small cooling
+//! network with bends and branches.
+//!
+//! ```sh
+//! cargo run --release -p coolnet-bench --bin fig2_flow
+//! ```
+
+use coolnet::prelude::*;
+use coolnet_bench::{svg_flow, HarnessOpts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = HarnessOpts::from_args();
+    // A 9x9 network with a trunk, a bend and two branches, like Fig. 2(b).
+    let dims = GridDims::new(9, 9);
+    let mut b = CoolingNetwork::builder(dims);
+    b.tsv(tsv::alternating(dims));
+    b.segment(Cell::new(0, 4), Dir::East, 5); // trunk from the west inlet
+    b.segment(Cell::new(4, 4), Dir::North, 5); // bend north
+    b.segment(Cell::new(4, 4), Dir::South, 5); // branch south
+    b.segment(Cell::new(4, 8), Dir::East, 5); // top branch to the east outlet
+    b.segment(Cell::new(4, 0), Dir::East, 5); // bottom branch to the east outlet
+    b.port(PortKind::Inlet, Side::West, 4, 4);
+    b.port(PortKind::Outlet, Side::East, 0, 8);
+    let net = b.build()?;
+
+    println!("network ({} liquid cells):", net.num_liquid_cells());
+    print!("{}", render::ascii(&net));
+
+    let model = FlowModel::new(&net, &FlowConfig::default())?;
+    let field = model.solve(Pascal::from_kilopascals(10.0));
+    println!(
+        "P_sys = 10 kPa, Q_sys = {:.3e} m^3/s, R_sys = {:.3e} Pa.s/m^3",
+        field.system_flow().value(),
+        model.system_resistance()
+    );
+
+    // Pressure map (darker = higher pressure in the paper's figure; here:
+    // normalized 0-9 digits).
+    println!("\npressures (0..9, 9 = P_sys):");
+    for y in (0..9u16).rev() {
+        for x in 0..9u16 {
+            let c = Cell::new(x, y);
+            match field.pressure(c) {
+                Some(p) => {
+                    let d = (p.value() / 10_000.0 * 9.0).round() as u32;
+                    print!("{}", d.min(9));
+                }
+                None => print!("."),
+            }
+        }
+        println!();
+    }
+
+    // Flow rates on each link (longer arrow = larger flow; here the
+    // magnitude in nL/s).
+    println!("\nlink flow rates (nL/s, eastward and northward):");
+    for y in (0..9u16).rev() {
+        for x in 0..9u16 {
+            let c = Cell::new(x, y);
+            let e = dims
+                .neighbor(c, Dir::East)
+                .and_then(|n| field.flow(c, n))
+                .map(|q| q.value().abs() * 1e12)
+                .unwrap_or(0.0);
+            let n = dims
+                .neighbor(c, Dir::North)
+                .and_then(|nb| field.flow(c, nb))
+                .map(|q| q.value().abs() * 1e12)
+                .unwrap_or(0.0);
+            if e > 0.005 || n > 0.005 {
+                println!("  ({x},{y}): east {e:8.1}   north {n:8.1}");
+            }
+        }
+    }
+    // Conservation check, as in Eq. (2).
+    let worst = model
+        .cells()
+        .iter()
+        .map(|&c| field.divergence(c).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nmax |divergence| = {worst:.3e} m^3/s (volume conservation, Eq. 2)");
+
+    let svg_path = opts.out_path("fig2_flow_field.svg");
+    std::fs::write(&svg_path, svg_flow(&net, &model, &field, 24))?;
+    println!("wrote {}", svg_path.display());
+    Ok(())
+}

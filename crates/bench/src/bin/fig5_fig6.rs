@@ -1,0 +1,131 @@
+//! Figs. 5 and 6: the relationship between `P_sys` and the thermal profile.
+//!
+//! * Fig. 5 — node temperatures vs `P_sys`, showing the "turning points"
+//!   where each region saturates near `T_in` (upstream regions turn first);
+//! * Fig. 6 — `ΔT = f(P_sys)` for two networks: one uni-modal (ΔT rises
+//!   again at high pressure) and one monotonically decreasing.
+//!
+//! ```sh
+//! cargo run --release -p coolnet-bench --bin fig5_fig6
+//! ```
+
+use coolnet::prelude::*;
+use coolnet_bench::{write_csv, HarnessOpts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = HarnessOpts::from_args();
+    let bench = opts.benchmark(1);
+    let dims = bench.dims;
+
+    // Network A: straight channels (uni-modal ΔT is typical here — the
+    // upstream saturates at T_in while hotspots downstream stay warm).
+    let straight_net = straight::build(
+        dims,
+        &bench.tsv,
+        Dir::East,
+        &StraightParams::default(),
+    )?;
+    // Network B: a tree-like network (densifying channels downstream
+    // flattens the profile; ΔT tends to keep falling).
+    let along = dims.width() as i32;
+    let tree_cfg = TreeConfig::uniform(
+        GlobalFlow::WestToEast,
+        BranchStyle::Binary,
+        TreeConfig::max_trees(dims, GlobalFlow::WestToEast, BranchStyle::Binary),
+        ((along / 3) & !1) as u16,
+        ((2 * along / 3) & !1) as u16,
+    );
+    let tree_net = coolnet::network::builders::tree::build(
+        dims,
+        &bench.tsv,
+        &bench.restricted,
+        &tree_cfg,
+    )?;
+
+    let ev_straight = Evaluator::new(&bench, &straight_net, ModelChoice::fast())?;
+    let ev_tree = Evaluator::new(&bench, &tree_net, ModelChoice::fast())?;
+
+    // Pressure sweep (log-spaced).
+    let pressures: Vec<f64> = (0..=24)
+        .map(|i| 500.0 * (200.0f64).powf(i as f64 / 24.0))
+        .collect();
+
+    // Fig. 5: pick three probe cells along the flow on the bottom source
+    // layer: upstream, center, downstream.
+    let probes = [
+        ("upstream", Cell::new(2, dims.height() / 2)),
+        ("center", Cell::new(dims.width() / 2, dims.height() / 2)),
+        ("downstream", Cell::new(dims.width() - 3, dims.height() / 2)),
+    ];
+    println!("Fig. 5: node temperature vs P_sys (straight channels, case 1)");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "P (kPa)", probes[0].0, probes[1].0, probes[2].0, "T_max", "dT"
+    );
+    let mut fig5_rows: Vec<Vec<f64>> = Vec::new();
+    let mut fig6_rows: Vec<Vec<f64>> = Vec::new();
+    for &p in &pressures {
+        let pa = Pascal::new(p);
+        let sol = ev_straight.solve(pa)?;
+        let layer = &sol.source_layers()[0];
+        let temps: Vec<f64> = probes
+            .iter()
+            .map(|(_, c)| layer.temperature(*c).value())
+            .collect();
+        let dt_straight = sol.gradient().value();
+        let t_max = sol.max_temperature().value();
+        let dt_tree = ev_tree.profile(pa)?.delta_t.value();
+        println!(
+            "{:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>8.2} {:>8.2}",
+            p / 1e3,
+            temps[0],
+            temps[1],
+            temps[2],
+            t_max,
+            dt_straight
+        );
+        fig5_rows.push(vec![p, temps[0], temps[1], temps[2], t_max]);
+        fig6_rows.push(vec![p, dt_straight, dt_tree]);
+    }
+
+    println!("\nFig. 6: dT vs P_sys for the two network families");
+    println!("{:>10} {:>14} {:>14}", "P (kPa)", "straight dT", "tree dT");
+    for row in &fig6_rows {
+        println!("{:>10.2} {:>14.3} {:>14.3}", row[0] / 1e3, row[1], row[2]);
+    }
+
+    // Shape diagnostics matching §4.1.
+    let min_idx = |rows: &[Vec<f64>], col: usize| {
+        rows.iter()
+            .enumerate()
+            .min_by(|a, b| a.1[col].partial_cmp(&b.1[col]).unwrap())
+            .map(|(i, _)| i)
+            .unwrap()
+    };
+    let i_straight = min_idx(&fig6_rows, 1);
+    let i_tree = min_idx(&fig6_rows, 2);
+    let shape = |i: usize| {
+        if i == fig6_rows.len() - 1 {
+            "monotonically decreasing".to_owned()
+        } else {
+            format!(
+                "uni-modal (minimum at {:.1} kPa)",
+                fig6_rows[i][0] / 1e3
+            )
+        }
+    };
+    println!("\nstraight-channel f(P): {}", shape(i_straight));
+    println!("tree-like        f(P): {}", shape(i_tree));
+
+    write_csv(
+        &opts.out_path("fig5_temperature_vs_pressure.csv"),
+        &["p_pa", "t_upstream", "t_center", "t_downstream", "t_max"],
+        &fig5_rows,
+    );
+    write_csv(
+        &opts.out_path("fig6_gradient_vs_pressure.csv"),
+        &["p_pa", "dt_straight", "dt_tree"],
+        &fig6_rows,
+    );
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Design-space sweep: uniform tree-like networks across tree count ×
+//! branch style × flow direction, scored by the Problem-1 evaluation.
+//!
+//! Complements the SA search with an exhaustive look at the *uniform*
+//! slice of the space (same `(b1, b2)` for all trees), showing how much
+//! of the win comes from the structure itself vs the per-tree SA tuning.
+//!
+//! ```sh
+//! cargo run --release -p coolnet-bench --bin sweep [-- --grid N]
+//! ```
+
+use coolnet::prelude::*;
+use coolnet_bench::{write_csv, HarnessOpts};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = HarnessOpts::from_args();
+    let bench = opts.benchmark(1);
+    let psearch = opts.psearch();
+
+    println!(
+        "uniform tree sweep on case 1 ({}x{}): W'_pump (mW) by configuration",
+        opts.grid, opts.grid
+    );
+    println!(
+        "{:>9} {:>8} {:>14} {:>12} {:>12}",
+        "style", "trees", "flow", "W'_pump", "dT at P"
+    );
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut best: Option<(f64, String)> = None;
+    for style in BranchStyle::ALL {
+        for flow in [GlobalFlow::WestToEast, GlobalFlow::SouthToNorth] {
+            let max_trees = TreeConfig::max_trees(bench.dims, flow, style);
+            for num_trees in 1..=max_trees {
+                let along = if flow.axis().is_horizontal() {
+                    bench.dims.width()
+                } else {
+                    bench.dims.height()
+                } as i32;
+                let b1 = ((along / 3) & !1).max(2) as u16;
+                let b2 = ((2 * along / 3) & !1) as u16;
+                let config = TreeConfig::uniform(flow, style, num_trees, b1, b2);
+                let Ok(net) = coolnet::network::builders::tree::build(
+                    bench.dims,
+                    &bench.tsv,
+                    &bench.restricted,
+                    &config,
+                ) else {
+                    continue;
+                };
+                let Ok(ev) = Evaluator::new(&bench, &net, ModelChoice::fast()) else {
+                    continue;
+                };
+                let score =
+                    evaluate_problem1(&ev, bench.delta_t_limit, bench.t_max_limit, &psearch)?;
+                match score {
+                    NetworkScore::Feasible {
+                        objective, profile, ..
+                    } => {
+                        println!(
+                            "{:>9} {:>8} {:>14} {:>12.4} {:>12.2}",
+                            format!("{style:?}"),
+                            num_trees,
+                            flow.to_string(),
+                            objective * 1e3,
+                            profile.delta_t.value()
+                        );
+                        rows.push(vec![
+                            style as usize as f64,
+                            num_trees as f64,
+                            objective * 1e3,
+                            profile.delta_t.value(),
+                        ]);
+                        let label = format!("{style:?} x{num_trees} {flow}");
+                        if best.as_ref().is_none_or(|(b, _)| objective * 1e3 < *b) {
+                            best = Some((objective * 1e3, label));
+                        }
+                    }
+                    NetworkScore::Infeasible => {
+                        println!(
+                            "{:>9} {:>8} {:>14} {:>12} {:>12}",
+                            format!("{style:?}"),
+                            num_trees,
+                            flow.to_string(),
+                            "infeasible",
+                            "-"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if let Some((w, label)) = best {
+        println!("\nbest uniform configuration: {label} at {w:.4} mW");
+        println!("(the SA search then differentiates per-tree parameters from here)");
+    }
+    write_csv(
+        &opts.out_path("sweep_uniform_trees.csv"),
+        &["style", "num_trees", "w_pump_mw", "dt_k"],
+        &rows,
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Table 2: benchmark statistics.
+//!
+//! ```sh
+//! cargo run --release -p coolnet-bench --bin table2 [-- --full]
+//! ```
+
+use coolnet_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("Table 2: ICCAD 2015 Benchmark Statistics ({})", scale(&opts));
+    println!(
+        "{:>2} {:>8} {:>10} {:>12} {:>8} {:>10}  Other Constraint",
+        "#", "Die Num", "h_c (um)", "Die Power(W)", "dT* (K)", "T*max (K)"
+    );
+    for b in opts.benchmarks() {
+        let other = match b.id {
+            3 => format!(
+                "no channel in a restricted area ({} cells)",
+                b.restricted.len()
+            ),
+            4 => "matched inlets/outlets across layers".to_owned(),
+            _ => "-".to_owned(),
+        };
+        println!(
+            "{:>2} {:>8} {:>10.0} {:>12.3} {:>8.0} {:>10.2}  {}",
+            b.id,
+            b.num_dies,
+            b.channel_height * 1e6,
+            b.total_power(),
+            b.delta_t_limit.value(),
+            b.t_max_limit.value(),
+            other
+        );
+    }
+}
+
+fn scale(opts: &HarnessOpts) -> String {
+    format!("{0}x{0} basic cells", opts.grid)
+}

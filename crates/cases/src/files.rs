@@ -1,0 +1,349 @@
+//! Plain-text case files.
+//!
+//! Algorithm 1's inputs include "stack description and floorplan files";
+//! the original ICCAD 2015 file format is not public, so this module
+//! defines a small, documented text format for custom cases:
+//!
+//! ```text
+//! # comment
+//! grid 101 101
+//! pitch 100e-6
+//! channel_height 200e-6
+//! dt_limit 15
+//! tmax_limit 358.15
+//! matched_layers false
+//! die                     # starts a new die (bottom first)
+//!   uniform 12.0          # 12 W spread uniformly
+//!   block 10 10 30 30 5.0 # 5 W uniformly over cells (10,10)..=(30,30)
+//! die
+//!   uniform 14.0
+//! restrict 41 41 59 59    # optional no-channel region
+//! ```
+//!
+//! TSVs always follow the paper's alternating rule. Powers accumulate per
+//! die in file order.
+
+use crate::Benchmark;
+use coolnet_grid::{tsv, CellMask, GridDims};
+use coolnet_thermal::PowerMap;
+use coolnet_units::Kelvin;
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Error parsing a case file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCaseError {
+    /// 1-based line number, 0 for file-level problems.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "case file invalid: {}", self.message)
+        } else {
+            write!(f, "case file line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseCaseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseCaseError {
+    ParseCaseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a case from text.
+///
+/// # Errors
+///
+/// Returns [`ParseCaseError`] with a line number on any malformed or
+/// missing field.
+pub fn parse(text: &str) -> Result<Benchmark, ParseCaseError> {
+    let mut grid: Option<GridDims> = None;
+    let mut pitch = 100e-6;
+    let mut channel_height: Option<f64> = None;
+    let mut dt_limit: Option<f64> = None;
+    let mut tmax_limit: Option<f64> = None;
+    let mut matched = false;
+    let mut dies: Vec<PowerMap> = Vec::new();
+    let mut restricted: Option<(u16, u16, u16, u16)> = None;
+
+    for (ln, raw) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let kw = it.next().expect("nonempty line has a token");
+        let mut next_f64 = |name: &str| -> Result<f64, ParseCaseError> {
+            it.next()
+                .ok_or_else(|| err(ln, format!("missing {name}")))?
+                .parse::<f64>()
+                .map_err(|_| err(ln, format!("{name} is not a number")))
+        };
+        match kw {
+            "grid" => {
+                let w = next_f64("width")? as u16;
+                let h = next_f64("height")? as u16;
+                if w == 0 || h == 0 {
+                    return Err(err(ln, "grid dimensions must be nonzero"));
+                }
+                grid = Some(GridDims::new(w, h));
+            }
+            "pitch" => pitch = next_f64("pitch")?,
+            "channel_height" => channel_height = Some(next_f64("channel_height")?),
+            "dt_limit" => dt_limit = Some(next_f64("dt_limit")?),
+            "tmax_limit" => tmax_limit = Some(next_f64("tmax_limit")?),
+            "matched_layers" => {
+                let v = it.next().ok_or_else(|| err(ln, "missing bool"))?;
+                matched = match v {
+                    "true" => true,
+                    "false" => false,
+                    other => return Err(err(ln, format!("expected true/false, got {other}"))),
+                };
+            }
+            "die" => {
+                let dims = grid.ok_or_else(|| err(ln, "grid must come before die"))?;
+                dies.push(PowerMap::zeros(dims));
+            }
+            "uniform" => {
+                let total = next_f64("power")?;
+                let die = dies
+                    .last_mut()
+                    .ok_or_else(|| err(ln, "uniform outside a die section"))?;
+                if total < 0.0 {
+                    return Err(err(ln, "power must be non-negative"));
+                }
+                let dims = die.dims();
+                die.add_block(0, 0, dims.width() - 1, dims.height() - 1, total);
+            }
+            "block" => {
+                let x0 = next_f64("x0")? as u16;
+                let y0 = next_f64("y0")? as u16;
+                let x1 = next_f64("x1")? as u16;
+                let y1 = next_f64("y1")? as u16;
+                let p = next_f64("power")?;
+                let die = dies
+                    .last_mut()
+                    .ok_or_else(|| err(ln, "block outside a die section"))?;
+                if p < 0.0 {
+                    return Err(err(ln, "power must be non-negative"));
+                }
+                let dims = die.dims();
+                if x0 > x1 || y0 > y1 || !dims.contains(coolnet_grid::Cell::new(x1, y1)) {
+                    return Err(err(ln, "block rectangle out of range"));
+                }
+                die.add_block(x0, y0, x1, y1, p);
+            }
+            "restrict" => {
+                let x0 = next_f64("x0")? as u16;
+                let y0 = next_f64("y0")? as u16;
+                let x1 = next_f64("x1")? as u16;
+                let y1 = next_f64("y1")? as u16;
+                restricted = Some((x0, y0, x1, y1));
+            }
+            other => return Err(err(ln, format!("unknown keyword `{other}`"))),
+        }
+        // Reject trailing tokens.
+        if let Some(extra) = it.next() {
+            return Err(err(ln, format!("unexpected trailing token `{extra}`")));
+        }
+    }
+
+    let dims = grid.ok_or_else(|| err(0, "missing `grid`"))?;
+    let channel_height = channel_height.ok_or_else(|| err(0, "missing `channel_height`"))?;
+    let dt_limit = dt_limit.ok_or_else(|| err(0, "missing `dt_limit`"))?;
+    let tmax_limit = tmax_limit.ok_or_else(|| err(0, "missing `tmax_limit`"))?;
+    if dies.is_empty() {
+        return Err(err(0, "at least one `die` section required"));
+    }
+    let mut restricted_mask = CellMask::new(dims);
+    if let Some((x0, y0, x1, y1)) = restricted {
+        if x0 > x1 || y0 > y1 || !dims.contains(coolnet_grid::Cell::new(x1, y1)) {
+            return Err(err(0, "restrict rectangle out of range"));
+        }
+        restricted_mask.insert_rect(x0, y0, x1, y1);
+    }
+    Ok(Benchmark {
+        id: 0,
+        num_dies: dies.len(),
+        channel_height,
+        dims,
+        pitch,
+        power_maps: dies,
+        tsv: tsv::alternating(dims),
+        restricted: restricted_mask,
+        matched_layers: matched,
+        delta_t_limit: Kelvin::new(dt_limit),
+        t_max_limit: Kelvin::new(tmax_limit),
+    })
+}
+
+/// Loads a case from a file.
+///
+/// # Errors
+///
+/// Returns [`ParseCaseError`] for syntax problems (I/O errors are reported
+/// as line 0).
+pub fn load(path: &Path) -> Result<Benchmark, ParseCaseError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(0, format!("cannot read file: {e}")))?;
+    parse(&text)
+}
+
+/// Renders a benchmark back to the text format (block structure is lost —
+/// per-cell powers are emitted as one uniform plus per-cell corrections is
+/// not possible in this format, so this writes one `block` per cell with
+/// nonzero power; intended for small grids and round-trip testing).
+pub fn render(bench: &Benchmark) -> String {
+    let mut out = String::new();
+    out.push_str("# coolnet case file\n");
+    out.push_str(&format!(
+        "grid {} {}\n",
+        bench.dims.width(),
+        bench.dims.height()
+    ));
+    out.push_str(&format!("pitch {}\n", bench.pitch));
+    out.push_str(&format!("channel_height {}\n", bench.channel_height));
+    out.push_str(&format!("dt_limit {}\n", bench.delta_t_limit.value()));
+    out.push_str(&format!("tmax_limit {}\n", bench.t_max_limit.value()));
+    out.push_str(&format!("matched_layers {}\n", bench.matched_layers));
+    for die in &bench.power_maps {
+        out.push_str("die\n");
+        for cell in bench.dims.iter() {
+            let p = die.get(cell);
+            if p > 0.0 {
+                out.push_str(&format!(
+                    "block {} {} {} {} {}\n",
+                    cell.x, cell.y, cell.x, cell.y, p
+                ));
+            }
+        }
+    }
+    let cells: Vec<_> = bench.restricted.iter().collect();
+    if let (Some(first), Some(last)) = (cells.first(), cells.last()) {
+        // The mask was built from one rectangle in this format.
+        out.push_str(&format!(
+            "restrict {} {} {} {}\n",
+            first.x, first.y, last.x, last.y
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+# two-die demo
+grid 21 21
+pitch 100e-6
+channel_height 200e-6
+dt_limit 12
+tmax_limit 350.0
+matched_layers false
+die
+  uniform 3.0
+  block 2 2 6 6 1.0
+die
+  uniform 2.0
+restrict 9 9 13 13
+";
+
+    #[test]
+    fn parses_a_full_case() {
+        let b = parse(SAMPLE).unwrap();
+        assert_eq!(b.num_dies, 2);
+        assert_eq!(b.dims, GridDims::new(21, 21));
+        assert!((b.total_power() - 6.0).abs() < 1e-9);
+        assert_eq!(b.delta_t_limit.value(), 12.0);
+        assert_eq!(b.restricted.len(), 25);
+        assert!(!b.matched_layers);
+        // TSVs follow the alternating rule automatically.
+        assert!(b.tsv.contains(coolnet_grid::Cell::new(1, 1)));
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let b = parse(SAMPLE).unwrap();
+        let b2 = parse(&render(&b)).unwrap();
+        assert_eq!(b.power_maps, b2.power_maps);
+        assert_eq!(b.restricted, b2.restricted);
+        assert_eq!(b.delta_t_limit, b2.delta_t_limit);
+        assert_eq!(b.channel_height, b2.channel_height);
+    }
+
+    #[test]
+    fn parsed_case_builds_a_stack() {
+        use coolnet_grid::{Cell, Dir, Side};
+        use coolnet_network::{CoolingNetwork, PortKind};
+        let b = parse(SAMPLE).unwrap();
+        let mut nb = CoolingNetwork::builder(b.dims);
+        nb.restricted(b.restricted.clone());
+        nb.tsv(b.tsv.clone());
+        let mut y = 0;
+        while y < 21 {
+            nb.segment(Cell::new(0, y), Dir::East, 21);
+            y += 2;
+        }
+        // carve the restricted region ring
+        for cell in b.restricted.iter() {
+            nb.clear_liquid(cell);
+        }
+        for x in 8..=14u16 {
+            for y in [8u16, 14] {
+                nb.liquid(Cell::new(x, y));
+                nb.liquid(Cell::new(y, x));
+            }
+        }
+        nb.port(PortKind::Inlet, Side::West, 0, 20);
+        nb.port(PortKind::Outlet, Side::East, 0, 20);
+        let net = nb.build().unwrap();
+        assert!(b.stack_with(std::slice::from_ref(&net)).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("grid 5 5\nbogus 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+
+        let e = parse("grid 5\n").unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = parse("grid 5 5\nuniform 2.0\n").unwrap_err();
+        assert!(e.message.contains("outside a die"));
+
+        let e = parse("grid 5 5\ndie\nuniform 1.0\n").unwrap_err();
+        assert_eq!(e.line, 0); // missing channel_height etc.
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected() {
+        let e = parse("grid 5 5 7\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn out_of_range_block_is_rejected() {
+        let text = "grid 5 5\nchannel_height 2e-4\ndt_limit 10\ntmax_limit 350\ndie\nblock 0 0 9 9 1.0\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn load_reports_missing_file() {
+        let e = load(Path::new("/nonexistent/case.txt")).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.to_string().contains("cannot read"));
+    }
+}

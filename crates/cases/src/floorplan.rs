@@ -1,0 +1,128 @@
+//! Deterministic synthetic floorplan generation.
+//!
+//! Real ICCAD 2015 floorplans are unavailable; this generator produces the
+//! same *kind* of power profile a real MPSoC floorplan induces: a uniform
+//! background (interconnect, caches, leakage) plus a handful of rectangular
+//! hotspot blocks (cores, accelerators) of varying intensity. Generation is
+//! seeded and fully deterministic so benchmark results are reproducible.
+
+use coolnet_grid::GridDims;
+use coolnet_thermal::PowerMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a synthetic floorplan power map.
+///
+/// * `total` — total dissipated power in watts;
+/// * `seed` — deterministic seed (different dies use different seeds);
+/// * `hotspot_fraction` — fraction of `total` concentrated in hotspot
+///   blocks (the rest is uniform background). `0.75` yields a "high and
+///   highly varied" profile like case 5; `0.5` a moderate one.
+///
+/// # Panics
+///
+/// Panics if `total < 0` or `hotspot_fraction` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_cases::floorplan;
+/// use coolnet_grid::GridDims;
+///
+/// let p = floorplan::synthetic(GridDims::new(101, 101), 21.0, 7, 0.5);
+/// assert!((p.total().value() - 21.0).abs() < 1e-9);
+/// ```
+pub fn synthetic(dims: GridDims, total: f64, seed: u64, hotspot_fraction: f64) -> PowerMap {
+    assert!(total >= 0.0, "total power must be non-negative");
+    assert!(
+        (0.0..=1.0).contains(&hotspot_fraction),
+        "hotspot fraction must be in [0, 1]"
+    );
+    let mut map = PowerMap::zeros(dims);
+    if total == 0.0 {
+        return map;
+    }
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15));
+
+    // Background.
+    let background = total * (1.0 - hotspot_fraction);
+    map.add_block(0, 0, dims.width() - 1, dims.height() - 1, background);
+
+    // Hotspot blocks: 4–8 "cores" of 8–20% die width each.
+    let num_blocks = rng.gen_range(4..=8);
+    let weights: Vec<f64> = (0..num_blocks)
+        .map(|_| rng.gen_range(0.5..2.0f64))
+        .collect();
+    let weight_sum: f64 = weights.iter().sum();
+    let hotspot_total = total * hotspot_fraction;
+    for w in weights {
+        let bw = (dims.width() as f64 * rng.gen_range(0.08..0.20)) as u16;
+        let bh = (dims.height() as f64 * rng.gen_range(0.08..0.20)) as u16;
+        let bw = bw.max(1).min(dims.width() - 1);
+        let bh = bh.max(1).min(dims.height() - 1);
+        let x0 = rng.gen_range(0..=(dims.width() - 1 - bw));
+        let y0 = rng.gen_range(0..=(dims.height() - 1 - bh));
+        map.add_block(x0, y0, x0 + bw, y0 + bh, hotspot_total * w / weight_sum);
+    }
+    // Guard against floating point drift.
+    map.scale_to_total(total);
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_exact() {
+        let p = synthetic(GridDims::new(51, 51), 42.038, 3, 0.5);
+        assert!((p.total().value() - 42.038).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_map() {
+        let a = synthetic(GridDims::new(31, 31), 10.0, 11, 0.6);
+        let b = synthetic(GridDims::new(31, 31), 10.0, 11, 0.6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_map() {
+        let a = synthetic(GridDims::new(31, 31), 10.0, 1, 0.6);
+        let b = synthetic(GridDims::new(31, 31), 10.0, 2, 0.6);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_hotspot_fraction_is_uniform() {
+        let p = synthetic(GridDims::new(21, 21), 5.0, 9, 0.0);
+        let first = p.values()[0];
+        assert!(p.values().iter().all(|v| (v - first).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zero_power_is_all_zero() {
+        let p = synthetic(GridDims::new(21, 21), 0.0, 9, 0.5);
+        assert_eq!(p.total().value(), 0.0);
+    }
+
+    #[test]
+    fn higher_fraction_more_variation() {
+        let cv = |p: &PowerMap| {
+            let vals = p.values();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            var.sqrt() / mean
+        };
+        let lo = synthetic(GridDims::new(41, 41), 10.0, 5, 0.2);
+        let hi = synthetic(GridDims::new(41, 41), 10.0, 5, 0.9);
+        assert!(cv(&hi) > cv(&lo));
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot fraction")]
+    fn bad_fraction_is_rejected() {
+        synthetic(GridDims::new(21, 21), 1.0, 0, 1.5);
+    }
+}

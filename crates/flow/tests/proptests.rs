@@ -1,0 +1,101 @@
+//! Property-based tests of the hydraulic solver on random legal networks.
+
+use coolnet_flow::{FlowConfig, FlowModel};
+use coolnet_grid::{tsv, GridDims};
+use coolnet_network::builders::straight::{self, StraightParams};
+use coolnet_network::builders::tree::{BranchStyle, TreeConfig};
+use coolnet_network::builders::GlobalFlow;
+use coolnet_network::CoolingNetwork;
+use coolnet_units::Pascal;
+use proptest::prelude::*;
+
+/// Random legal network: straight or tree-like, random direction/params.
+fn network() -> impl Strategy<Value = CoolingNetwork> {
+    let dim = (8u16..20).prop_map(|v| v * 2 + 1);
+    let flow = prop::sample::select(GlobalFlow::ALL.to_vec());
+    (dim, flow, prop::bool::ANY, 0u8..3).prop_filter_map(
+        "network must build",
+        |(side, flow, is_tree, style_idx)| {
+            let dims = GridDims::new(side, side);
+            let t = tsv::alternating(dims);
+            let empty = coolnet_grid::CellMask::new(dims);
+            if is_tree {
+                let style = BranchStyle::ALL[style_idx as usize % 3];
+                let num = TreeConfig::max_trees(dims, flow, style).min(3);
+                if num == 0 {
+                    return None;
+                }
+                let along = if flow.axis().is_horizontal() {
+                    dims.width()
+                } else {
+                    dims.height()
+                };
+                let b1 = (along / 3) & !1;
+                let b2 = (2 * along / 3) & !1;
+                let config = TreeConfig::uniform(flow, style, num, b1.max(2), b2);
+                coolnet_network::builders::tree::build(dims, &t, &empty, &config).ok()
+            } else {
+                straight::build_flow(dims, &t, &empty, flow, &StraightParams::default()).ok()
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn volume_is_conserved_everywhere(net in network(), kpa in 0.5f64..50.0) {
+        let model = FlowModel::new(&net, &FlowConfig::default()).unwrap();
+        let field = model.solve(Pascal::from_kilopascals(kpa));
+        let scale = field.system_flow().value().max(1e-30);
+        for &cell in model.cells() {
+            let div = field.divergence(cell).abs();
+            prop_assert!(div / scale < 1e-6, "cell {cell}: divergence {div}");
+        }
+    }
+
+    #[test]
+    fn maximum_principle_bounds_pressures(net in network()) {
+        // Pressures must lie strictly inside (0, P_sys): no internal cell
+        // can exceed the inlet or undercut the outlet pressure.
+        let model = FlowModel::new(&net, &FlowConfig::default()).unwrap();
+        for (i, &p) in model.unit_pressures().iter().enumerate() {
+            prop_assert!(p > 0.0 && p < 1.0, "cell {i} pressure {p}");
+        }
+    }
+
+    #[test]
+    fn total_inflow_matches_total_outflow(net in network(), kpa in 1.0f64..40.0) {
+        let model = FlowModel::new(&net, &FlowConfig::default()).unwrap();
+        let field = model.solve(Pascal::from_kilopascals(kpa));
+        let mut q_in = 0.0;
+        let mut q_out = 0.0;
+        for &cell in model.cells() {
+            q_in += field.inlet_flow(cell).value();
+            q_out += field.outlet_flow(cell).value();
+        }
+        prop_assert!(q_in > 0.0);
+        prop_assert!((q_in - q_out).abs() / q_in < 1e-8, "{q_in} vs {q_out}");
+        prop_assert!((q_in - field.system_flow().value()).abs() / q_in < 1e-8);
+    }
+
+    #[test]
+    fn resistance_is_independent_of_pressure(net in network()) {
+        let model = FlowModel::new(&net, &FlowConfig::default()).unwrap();
+        let r = model.system_resistance();
+        for kpa in [1.0, 5.0, 25.0] {
+            let field = model.solve(Pascal::from_kilopascals(kpa));
+            let r_measured = field.p_sys().value() / field.system_flow().value();
+            prop_assert!((r - r_measured).abs() / r < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pumping_power_is_quadratic(net in network(), kpa in 1.0f64..20.0) {
+        let model = FlowModel::new(&net, &FlowConfig::default()).unwrap();
+        let w1 = model.pumping_power(Pascal::from_kilopascals(kpa)).value();
+        let w2 = model.pumping_power(Pascal::from_kilopascals(2.0 * kpa)).value();
+        prop_assert!((w2 / w1 - 4.0).abs() < 1e-9);
+    }
+}

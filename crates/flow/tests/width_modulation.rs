@@ -1,0 +1,103 @@
+//! Integration tests for per-cell channel-width modulation in the
+//! hydraulic model.
+
+use coolnet_flow::{FlowConfig, FlowModel, WidthMap};
+use coolnet_grid::{Cell, Dir, GridDims, Side};
+use coolnet_network::{CoolingNetwork, PortKind};
+use coolnet_units::Pascal;
+
+fn two_channels() -> CoolingNetwork {
+    // Two parallel channels on rows 0 and 2 of a 7x3 grid.
+    let mut b = CoolingNetwork::builder(GridDims::new(7, 3));
+    b.segment(Cell::new(0, 0), Dir::East, 7);
+    b.segment(Cell::new(0, 2), Dir::East, 7);
+    b.port(PortKind::Inlet, Side::West, 0, 2);
+    b.port(PortKind::Outlet, Side::East, 0, 2);
+    b.build().unwrap()
+}
+
+#[test]
+fn uniform_width_map_matches_plain_model() {
+    let net = two_channels();
+    let config = FlowConfig::default();
+    let plain = FlowModel::new(&net, &config).unwrap();
+    let mapped = FlowModel::with_widths(
+        &net,
+        &config,
+        Some(&WidthMap::uniform(net.dims(), config.geometry.width())),
+    )
+    .unwrap();
+    assert!(
+        (plain.system_resistance() - mapped.system_resistance()).abs()
+            / plain.system_resistance()
+            < 1e-12
+    );
+}
+
+#[test]
+fn narrowing_one_channel_shifts_flow_to_the_other() {
+    let net = two_channels();
+    let config = FlowConfig::default();
+    let mut widths = WidthMap::uniform(net.dims(), config.geometry.width());
+    widths.set_row(0, 50e-6); // halve the bottom channel's width
+    let model = FlowModel::with_widths(&net, &config, Some(&widths)).unwrap();
+    let field = model.solve(Pascal::from_kilopascals(10.0));
+    let q_bottom = field.flow(Cell::new(3, 0), Cell::new(4, 0)).unwrap().value();
+    let q_top = field.flow(Cell::new(3, 2), Cell::new(4, 2)).unwrap().value();
+    assert!(
+        q_top > 3.0 * q_bottom,
+        "narrow channel must carry much less: top {q_top}, bottom {q_bottom}"
+    );
+    // Conservation still holds.
+    for &cell in model.cells() {
+        assert!(field.divergence(cell).abs() / field.system_flow().value() < 1e-8);
+    }
+}
+
+#[test]
+fn narrowing_raises_system_resistance() {
+    let net = two_channels();
+    let config = FlowConfig::default();
+    let r_full = FlowModel::new(&net, &config).unwrap().system_resistance();
+    let mut widths = WidthMap::uniform(net.dims(), config.geometry.width());
+    widths.set_row(0, 40e-6);
+    widths.set_row(2, 40e-6);
+    let r_narrow = FlowModel::with_widths(&net, &config, Some(&widths))
+        .unwrap()
+        .system_resistance();
+    assert!(r_narrow > 2.0 * r_full, "{r_narrow} vs {r_full}");
+}
+
+#[test]
+fn width_taper_along_a_channel_is_supported() {
+    // A channel that narrows downstream: pressure gradient steepens where
+    // the channel is narrow.
+    let mut b = CoolingNetwork::builder(GridDims::new(9, 1));
+    b.segment(Cell::new(0, 0), Dir::East, 9);
+    b.port(PortKind::Inlet, Side::West, 0, 0);
+    b.port(PortKind::Outlet, Side::East, 0, 0);
+    let net = b.build().unwrap();
+    let config = FlowConfig::default();
+    let mut widths = WidthMap::uniform(net.dims(), 100e-6);
+    for x in 5..9 {
+        widths.set(Cell::new(x, 0), 50e-6);
+    }
+    let model = FlowModel::with_widths(&net, &config, Some(&widths)).unwrap();
+    let field = model.solve(Pascal::from_kilopascals(10.0));
+    let drop_wide = field.pressure(Cell::new(1, 0)).unwrap().value()
+        - field.pressure(Cell::new(2, 0)).unwrap().value();
+    let drop_narrow = field.pressure(Cell::new(6, 0)).unwrap().value()
+        - field.pressure(Cell::new(7, 0)).unwrap().value();
+    assert!(
+        drop_narrow > 2.0 * drop_wide,
+        "narrow section must drop more pressure: {drop_narrow} vs {drop_wide}"
+    );
+}
+
+#[test]
+#[should_panic(expected = "width map dimension mismatch")]
+fn dimension_mismatch_panics() {
+    let net = two_channels();
+    let widths = WidthMap::uniform(GridDims::new(3, 3), 100e-6);
+    let _ = FlowModel::with_widths(&net, &FlowConfig::default(), Some(&widths));
+}

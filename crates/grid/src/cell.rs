@@ -1,0 +1,192 @@
+//! Basic-cell positions, neighbor directions and chip edges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Position of a basic cell in the channel-layer grid.
+///
+/// `x` grows eastwards (columns), `y` grows northwards (rows). The type is
+/// deliberately small (`u16` per axis) — grids are at most a few hundred
+/// cells per side.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cell {
+    /// Column index (eastward).
+    pub x: u16,
+    /// Row index (northward).
+    pub y: u16,
+}
+
+impl Cell {
+    /// Creates a cell at `(x, y)`.
+    pub const fn new(x: u16, y: u16) -> Self {
+        Self { x, y }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// One of the four in-plane neighbor directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// `+y`.
+    North,
+    /// `-y`.
+    South,
+    /// `+x`.
+    East,
+    /// `-x`.
+    West,
+}
+
+impl Dir {
+    /// All four directions, in a fixed order.
+    pub const ALL: [Dir; 4] = [Dir::North, Dir::South, Dir::East, Dir::West];
+
+    /// The opposite direction.
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::North => Dir::South,
+            Dir::South => Dir::North,
+            Dir::East => Dir::West,
+            Dir::West => Dir::East,
+        }
+    }
+
+    /// The `(dx, dy)` step of this direction.
+    pub fn delta(self) -> (i32, i32) {
+        match self {
+            Dir::North => (0, 1),
+            Dir::South => (0, -1),
+            Dir::East => (1, 0),
+            Dir::West => (-1, 0),
+        }
+    }
+
+    /// Returns `true` if the direction is horizontal (east/west).
+    pub fn is_horizontal(self) -> bool {
+        matches!(self, Dir::East | Dir::West)
+    }
+}
+
+impl fmt::Display for Dir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dir::North => "north",
+            Dir::South => "south",
+            Dir::East => "east",
+            Dir::West => "west",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One of the four edges of the channel layer, where inlets and outlets may
+/// be placed (design rule 2 of §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The `y = height-1` edge.
+    North,
+    /// The `y = 0` edge.
+    South,
+    /// The `x = width-1` edge.
+    East,
+    /// The `x = 0` edge.
+    West,
+}
+
+impl Side {
+    /// All four sides, in a fixed order.
+    pub const ALL: [Side; 4] = [Side::North, Side::South, Side::East, Side::West];
+
+    /// The side opposite this one.
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::North => Side::South,
+            Side::South => Side::North,
+            Side::East => Side::West,
+            Side::West => Side::East,
+        }
+    }
+
+    /// The outward direction normal to this side (the direction coolant
+    /// would flow *out of* the chip through this side).
+    pub fn outward(self) -> Dir {
+        match self {
+            Side::North => Dir::North,
+            Side::South => Dir::South,
+            Side::East => Dir::East,
+            Side::West => Dir::West,
+        }
+    }
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Side::North => "north",
+            Side::South => "south",
+            Side::East => "east",
+            Side::West => "west",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposites_are_involutive() {
+        for d in Dir::ALL {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+        for s in Side::ALL {
+            assert_eq!(s.opposite().opposite(), s);
+        }
+    }
+
+    #[test]
+    fn deltas_cancel_with_opposite() {
+        for d in Dir::ALL {
+            let (dx, dy) = d.delta();
+            let (ox, oy) = d.opposite().delta();
+            assert_eq!((dx + ox, dy + oy), (0, 0));
+        }
+    }
+
+    #[test]
+    fn outward_matches_side() {
+        assert_eq!(Side::East.outward(), Dir::East);
+        assert_eq!(Side::South.outward(), Dir::South);
+    }
+
+    #[test]
+    fn horizontal_classification() {
+        assert!(Dir::East.is_horizontal());
+        assert!(Dir::West.is_horizontal());
+        assert!(!Dir::North.is_horizontal());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Cell::new(3, 4).to_string(), "(3, 4)");
+        assert_eq!(Dir::North.to_string(), "north");
+        assert_eq!(Side::West.to_string(), "west");
+    }
+
+    #[test]
+    fn cell_ordering_is_row_major_friendly() {
+        // Ord derives on (x, y); we only rely on Eq/Hash in collections, but
+        // make sure ordering is total and stable.
+        let mut v = [Cell::new(1, 0), Cell::new(0, 1), Cell::new(0, 0)];
+        v.sort();
+        assert_eq!(v[0], Cell::new(0, 0));
+    }
+}

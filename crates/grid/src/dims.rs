@@ -1,0 +1,219 @@
+//! Grid extents and index arithmetic.
+
+use crate::cell::{Cell, Dir, Side};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dimensions of a channel-layer grid of basic cells.
+///
+/// The ICCAD 2015 benchmarks use `101 × 101` basic cells over a
+/// `10.1 mm × 10.1 mm` die (§6).
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_grid::{Cell, GridDims, Side};
+/// let dims = GridDims::new(4, 3);
+/// assert_eq!(dims.num_cells(), 12);
+/// assert!(dims.on_side(Cell::new(3, 1), Side::East));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridDims {
+    width: u16,
+    height: u16,
+}
+
+impl GridDims {
+    /// Creates grid dimensions `width × height` (columns × rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "grid dimensions must be nonzero");
+        Self { width, height }
+    }
+
+    /// The ICCAD 2015 grid: `101 × 101`.
+    pub fn iccad2015() -> Self {
+        Self::new(101, 101)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Total number of basic cells.
+    pub fn num_cells(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Returns `true` if `cell` lies inside the grid.
+    pub fn contains(&self, cell: Cell) -> bool {
+        cell.x < self.width && cell.y < self.height
+    }
+
+    /// Row-major linear index of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid.
+    pub fn index(&self, cell: Cell) -> usize {
+        assert!(self.contains(cell), "cell {cell} outside {self}");
+        cell.y as usize * self.width as usize + cell.x as usize
+    }
+
+    /// Inverse of [`index`](Self::index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_cells()`.
+    pub fn cell_at(&self, index: usize) -> Cell {
+        assert!(index < self.num_cells(), "index {index} outside {self}");
+        Cell::new(
+            (index % self.width as usize) as u16,
+            (index / self.width as usize) as u16,
+        )
+    }
+
+    /// The neighbor of `cell` in direction `dir`, or `None` at the grid edge.
+    pub fn neighbor(&self, cell: Cell, dir: Dir) -> Option<Cell> {
+        let (dx, dy) = dir.delta();
+        let nx = cell.x as i32 + dx;
+        let ny = cell.y as i32 + dy;
+        if nx < 0 || ny < 0 || nx >= self.width as i32 || ny >= self.height as i32 {
+            None
+        } else {
+            Some(Cell::new(nx as u16, ny as u16))
+        }
+    }
+
+    /// Returns `true` if `cell` lies on the given chip edge.
+    pub fn on_side(&self, cell: Cell, side: Side) -> bool {
+        self.contains(cell)
+            && match side {
+                Side::North => cell.y == self.height - 1,
+                Side::South => cell.y == 0,
+                Side::East => cell.x == self.width - 1,
+                Side::West => cell.x == 0,
+            }
+    }
+
+    /// Returns `true` if `cell` lies on any chip edge.
+    pub fn on_boundary(&self, cell: Cell) -> bool {
+        Side::ALL.iter().any(|&s| self.on_side(cell, s))
+    }
+
+    /// The number of cells along `side` (its length).
+    pub fn side_len(&self, side: Side) -> u16 {
+        match side {
+            Side::North | Side::South => self.width,
+            Side::East | Side::West => self.height,
+        }
+    }
+
+    /// The `k`-th cell along `side`, counting from the west end for
+    /// north/south sides and from the south end for east/west sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= side_len(side)`.
+    pub fn side_cell(&self, side: Side, k: u16) -> Cell {
+        assert!(k < self.side_len(side), "side position {k} out of range");
+        match side {
+            Side::North => Cell::new(k, self.height - 1),
+            Side::South => Cell::new(k, 0),
+            Side::East => Cell::new(self.width - 1, k),
+            Side::West => Cell::new(0, k),
+        }
+    }
+
+    /// Iterates over all cells in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = Cell> + '_ {
+        let w = self.width;
+        let h = self.height;
+        (0..h).flat_map(move |y| (0..w).map(move |x| Cell::new(x, y)))
+    }
+}
+
+impl fmt::Display for GridDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} grid", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let dims = GridDims::new(7, 5);
+        for i in 0..dims.num_cells() {
+            assert_eq!(dims.index(dims.cell_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn neighbors_at_edges_are_none() {
+        let dims = GridDims::new(3, 3);
+        assert_eq!(dims.neighbor(Cell::new(0, 0), Dir::West), None);
+        assert_eq!(dims.neighbor(Cell::new(0, 0), Dir::South), None);
+        assert_eq!(dims.neighbor(Cell::new(2, 2), Dir::East), None);
+        assert_eq!(dims.neighbor(Cell::new(2, 2), Dir::North), None);
+        assert_eq!(
+            dims.neighbor(Cell::new(1, 1), Dir::North),
+            Some(Cell::new(1, 2))
+        );
+    }
+
+    #[test]
+    fn side_membership() {
+        let dims = GridDims::new(4, 3);
+        assert!(dims.on_side(Cell::new(0, 2), Side::West));
+        assert!(dims.on_side(Cell::new(0, 2), Side::North));
+        assert!(!dims.on_side(Cell::new(1, 1), Side::North));
+        assert!(dims.on_boundary(Cell::new(3, 0)));
+        assert!(!dims.on_boundary(Cell::new(1, 1)));
+    }
+
+    #[test]
+    fn side_cells_cover_each_edge() {
+        let dims = GridDims::new(4, 3);
+        for side in Side::ALL {
+            for k in 0..dims.side_len(side) {
+                assert!(dims.on_side(dims.side_cell(side, k), side));
+            }
+        }
+        assert_eq!(dims.side_cell(Side::North, 0), Cell::new(0, 2));
+        assert_eq!(dims.side_cell(Side::East, 1), Cell::new(3, 1));
+    }
+
+    #[test]
+    fn iter_visits_every_cell_once() {
+        let dims = GridDims::new(5, 4);
+        let cells: Vec<_> = dims.iter().collect();
+        assert_eq!(cells.len(), 20);
+        assert_eq!(cells[0], Cell::new(0, 0));
+        assert_eq!(cells[5], Cell::new(0, 1));
+        assert_eq!(cells[19], Cell::new(4, 3));
+    }
+
+    #[test]
+    fn iccad_grid_is_101_square() {
+        let dims = GridDims::iccad2015();
+        assert_eq!((dims.width(), dims.height()), (101, 101));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn index_rejects_outside_cell() {
+        GridDims::new(2, 2).index(Cell::new(2, 0));
+    }
+}

@@ -1,0 +1,39 @@
+//! Discretized channel-layer geometry: basic cells, directions, masks and
+//! coarsening.
+//!
+//! The paper divides each channel layer into a 2D rectangular grid of
+//! *basic cells* (§2.1, Fig. 2(a)): each cell is either solid or liquid, and
+//! some cells are reserved for TSVs. This crate owns that discretization:
+//!
+//! * [`GridDims`] — grid extents and index arithmetic;
+//! * [`Cell`] / [`Dir`] / [`Side`] — positions, the four in-plane neighbor
+//!   directions and the four chip edges;
+//! * [`CellMask`] — a bit set over the grid (liquid cells, TSV cells,
+//!   restricted regions);
+//! * [`tsv::alternating`] — the paper's TSV design rule (alternating basic
+//!   cells in both dimensions);
+//! * [`Coarsening`] — the `m × m` grouping of basic cells into 2RM thermal
+//!   cells, with ragged edges when `m` does not divide the grid size
+//!   (101 is prime, so it never does).
+//!
+//! # Examples
+//!
+//! ```
+//! use coolnet_grid::{Cell, Dir, GridDims};
+//!
+//! let dims = GridDims::new(101, 101);
+//! let c = Cell::new(50, 50);
+//! assert_eq!(dims.neighbor(c, Dir::East), Some(Cell::new(51, 50)));
+//! assert_eq!(dims.index(c), 50 * 101 + 50);
+//! ```
+
+pub mod cell;
+pub mod coarse;
+pub mod dims;
+pub mod mask;
+pub mod tsv;
+
+pub use cell::{Cell, Dir, Side};
+pub use coarse::Coarsening;
+pub use dims::GridDims;
+pub use mask::CellMask;

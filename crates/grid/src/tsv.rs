@@ -1,0 +1,79 @@
+//! TSV reservation patterns.
+//!
+//! Design rule 1 of §3: *"TSV positions are assumed to be at alternating
+//! basic cells in both dimensions"* (Fig. 2(b)): cells whose `x` and `y`
+//! are both odd are reserved for TSVs and may never be liquid. Every even
+//! row and every even column is therefore free of TSVs, which is what lets
+//! straight channels and tree branches route on even rows/columns.
+
+use crate::cell::Cell;
+use crate::dims::GridDims;
+use crate::mask::CellMask;
+
+/// The paper's alternating TSV pattern: cells with odd `x` *and* odd `y`.
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_grid::{tsv, Cell, GridDims};
+/// let m = tsv::alternating(GridDims::new(5, 5));
+/// assert!(m.contains(Cell::new(1, 1)));
+/// assert!(!m.contains(Cell::new(2, 1)));
+/// assert_eq!(m.len(), 4); // (1,1) (3,1) (1,3) (3,3)
+/// ```
+pub fn alternating(dims: GridDims) -> CellMask {
+    let mut m = CellMask::new(dims);
+    let mut y = 1;
+    while y < dims.height() {
+        let mut x = 1;
+        while x < dims.width() {
+            m.insert(Cell::new(x, y));
+            x += 2;
+        }
+        y += 2;
+    }
+    m
+}
+
+/// A TSV-free pattern (for exploratory networks that ignore TSVs).
+pub fn none(dims: GridDims) -> CellMask {
+    CellMask::new(dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternating_count_on_iccad_grid() {
+        // 101x101: odd coordinates are 1,3,...,99 → 50 per axis → 2500 TSVs.
+        let m = alternating(GridDims::iccad2015());
+        assert_eq!(m.len(), 2500);
+    }
+
+    #[test]
+    fn even_rows_and_columns_are_clear() {
+        let dims = GridDims::new(11, 11);
+        let m = alternating(dims);
+        for k in 0..11 {
+            assert!(!m.contains(Cell::new(k, 4)), "row 4 must be TSV-free");
+            assert!(!m.contains(Cell::new(6, k)), "column 6 must be TSV-free");
+        }
+    }
+
+    #[test]
+    fn boundary_is_tsv_free() {
+        // x=0, y=0 rows/cols are even, and width/height 101 puts the far
+        // boundary at even coordinate 100, so all boundaries are TSV-free.
+        let dims = GridDims::iccad2015();
+        let m = alternating(dims);
+        for c in dims.iter().filter(|&c| dims.on_boundary(c)) {
+            assert!(!m.contains(c));
+        }
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(none(GridDims::new(5, 5)).is_empty());
+    }
+}

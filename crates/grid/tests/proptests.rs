@@ -1,0 +1,93 @@
+//! Property-based tests of the grid substrate.
+
+use coolnet_grid::{tsv, Cell, CellMask, Coarsening, Dir, GridDims, Side};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = GridDims> {
+    (1u16..80, 1u16..80).prop_map(|(w, h)| GridDims::new(w, h))
+}
+
+proptest! {
+    #[test]
+    fn index_round_trips(d in dims()) {
+        for i in 0..d.num_cells() {
+            prop_assert_eq!(d.index(d.cell_at(i)), i);
+        }
+    }
+
+    #[test]
+    fn neighbor_is_symmetric(d in dims(), x in 0u16..80, y in 0u16..80) {
+        prop_assume!(x < d.width() && y < d.height());
+        let c = Cell::new(x, y);
+        for dir in Dir::ALL {
+            if let Some(n) = d.neighbor(c, dir) {
+                prop_assert_eq!(d.neighbor(n, dir.opposite()), Some(c));
+            }
+        }
+    }
+
+    #[test]
+    fn side_cells_tile_the_boundary(d in dims()) {
+        let mut boundary = CellMask::new(d);
+        for s in Side::ALL {
+            for k in 0..d.side_len(s) {
+                boundary.insert(d.side_cell(s, k));
+            }
+        }
+        for c in d.iter() {
+            prop_assert_eq!(boundary.contains(c), d.on_boundary(c));
+        }
+    }
+
+    #[test]
+    fn coarsening_partitions_for_any_factor(d in dims(), m in 1u16..12) {
+        let c = Coarsening::new(d, m);
+        let mut seen = vec![false; d.num_cells()];
+        for (cx, cy) in c.iter() {
+            for cell in c.extent(cx, cy).iter() {
+                let i = d.index(cell);
+                prop_assert!(!seen[i], "cell covered twice");
+                seen[i] = true;
+                prop_assert_eq!(c.coarse_of(cell), (cx, cy));
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn mask_set_operations_agree_with_reference(
+        d in (2u16..30, 2u16..30).prop_map(|(w, h)| GridDims::new(w, h)),
+        ops in proptest::collection::vec((0u16..30, 0u16..30, prop::bool::ANY), 0..60),
+    ) {
+        let mut mask = CellMask::new(d);
+        let mut reference = std::collections::HashSet::new();
+        for (x, y, insert) in ops {
+            if x >= d.width() || y >= d.height() {
+                continue;
+            }
+            let c = Cell::new(x, y);
+            if insert {
+                prop_assert_eq!(mask.insert(c), reference.insert(c));
+            } else {
+                prop_assert_eq!(mask.remove(c), reference.remove(&c));
+            }
+        }
+        prop_assert_eq!(mask.len(), reference.len());
+        for c in d.iter() {
+            prop_assert_eq!(mask.contains(c), reference.contains(&c));
+        }
+    }
+
+    #[test]
+    fn alternating_tsvs_never_touch_even_lines(d in dims()) {
+        let m = tsv::alternating(d);
+        for c in m.iter() {
+            prop_assert!(c.x % 2 == 1 && c.y % 2 == 1);
+        }
+        // Count formula: floor(w/2) * floor(h/2).
+        prop_assert_eq!(
+            m.len(),
+            (d.width() as usize / 2) * (d.height() as usize / 2)
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Legality violations for cooling networks.
+
+use crate::port::Port;
+use coolnet_grid::{Cell, Side};
+use std::error::Error;
+use std::fmt;
+
+/// A violation of the §3 design rules (or of well-posedness of the flow
+/// problem) detected while building a [`CoolingNetwork`](crate::CoolingNetwork).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LegalityError {
+    /// A liquid cell collides with a TSV reservation (design rule 1).
+    LiquidOnTsv {
+        /// The offending cell.
+        cell: Cell,
+    },
+    /// A liquid cell lies in a restricted (no-channel) region.
+    LiquidInRestrictedRegion {
+        /// The offending cell.
+        cell: Cell,
+    },
+    /// A port range extends beyond its side (design rule 2).
+    PortOutOfRange {
+        /// The offending port.
+        port: Port,
+        /// Length of the side it sits on.
+        side_len: u16,
+    },
+    /// More than one inlet or outlet manifold on one side (design rule 3).
+    DuplicatePortOnSide {
+        /// The side carrying too many manifolds.
+        side: Side,
+    },
+    /// Two port ranges overlap.
+    OverlappingPorts {
+        /// First port.
+        first: Port,
+        /// Second port.
+        second: Port,
+    },
+    /// A port covers no liquid boundary cell, so no coolant could pass it.
+    DryPort {
+        /// The offending port.
+        port: Port,
+    },
+    /// The network has no inlet.
+    NoInlet,
+    /// The network has no outlet.
+    NoOutlet,
+    /// The network has no liquid cell at all.
+    NoLiquidCells,
+    /// A generator was asked for parameters it cannot realize (e.g. a
+    /// tree strip too narrow for the requested branch count).
+    InvalidParameter {
+        /// Human-readable description of the parameter problem.
+        reason: String,
+    },
+    /// A connected component of liquid cells lacks an inlet or an outlet,
+    /// which would make the pressure system singular or leave stagnant
+    /// coolant.
+    DisconnectedComponent {
+        /// A representative cell of the offending component.
+        cell: Cell,
+        /// Whether the component can be reached from any inlet.
+        has_inlet: bool,
+        /// Whether the component can reach any outlet.
+        has_outlet: bool,
+    },
+}
+
+impl fmt::Display for LegalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalityError::LiquidOnTsv { cell } => {
+                write!(f, "liquid cell {cell} collides with a TSV reservation")
+            }
+            LegalityError::LiquidInRestrictedRegion { cell } => {
+                write!(f, "liquid cell {cell} lies in a restricted region")
+            }
+            LegalityError::PortOutOfRange { port, side_len } => {
+                write!(f, "{port} exceeds side length {side_len}")
+            }
+            LegalityError::DuplicatePortOnSide { side } => write!(
+                f,
+                "more than one continuous inlet or outlet on the {side} side"
+            ),
+            LegalityError::OverlappingPorts { first, second } => {
+                write!(f, "ports overlap: {first} and {second}")
+            }
+            LegalityError::DryPort { port } => {
+                write!(f, "{port} covers no liquid boundary cell")
+            }
+            LegalityError::NoInlet => f.write_str("network has no inlet"),
+            LegalityError::NoOutlet => f.write_str("network has no outlet"),
+            LegalityError::NoLiquidCells => f.write_str("network has no liquid cells"),
+            LegalityError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+            LegalityError::DisconnectedComponent {
+                cell,
+                has_inlet,
+                has_outlet,
+            } => write!(
+                f,
+                "liquid component at {cell} is not flow-connected (inlet reachable: {has_inlet}, outlet reachable: {has_outlet})"
+            ),
+        }
+    }
+}
+
+impl Error for LegalityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::PortKind;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = LegalityError::LiquidOnTsv {
+            cell: Cell::new(1, 1),
+        };
+        assert!(e.to_string().contains("(1, 1)"));
+        let e = LegalityError::DryPort {
+            port: Port::new(PortKind::Inlet, Side::West, 0, 3),
+        };
+        assert!(e.to_string().contains("no liquid"));
+        assert!(LegalityError::NoInlet.to_string().starts_with("network"));
+    }
+}

@@ -1,0 +1,42 @@
+//! Cooling-network representation, legality rules and topology generators.
+//!
+//! A *cooling network* `N` (§2.1 of the paper) is the pair of (a) the
+//! solid/liquid assignment of every basic cell in a channel layer and (b)
+//! the positions of the inlets and outlets on the chip edges. This crate
+//! provides:
+//!
+//! * [`CoolingNetwork`] — the validated data model, enforcing the §3 design
+//!   rules (TSV avoidance, boundary-only ports, at most one continuous
+//!   inlet and one continuous outlet per side, and flow-connectivity);
+//! * [`Port`] — a continuous inlet or outlet manifold along one edge;
+//! * [`builders`] — the network families of the paper:
+//!   [`builders::straight`] (the baseline of Tables 3–4),
+//!   [`builders::tree`] (the hierarchical tree-like structure of §4.3,
+//!   Figs. 7–8) and [`builders::manual`] (a gallery of hand-designed
+//!   flexible topologies standing in for the ICCAD 2015 first-place entry);
+//! * ASCII [`render`]ing for debugging and the figure harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use coolnet_grid::{tsv, Dir, GridDims};
+//! use coolnet_network::builders::straight::{self, StraightParams};
+//!
+//! # fn main() -> Result<(), coolnet_network::LegalityError> {
+//! let dims = GridDims::new(11, 11);
+//! let net = straight::build(dims, &tsv::alternating(dims), Dir::East, &StraightParams::default())?;
+//! assert!(net.num_liquid_cells() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builders;
+pub mod error;
+pub mod network;
+pub mod port;
+pub mod render;
+pub mod stats;
+
+pub use error::LegalityError;
+pub use network::{CoolingNetwork, NetworkBuilder};
+pub use port::{Port, PortKind};

@@ -1,0 +1,197 @@
+//! ASCII rendering of cooling networks, used by examples and the figure
+//! harness (and invaluable when debugging generators).
+
+use crate::network::CoolingNetwork;
+use crate::port::PortKind;
+use coolnet_grid::Cell;
+
+/// Renders the network as ASCII art, north row first:
+///
+/// * `~` liquid cell,
+/// * `I`/`O` liquid boundary cell under an inlet/outlet manifold,
+/// * `o` TSV reservation,
+/// * `X` restricted region,
+/// * `.` plain solid cell.
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_grid::{Cell, Dir, GridDims, Side};
+/// use coolnet_network::{render, CoolingNetwork, PortKind};
+///
+/// # fn main() -> Result<(), coolnet_network::LegalityError> {
+/// let mut b = CoolingNetwork::builder(GridDims::new(3, 1));
+/// b.segment(Cell::new(0, 0), Dir::East, 3);
+/// b.port(PortKind::Inlet, Side::West, 0, 0);
+/// b.port(PortKind::Outlet, Side::East, 0, 0);
+/// let net = b.build()?;
+/// assert_eq!(render::ascii(&net), "I~O\n");
+/// # Ok(())
+/// # }
+/// ```
+pub fn ascii(net: &CoolingNetwork) -> String {
+    let dims = net.dims();
+    let mut out = String::with_capacity((dims.width() as usize + 1) * dims.height() as usize);
+    for y in (0..dims.height()).rev() {
+        for x in 0..dims.width() {
+            let c = Cell::new(x, y);
+            let ch = if net.is_liquid(c) {
+                match net.port_at(c).map(|p| p.kind()) {
+                    Some(PortKind::Inlet) => 'I',
+                    Some(PortKind::Outlet) => 'O',
+                    None => '~',
+                }
+            } else if net.tsv().contains(c) {
+                'o'
+            } else if net.restricted().contains(c) {
+                'X'
+            } else {
+                '.'
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the network as a standalone SVG document (one square per basic
+/// cell): blue liquid, dark gray TSVs, hatched-gray restricted cells,
+/// green/red bars for inlet/outlet manifolds.
+///
+/// `cell_px` is the square size in pixels.
+///
+/// # Panics
+///
+/// Panics if `cell_px == 0`.
+pub fn svg(net: &CoolingNetwork, cell_px: u32) -> String {
+    assert!(cell_px > 0, "cell size must be nonzero");
+    let dims = net.dims();
+    let (w, h) = (dims.width() as u32, dims.height() as u32);
+    let px = |v: u32| v * cell_px;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\">\n",
+        px(w) + 2 * cell_px,
+        px(h) + 2 * cell_px,
+        px(w) + 2 * cell_px,
+        px(h) + 2 * cell_px,
+    ));
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"#f4f1ea\"/>\n");
+    // Cells (SVG y grows downward; grid y grows northward).
+    for cell in dims.iter() {
+        let sx = cell_px + px(cell.x as u32);
+        let sy = cell_px + px(h - 1 - cell.y as u32);
+        let fill = if net.is_liquid(cell) {
+            "#3b82c4"
+        } else if net.tsv().contains(cell) {
+            "#4a4a4a"
+        } else if net.restricted().contains(cell) {
+            "#b8b0a0"
+        } else {
+            "#e3ded2"
+        };
+        out.push_str(&format!(
+            "<rect x=\"{sx}\" y=\"{sy}\" width=\"{cell_px}\" height=\"{cell_px}\" \
+             fill=\"{fill}\" stroke=\"#f4f1ea\" stroke-width=\"0.5\"/>\n"
+        ));
+    }
+    // Port manifolds as bars just outside the grid.
+    for port in net.ports() {
+        let color = match port.kind() {
+            PortKind::Inlet => "#2e9e5b",
+            PortKind::Outlet => "#c0392b",
+        };
+        let (x, y, bw, bh) = match port.side() {
+            coolnet_grid::Side::West => (
+                0,
+                cell_px + px(h - 1 - port.end() as u32),
+                cell_px / 2,
+                px((port.end() - port.start()) as u32 + 1),
+            ),
+            coolnet_grid::Side::East => (
+                cell_px + px(w) + cell_px / 2,
+                cell_px + px(h - 1 - port.end() as u32),
+                cell_px / 2,
+                px((port.end() - port.start()) as u32 + 1),
+            ),
+            coolnet_grid::Side::South => (
+                cell_px + px(port.start() as u32),
+                cell_px + px(h) + cell_px / 2,
+                px((port.end() - port.start()) as u32 + 1),
+                cell_px / 2,
+            ),
+            coolnet_grid::Side::North => (
+                cell_px + px(port.start() as u32),
+                0,
+                px((port.end() - port.start()) as u32 + 1),
+                cell_px / 2,
+            ),
+        };
+        out.push_str(&format!(
+            "<rect x=\"{x}\" y=\"{y}\" width=\"{bw}\" height=\"{bh}\" fill=\"{color}\"/>\n"
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolnet_grid::{tsv, Dir, GridDims, Side};
+
+    #[test]
+    fn renders_all_cell_classes() {
+        let dims = GridDims::new(5, 3);
+        let mut b = CoolingNetwork::builder(dims);
+        let mut t = tsv::alternating(dims);
+        // keep row 0 TSV-free for the channel (alternating already is).
+        t.remove(Cell::new(1, 1));
+        b.tsv(t);
+        let mut restricted = coolnet_grid::CellMask::new(dims);
+        restricted.insert(Cell::new(1, 1));
+        b.restricted(restricted);
+        b.segment(Cell::new(0, 0), Dir::East, 5);
+        b.port(PortKind::Inlet, Side::West, 0, 0);
+        b.port(PortKind::Outlet, Side::East, 0, 0);
+        let net = b.build().unwrap();
+        let art = ascii(&net);
+        let rows: Vec<&str> = art.lines().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], "I~~~O"); // south row rendered last
+        assert_eq!(rows[1], ".X.o."); // restricted at x=1, TSV at x=3
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_complete() {
+        let dims = GridDims::new(7, 5);
+        let mut b = CoolingNetwork::builder(dims);
+        b.tsv(tsv::alternating(dims));
+        b.segment(Cell::new(0, 0), Dir::East, 7);
+        b.segment(Cell::new(0, 2), Dir::East, 7);
+        b.port(PortKind::Inlet, Side::West, 0, 4);
+        b.port(PortKind::Outlet, Side::East, 0, 4);
+        let net = b.build().unwrap();
+        let doc = svg(&net, 10);
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        // One rect per cell + background + two port bars.
+        let rects = doc.matches("<rect").count();
+        assert_eq!(rects, 35 + 1 + 2);
+        // Both port colors present.
+        assert!(doc.contains("#2e9e5b") && doc.contains("#c0392b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size")]
+    fn svg_rejects_zero_cell_size() {
+        let dims = GridDims::new(3, 1);
+        let mut b = CoolingNetwork::builder(dims);
+        b.segment(Cell::new(0, 0), Dir::East, 3);
+        b.port(PortKind::Inlet, Side::West, 0, 0);
+        b.port(PortKind::Outlet, Side::East, 0, 0);
+        svg(&b.build().unwrap(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Structural statistics of cooling networks.
+//!
+//! The §3 analysis explains `ΔT` through three factors; two of them are
+//! visible in pure topology: coolant path structure (factor 1) and
+//! channel/wall contact area distribution (factor 3). This module computes
+//! those structural quantities — they power the ablation harness and give
+//! users a quick feel for a design without running a solver.
+
+use crate::network::CoolingNetwork;
+use coolnet_grid::Dir;
+use serde::{Deserialize, Serialize};
+
+/// Structural statistics of one network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of liquid cells.
+    pub liquid_cells: usize,
+    /// Liquid fraction of the (non-TSV) channel layer area.
+    pub liquid_fraction: f64,
+    /// Cell faces between liquid and in-layer solid (side-wall faces) —
+    /// proportional to the lateral heat-exchange area.
+    pub side_wall_faces: usize,
+    /// Liquid–liquid internal faces (flow links).
+    pub flow_links: usize,
+    /// Cells with exactly one liquid neighbor (channel dead ends or
+    /// port-adjacent tips).
+    pub endpoints: usize,
+    /// Cells with three or more liquid neighbors (junctions/branches).
+    pub junctions: usize,
+    /// Cells where the channel turns (exactly two liquid neighbors, not
+    /// collinear).
+    pub bends: usize,
+}
+
+/// Computes [`NetworkStats`] for a network.
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_grid::{tsv, Dir, GridDims};
+/// use coolnet_network::builders::straight::{self, StraightParams};
+/// use coolnet_network::stats;
+///
+/// # fn main() -> Result<(), coolnet_network::LegalityError> {
+/// let dims = GridDims::new(11, 11);
+/// let net = straight::build(dims, &tsv::alternating(dims), Dir::East, &StraightParams::default())?;
+/// let s = stats::compute(&net);
+/// assert_eq!(s.junctions, 0); // straight channels never branch
+/// # Ok(())
+/// # }
+/// ```
+pub fn compute(net: &CoolingNetwork) -> NetworkStats {
+    let dims = net.dims();
+    let mut side_wall_faces = 0usize;
+    let mut flow_links = 0usize;
+    let mut endpoints = 0usize;
+    let mut junctions = 0usize;
+    let mut bends = 0usize;
+
+    for cell in net.liquid().iter() {
+        let mut liquid_dirs: Vec<Dir> = Vec::with_capacity(4);
+        for d in Dir::ALL {
+            match dims.neighbor(cell, d) {
+                Some(nb) if net.is_liquid(nb) => {
+                    liquid_dirs.push(d);
+                    // Count each internal face once (east/north sweep).
+                    if matches!(d, Dir::East | Dir::North) {
+                        flow_links += 1;
+                    }
+                }
+                Some(_) => side_wall_faces += 1,
+                None => {} // chip edge; inlet/outlet or outer wall
+            }
+        }
+        match liquid_dirs.len() {
+            1 => endpoints += 1,
+            2
+                if liquid_dirs[0] != liquid_dirs[1].opposite() => {
+                    bends += 1;
+                }
+            n if n >= 3 => junctions += 1,
+            _ => {}
+        }
+    }
+
+    let non_tsv = dims.num_cells() - net.tsv().len();
+    NetworkStats {
+        liquid_cells: net.num_liquid_cells(),
+        liquid_fraction: net.num_liquid_cells() as f64 / non_tsv.max(1) as f64,
+        side_wall_faces,
+        flow_links,
+        endpoints,
+        junctions,
+        bends,
+    }
+}
+
+/// Contact-area balance along the flow axis: the ratio of side-wall faces
+/// in the downstream half to the upstream half (measured along `axis`).
+/// Values above 1 indicate the factor-3 compensation the tree-like
+/// structure is designed for (§4.3).
+pub fn downstream_area_ratio(net: &CoolingNetwork, axis: Dir) -> f64 {
+    let dims = net.dims();
+    let mid = if axis.is_horizontal() {
+        dims.width() / 2
+    } else {
+        dims.height() / 2
+    };
+    let mut up = 0usize;
+    let mut down = 0usize;
+    for cell in net.liquid().iter() {
+        let coord = if axis.is_horizontal() { cell.x } else { cell.y };
+        // "Downstream" is toward the axis direction.
+        let is_down = match axis {
+            Dir::East | Dir::North => coord >= mid,
+            Dir::West | Dir::South => coord < mid,
+        };
+        let faces = Dir::ALL
+            .iter()
+            .filter(|&&d| {
+                dims.neighbor(cell, d)
+                    .map(|nb| !net.is_liquid(nb))
+                    .unwrap_or(false)
+            })
+            .count();
+        if is_down {
+            down += faces;
+        } else {
+            up += faces;
+        }
+    }
+    down as f64 / up.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::straight::{self, StraightParams};
+    use crate::builders::tree::{BranchStyle, TreeConfig};
+    use crate::builders::GlobalFlow;
+    use crate::network::CoolingNetwork;
+    use crate::port::PortKind;
+    use coolnet_grid::{tsv, Cell, CellMask, GridDims, Side};
+
+    fn dims() -> GridDims {
+        GridDims::new(21, 21)
+    }
+
+    #[test]
+    fn straight_channels_have_no_bends_or_junctions() {
+        let net = straight::build(
+            dims(),
+            &tsv::alternating(dims()),
+            Dir::East,
+            &StraightParams::default(),
+        )
+        .unwrap();
+        let s = compute(&net);
+        assert_eq!(s.bends, 0);
+        assert_eq!(s.junctions, 0);
+        assert_eq!(s.liquid_cells, 11 * 21);
+        // Each channel is a straight run: 20 links each, 11 channels.
+        assert_eq!(s.flow_links, 11 * 20);
+    }
+
+    #[test]
+    fn tree_network_has_junctions() {
+        let cfg = TreeConfig::uniform(GlobalFlow::SouthToNorth, BranchStyle::Binary, 2, 6, 14);
+        let net = crate::builders::tree::build(
+            dims(),
+            &tsv::alternating(dims()),
+            &CellMask::new(dims()),
+            &cfg,
+        )
+        .unwrap();
+        let s = compute(&net);
+        assert!(s.junctions >= 2, "trees must branch: {s:?}");
+    }
+
+    #[test]
+    fn single_l_channel_has_one_bend() {
+        let d = GridDims::new(5, 5);
+        let mut b = CoolingNetwork::builder(d);
+        b.segment(Cell::new(0, 0), Dir::East, 3);
+        b.segment(Cell::new(2, 0), Dir::North, 5);
+        b.port(PortKind::Inlet, Side::West, 0, 0);
+        b.port(PortKind::Outlet, Side::North, 2, 2);
+        let net = b.build().unwrap();
+        let s = compute(&net);
+        assert_eq!(s.bends, 1);
+        assert_eq!(s.endpoints, 2);
+        assert_eq!(s.junctions, 0);
+    }
+
+    #[test]
+    fn tree_compensates_downstream() {
+        // The §4.3 design goal: more wall area downstream than upstream.
+        let cfg = TreeConfig::uniform(GlobalFlow::SouthToNorth, BranchStyle::Binary, 2, 6, 14);
+        let net = crate::builders::tree::build(
+            dims(),
+            &tsv::alternating(dims()),
+            &CellMask::new(dims()),
+            &cfg,
+        )
+        .unwrap();
+        let ratio = downstream_area_ratio(&net, Dir::North);
+        assert!(ratio > 1.2, "tree downstream/upstream area ratio {ratio}");
+        // Straight channels are symmetric.
+        let straight_net = straight::build(
+            dims(),
+            &tsv::alternating(dims()),
+            Dir::North,
+            &StraightParams::default(),
+        )
+        .unwrap();
+        let flat = downstream_area_ratio(&straight_net, Dir::North);
+        assert!((flat - 1.0).abs() < 0.25, "straight ratio {flat}");
+    }
+
+    #[test]
+    fn liquid_fraction_is_bounded() {
+        let net = straight::build(
+            dims(),
+            &tsv::alternating(dims()),
+            Dir::East,
+            &StraightParams::default(),
+        )
+        .unwrap();
+        let s = compute(&net);
+        assert!(s.liquid_fraction > 0.0 && s.liquid_fraction <= 1.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the network generators and legality rules.
+
+use coolnet_grid::{tsv, GridDims};
+use coolnet_network::builders::straight::{self, StraightParams};
+use coolnet_network::builders::tree::{BranchStyle, TreeConfig, TreeParams};
+use coolnet_network::builders::GlobalFlow;
+use coolnet_network::PortKind;
+use proptest::prelude::*;
+
+/// Random odd grid sizes (odd keeps the far boundary TSV-free, like the
+/// 101×101 ICCAD grid).
+fn odd_dim() -> impl Strategy<Value = u16> {
+    (7u16..30).prop_map(|v| v * 2 + 1) // 15..=59, odd
+}
+
+fn flow() -> impl Strategy<Value = GlobalFlow> {
+    prop::sample::select(GlobalFlow::ALL.to_vec())
+}
+
+fn style() -> impl Strategy<Value = BranchStyle> {
+    prop::sample::select(BranchStyle::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn straight_networks_are_always_legal(
+        w in odd_dim(),
+        h in odd_dim(),
+        flow in flow(),
+        spacing in prop::sample::select(vec![2u16, 4, 6]),
+    ) {
+        let dims = GridDims::new(w, h);
+        let params = StraightParams { spacing, offset: 0 };
+        let net = straight::build_flow(
+            dims,
+            &tsv::alternating(dims),
+            &coolnet_grid::CellMask::new(dims),
+            flow,
+            &params,
+        );
+        // Even offsets/spacings on odd grids must always be legal.
+        let net = net.expect("straight network must build");
+        prop_assert!(net.validate().is_ok());
+        prop_assert!(net.num_liquid_cells() > 0);
+        // TSVs respected.
+        for cell in net.tsv().iter() {
+            prop_assert!(!net.is_liquid(cell));
+        }
+    }
+
+    #[test]
+    fn tree_networks_are_legal_whenever_they_build(
+        side in odd_dim(),
+        flow in flow(),
+        style in style(),
+        num_trees in 1usize..5,
+        b1_frac in 0.1f64..0.45,
+        b2_frac in 0.5f64..0.9,
+    ) {
+        let dims = GridDims::new(side, side);
+        let along = side as f64;
+        let b1 = ((along * b1_frac) as u16) & !1;
+        let b2 = ((along * b2_frac) as u16) & !1;
+        prop_assume!(b1 >= 2 && b2 > b1 && (b2 as u32) < side as u32 - 1);
+        let config = TreeConfig {
+            flow,
+            style,
+            trees: vec![TreeParams { b1, b2 }; num_trees],
+        };
+        match coolnet_network::builders::tree::build(
+            dims,
+            &tsv::alternating(dims),
+            &coolnet_grid::CellMask::new(dims),
+            &config,
+        ) {
+            Ok(net) => {
+                prop_assert!(net.validate().is_ok());
+                // Every tree contributes at least trunk + leaves.
+                let (_, k2) = style.counts();
+                prop_assert!(net.num_liquid_cells() >= num_trees * (k2 + 1));
+            }
+            // Narrow strips may legitimately reject the parameters.
+            Err(coolnet_network::LegalityError::InvalidParameter { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn wet_port_cells_are_boundary_liquid(
+        w in odd_dim(),
+        h in odd_dim(),
+        flow in flow(),
+    ) {
+        let dims = GridDims::new(w, h);
+        let net = straight::build_flow(
+            dims,
+            &tsv::alternating(dims),
+            &coolnet_grid::CellMask::new(dims),
+            flow,
+            &StraightParams::default(),
+        ).expect("builds");
+        for kind in [PortKind::Inlet, PortKind::Outlet] {
+            let wet = net.wet_port_cells(kind);
+            prop_assert!(!wet.is_empty());
+            for c in wet {
+                prop_assert!(net.is_liquid(c));
+                prop_assert!(dims.on_boundary(c));
+            }
+        }
+    }
+
+    #[test]
+    fn restricted_regions_stay_dry(
+        side in (10u16..25).prop_map(|v| v * 2 + 1),
+        flow in flow(),
+        off in 2u16..6,
+    ) {
+        let dims = GridDims::new(side, side);
+        let mut restricted = coolnet_grid::CellMask::new(dims);
+        // Odd-bounded centered block so the ring lands on even lines.
+        let c = side / 2;
+        let odd = |v: u16| if v.is_multiple_of(2) { v + 1 } else { v };
+        let (lo, hi) = (odd(c - off), odd(c + off));
+        restricted.insert_rect(lo, lo, hi, hi);
+        let net = straight::build_flow(
+            dims,
+            &tsv::alternating(dims),
+            &restricted,
+            flow,
+            &StraightParams::default(),
+        ).expect("carved network builds");
+        for cell in restricted.iter() {
+            prop_assert!(!net.is_liquid(cell));
+        }
+        prop_assert!(net.validate().is_ok());
+    }
+}

@@ -1,0 +1,127 @@
+//! Baseline and manual-design evaluation for Tables 3 and 4.
+//!
+//! "For each test case, straight channels of diverse global directions are
+//! evaluated by the network evaluation process and the best is the
+//! baseline" (§6). The manual gallery plays the role of the ICCAD 2015
+//! first-place entry (see DESIGN.md §4).
+
+use crate::evaluate::ModelChoice;
+use crate::psearch::PressureSearchOptions;
+use crate::result::DesignResult;
+use crate::Problem;
+use coolnet_cases::Benchmark;
+use coolnet_network::builders::straight::{self, StraightParams};
+use coolnet_network::builders::{manual, GlobalFlow};
+use coolnet_network::CoolingNetwork;
+
+/// Evaluates all straight-channel candidates (8 global flows × 2 channel
+/// spacings) and returns the best feasible one under `problem`, measured
+/// with `model`. Returns `None` if no straight network is feasible (the
+/// paper's case-5 outcome for Problem 1).
+pub fn best_straight(
+    bench: &Benchmark,
+    problem: Problem,
+    opts: &PressureSearchOptions,
+    model: ModelChoice,
+) -> Option<DesignResult> {
+    let mut candidates: Vec<(String, CoolingNetwork)> = Vec::new();
+    for flow in GlobalFlow::ALL {
+        for spacing in [2u16, 4] {
+            let params = StraightParams {
+                spacing,
+                offset: 0,
+            };
+            if let Ok(net) =
+                straight::build_flow(bench.dims, &bench.tsv, &bench.restricted, flow, &params)
+            {
+                candidates.push((format!("straight {flow} s{spacing}"), net));
+            }
+        }
+    }
+    pick_best(bench, problem, opts, model, candidates)
+}
+
+/// Evaluates the manual gallery (the first-place stand-in) and returns the
+/// best feasible member.
+pub fn best_manual(
+    bench: &Benchmark,
+    problem: Problem,
+    opts: &PressureSearchOptions,
+    model: ModelChoice,
+) -> Option<DesignResult> {
+    let candidates: Vec<(String, CoolingNetwork)> =
+        manual::gallery(bench.dims, &bench.tsv, &bench.restricted)
+            .into_iter()
+            .map(|d| (format!("manual {}", d.name), d.network))
+            .collect();
+    pick_best(bench, problem, opts, model, candidates)
+}
+
+fn pick_best(
+    bench: &Benchmark,
+    problem: Problem,
+    opts: &PressureSearchOptions,
+    model: ModelChoice,
+    candidates: Vec<(String, CoolingNetwork)>,
+) -> Option<DesignResult> {
+    let mut best: Option<DesignResult> = None;
+    for (label, net) in candidates {
+        let Ok(Some(result)) =
+            DesignResult::measure_with_model(bench, &net, problem, label, opts, model)
+        else {
+            continue;
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => result.objective(problem) < b.objective(problem),
+        };
+        if better {
+            best = Some(result);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolnet_grid::GridDims;
+
+    fn opts() -> PressureSearchOptions {
+        PressureSearchOptions {
+            rel_tol: 0.05,
+            max_probes: 40,
+            ..PressureSearchOptions::default()
+        }
+    }
+
+    #[test]
+    fn straight_baseline_exists_for_case1() {
+        let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
+        let b = best_straight(&bench, Problem::PumpingPower, &opts(), ModelChoice::fast())
+            .expect("case 1 must have a straight baseline");
+        assert!(b.label.starts_with("straight"));
+        assert!(b.delta_t.value() <= bench.delta_t_limit.value() * 1.05);
+    }
+
+    #[test]
+    fn manual_baseline_exists_for_case1() {
+        let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
+        let b = best_manual(&bench, Problem::PumpingPower, &opts(), ModelChoice::fast())
+            .expect("the gallery must contain a feasible design for case 1");
+        assert!(b.label.starts_with("manual"));
+    }
+
+    #[test]
+    fn problem2_baseline_respects_budget() {
+        let bench = Benchmark::iccad_scaled(2, GridDims::new(21, 21));
+        let b = best_straight(
+            &bench,
+            Problem::ThermalGradient,
+            &opts(),
+            ModelChoice::fast(),
+        )
+        .expect("case 2 baseline");
+        assert!(b.w_pump.value() <= bench.w_pump_limit().value() * 1.01);
+    }
+}

@@ -1,0 +1,247 @@
+//! Cooling-system evaluation: one network + one benchmark, any pressure.
+
+use coolnet_cases::Benchmark;
+use coolnet_flow::{FlowConfig, FlowModel};
+use coolnet_network::CoolingNetwork;
+use coolnet_thermal::{FourRm, Stack, ThermalConfig, ThermalError, ThermalSolution, TwoRm};
+use coolnet_units::{ChannelGeometry, Kelvin, Pascal, Watt};
+use std::cell::RefCell;
+
+/// Which thermal model backs an [`Evaluator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// The fast 2RM with `m × m`-cell coarsening (inner-loop searches).
+    TwoRm {
+        /// Coarsening factor.
+        m: u16,
+    },
+    /// The accurate 4RM (final stages and reported results).
+    FourRm,
+}
+
+impl ModelChoice {
+    /// The paper's inner-loop choice: 400 µm thermal cells, i.e. `m = 4`
+    /// on the 100 µm pitch.
+    pub fn fast() -> Self {
+        ModelChoice::TwoRm { m: 4 }
+    }
+}
+
+/// The thermal profile of one operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Peak temperature `T_max`.
+    pub t_max: Kelvin,
+    /// Thermal gradient `ΔT`.
+    pub delta_t: Kelvin,
+}
+
+enum Sim {
+    Two(TwoRm),
+    Four(FourRm),
+}
+
+/// Evaluates one cooling system (benchmark + network) at arbitrary system
+/// pressure drops.
+///
+/// Thermal assembly and the hydraulic solve happen once at construction;
+/// each [`profile`](Evaluator::profile) call is a warm-started linear
+/// solve. The evaluator also exposes the `W_pump ↔ P_sys` conversions of
+/// Eq. (10).
+pub struct Evaluator {
+    sim: Sim,
+    flow: FlowModel,
+    /// Previous solution, used to warm-start the next solve.
+    last: RefCell<Option<ThermalSolution>>,
+    probes: RefCell<usize>,
+}
+
+impl Evaluator {
+    /// Builds the evaluator. The network is shared by every channel layer
+    /// of the benchmark's stack (which is mandatory for matched-layer
+    /// cases and the paper's design style elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// Propagates stack-building, hydraulic and assembly failures.
+    pub fn new(
+        bench: &Benchmark,
+        network: &CoolingNetwork,
+        model: ModelChoice,
+    ) -> Result<Self, ThermalError> {
+        let stack = bench.stack_with(std::slice::from_ref(network))?;
+        Self::from_stack(&stack, network, model)
+    }
+
+    /// Builds an evaluator for an explicit [`Stack`] (the network is only
+    /// used for the pumping-power model and must be the stack's channel
+    /// network).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hydraulic and assembly failures.
+    pub fn from_stack(
+        stack: &Stack,
+        network: &CoolingNetwork,
+        model: ModelChoice,
+    ) -> Result<Self, ThermalError> {
+        let config = ThermalConfig::default();
+        let sim = match model {
+            ModelChoice::TwoRm { m } => Sim::Two(TwoRm::new(stack, m, &config)?),
+            ModelChoice::FourRm => Sim::Four(FourRm::new(stack, &config)?),
+        };
+        // Hydraulic model for W_pump: channel geometry of the stack.
+        let channel_layer = stack
+            .channel_layer_indices()
+            .first()
+            .copied()
+            .ok_or_else(|| ThermalError::BadStack {
+                reason: "no channel layer".into(),
+            })?;
+        let flow_config = match &stack.layers()[channel_layer].kind {
+            coolnet_thermal::LayerKind::Channel { flow, .. } => flow.clone(),
+            _ => unreachable!("channel index points at a channel layer"),
+        };
+        let flow = FlowModel::new(network, &flow_config)?;
+        Ok(Self {
+            sim,
+            flow,
+            last: RefCell::new(None),
+            probes: RefCell::new(0),
+        })
+    }
+
+    /// Convenience: the benchmark's flow configuration.
+    pub fn flow_config_for(bench: &Benchmark) -> FlowConfig {
+        FlowConfig {
+            geometry: ChannelGeometry::new(bench.pitch, bench.channel_height, bench.pitch),
+            ..FlowConfig::default()
+        }
+    }
+
+    /// Thermal profile at `p_sys` (warm-started from the previous call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThermalError`] from the solve.
+    pub fn profile(&self, p_sys: Pascal) -> Result<Profile, ThermalError> {
+        let sol = self.solve(p_sys)?;
+        let profile = Profile {
+            t_max: sol.max_temperature(),
+            delta_t: sol.gradient(),
+        };
+        *self.last.borrow_mut() = Some(sol);
+        *self.probes.borrow_mut() += 1;
+        Ok(profile)
+    }
+
+    /// The full thermal solution at `p_sys` (for temperature maps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThermalError`] from the solve.
+    pub fn solve(&self, p_sys: Pascal) -> Result<ThermalSolution, ThermalError> {
+        let guess = self.last.borrow();
+        match (&self.sim, guess.as_ref()) {
+            (Sim::Two(s), Some(g)) => s.simulate_with_guess(p_sys, g),
+            (Sim::Two(s), None) => s.simulate(p_sys),
+            (Sim::Four(s), Some(g)) => s.simulate_with_guess(p_sys, g),
+            (Sim::Four(s), None) => s.simulate(p_sys),
+        }
+    }
+
+    /// Pumping power at `p_sys` (Eq. (10)).
+    pub fn w_pump(&self, p_sys: Pascal) -> Watt {
+        self.flow.pumping_power(p_sys)
+    }
+
+    /// The pressure producing pumping power `w` (inverse of Eq. (10)).
+    pub fn pressure_for_power(&self, w: Watt) -> Pascal {
+        self.flow.pressure_for_power(w)
+    }
+
+    /// System fluid resistance `R_sys`.
+    pub fn system_resistance(&self) -> f64 {
+        self.flow.system_resistance()
+    }
+
+    /// Number of thermal solves performed so far (diagnostics; the paper's
+    /// speed argument is about keeping this small per network).
+    pub fn probe_count(&self) -> usize {
+        *self.probes.borrow()
+    }
+}
+
+impl std::fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Evaluator")
+            .field(
+                "model",
+                &match self.sim {
+                    Sim::Two(_) => "2RM",
+                    Sim::Four(_) => "4RM",
+                },
+            )
+            .field("probes", &self.probe_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolnet_grid::{tsv, Dir, GridDims};
+    use coolnet_network::builders::straight::{self, StraightParams};
+
+    fn setup() -> (Benchmark, CoolingNetwork) {
+        let dims = GridDims::new(21, 21);
+        let bench = Benchmark::iccad_scaled(1, dims);
+        let net = straight::build(
+            dims,
+            &tsv::alternating(dims),
+            Dir::East,
+            &StraightParams::default(),
+        )
+        .unwrap();
+        (bench, net)
+    }
+
+    #[test]
+    fn profile_improves_with_pressure() {
+        let (bench, net) = setup();
+        let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
+        let lo = ev.profile(Pascal::from_kilopascals(1.0)).unwrap();
+        let hi = ev.profile(Pascal::from_kilopascals(20.0)).unwrap();
+        assert!(hi.t_max < lo.t_max);
+        assert_eq!(ev.probe_count(), 2);
+    }
+
+    #[test]
+    fn w_pump_round_trip() {
+        let (bench, net) = setup();
+        let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
+        let p = Pascal::from_kilopascals(7.0);
+        let w = ev.w_pump(p);
+        assert!((ev.pressure_for_power(w).value() - p.value()).abs() / p.value() < 1e-9);
+    }
+
+    #[test]
+    fn four_rm_and_two_rm_agree_roughly() {
+        let (bench, net) = setup();
+        let p = Pascal::from_kilopascals(5.0);
+        let fast = Evaluator::new(&bench, &net, ModelChoice::TwoRm { m: 2 })
+            .unwrap()
+            .profile(p)
+            .unwrap();
+        let fine = Evaluator::new(&bench, &net, ModelChoice::FourRm)
+            .unwrap()
+            .profile(p)
+            .unwrap();
+        let rise_fast = fast.t_max.value() - 300.0;
+        let rise_fine = fine.t_max.value() - 300.0;
+        assert!(
+            (rise_fast - rise_fine).abs() / rise_fine < 0.3,
+            "2RM {rise_fast} vs 4RM {rise_fine}"
+        );
+    }
+}

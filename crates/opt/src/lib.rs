@@ -1,0 +1,62 @@
+//! Design optimization for liquid cooling networks: the paper's §4–§5.
+//!
+//! The crate implements the full two-level optimization framework of
+//! Algorithm 1:
+//!
+//! * **Inner level** — for a fixed network `N`, find the best system
+//!   pressure drop: [`psearch`] implements Algorithm 3 (the three-point
+//!   probe search over the uni-modal-or-decreasing `ΔT = f(P_sys)`), the
+//!   monotone binary search on `T_max = h(P_sys)`, and the golden-section
+//!   search used by Problem 2;
+//! * **Network evaluation** — [`netscore`] implements Algorithm 2
+//!   (pumping-power score `W'_pump`) and its Problem-2 counterpart
+//!   (minimum-`ΔT` score under a `W*_pump` budget);
+//! * **Outer level** — [`sa`] provides the parallel simulated-annealing
+//!   engine and [`treeopt`] the staged search over hierarchical tree-like
+//!   network parameters (§4.4, Table 1), including the Problem-2
+//!   adaptations of §5 (grouped iterations under a frozen pressure);
+//! * **Baselines** — [`baseline`] evaluates the straight-channel networks
+//!   of Tables 3–4 and the manual gallery standing in for the contest's
+//!   first place.
+//!
+//! # Examples
+//!
+//! End-to-end Problem 1 on a reduced benchmark:
+//!
+//! ```
+//! use coolnet_cases::Benchmark;
+//! use coolnet_grid::GridDims;
+//! use coolnet_opt::treeopt::{TreeSearch, TreeSearchOptions};
+//! use coolnet_opt::Problem;
+//!
+//! let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
+//! let mut opts = TreeSearchOptions::quick(1);
+//! opts.parallelism = 1;
+//! let result = TreeSearch::new(&bench, opts).run(Problem::PumpingPower);
+//! assert!(result.is_some());
+//! ```
+
+pub mod baseline;
+pub mod evaluate;
+pub mod netscore;
+pub mod psearch;
+pub mod result;
+pub mod runtime;
+pub mod widthmod;
+pub mod sa;
+pub mod treeopt;
+
+pub use evaluate::{Evaluator, ModelChoice, Profile};
+pub use netscore::{evaluate_problem1, evaluate_problem2, NetworkScore};
+pub use result::DesignResult;
+
+use serde::{Deserialize, Serialize};
+
+/// Which of the two §3 problem formulations is being solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Problem {
+    /// Problem 1: minimize `W_pump` subject to `ΔT*` and `T*_max`.
+    PumpingPower,
+    /// Problem 2: minimize `ΔT` subject to `W*_pump` and `T*_max`.
+    ThermalGradient,
+}

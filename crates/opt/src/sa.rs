@@ -1,0 +1,282 @@
+//! A parallel simulated-annealing engine (the outer level of Algorithm 1).
+//!
+//! The paper evaluates 64 neighboring solutions simultaneously per
+//! iteration on an 80-core server (§6); [`anneal`] reproduces that shape:
+//! each iteration draws `parallelism` neighbors, scores them on scoped
+//! threads, takes the best, and applies Metropolis acceptance against the
+//! incumbent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Options of one SA run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaOptions {
+    /// Number of iterations.
+    pub iterations: usize,
+    /// Neighbors evaluated in parallel per iteration.
+    pub parallelism: usize,
+    /// Initial Metropolis temperature, in objective units. `0.0` selects
+    /// an automatic value (a fraction of the initial cost).
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor per iteration, in `(0, 1)`.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaOptions {
+    /// 40 iterations, 8 parallel neighbors, auto temperature, 0.92 cooling.
+    fn default() -> Self {
+        Self {
+            iterations: 40,
+            parallelism: 8,
+            initial_temperature: 0.0,
+            cooling: 0.92,
+            seed: 1,
+        }
+    }
+}
+
+/// Metropolis acceptance state.
+#[derive(Debug, Clone)]
+pub struct Acceptor {
+    temperature: f64,
+    cooling: f64,
+    rng: StdRng,
+}
+
+impl Acceptor {
+    /// Creates an acceptor starting at `temperature`.
+    pub fn new(temperature: f64, cooling: f64, seed: u64) -> Self {
+        Self {
+            temperature: temperature.max(1e-12),
+            cooling,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Whether to accept a candidate of cost `candidate` over `current`,
+    /// then cools the temperature.
+    pub fn accept(&mut self, current: f64, candidate: f64) -> bool {
+        let accept = if candidate <= current {
+            true
+        } else if candidate.is_infinite() {
+            false
+        } else {
+            let delta = candidate - current;
+            self.rng.gen::<f64>() < (-delta / self.temperature).exp()
+        };
+        self.temperature = (self.temperature * self.cooling).max(1e-12);
+        accept
+    }
+
+    /// Current temperature.
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+}
+
+/// Evaluates `cost` over `items` on scoped threads, preserving order.
+pub fn parallel_map<S, C>(items: &[S], cost: C, threads: usize) -> Vec<f64>
+where
+    S: Sync,
+    C: Fn(&S) -> f64 + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&cost).collect();
+    }
+    let mut out = vec![f64::INFINITY; items.len()];
+    let chunk = items.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let cost = &cost;
+            scope.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = cost(item);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out
+}
+
+/// Runs simulated annealing from `init` (whose cost is `init_cost`).
+///
+/// `neighbor` draws a random neighbor of a state; `cost` scores a state
+/// (`+∞` marks infeasible states). Returns the best state seen and its
+/// cost.
+pub fn anneal<S, FN, FC>(
+    init: S,
+    init_cost: f64,
+    neighbor: FN,
+    cost: FC,
+    opts: &SaOptions,
+) -> (S, f64)
+where
+    S: Clone + Sync + Send,
+    FN: Fn(&S, &mut StdRng) -> S,
+    FC: Fn(&S) -> f64 + Sync,
+{
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let t0 = if opts.initial_temperature > 0.0 {
+        opts.initial_temperature
+    } else if init_cost.is_finite() && init_cost != 0.0 {
+        0.1 * init_cost.abs()
+    } else {
+        1.0
+    };
+    let mut acceptor = Acceptor::new(t0, opts.cooling, rng.gen());
+
+    let mut current = init.clone();
+    let mut current_cost = init_cost;
+    let mut best = init;
+    let mut best_cost = init_cost;
+
+    for _ in 0..opts.iterations {
+        let candidates: Vec<S> = (0..opts.parallelism.max(1))
+            .map(|_| neighbor(&current, &mut rng))
+            .collect();
+        let costs = parallel_map(&candidates, &cost, opts.parallelism);
+        let (k, &c) = costs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("cost must not be NaN"))
+            .expect("at least one candidate");
+        if acceptor.accept(current_cost, c) {
+            current = candidates[k].clone();
+            current_cost = c;
+            if c < best_cost {
+                best = current.clone();
+                best_cost = c;
+            }
+        }
+    }
+    (best, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy problem: minimize (x-17)² over integers via ±1 moves.
+    fn toy_cost(x: &i64) -> f64 {
+        let d = (*x - 17) as f64;
+        d * d
+    }
+
+    #[test]
+    fn anneal_finds_toy_minimum() {
+        let opts = SaOptions {
+            iterations: 200,
+            parallelism: 4,
+            initial_temperature: 50.0,
+            cooling: 0.97,
+            seed: 42,
+        };
+        let (best, cost) = anneal(
+            0i64,
+            toy_cost(&0),
+            |x, rng| x + if rng.gen::<bool>() { 1 } else { -1 },
+            toy_cost,
+            &opts,
+        );
+        assert_eq!(best, 17, "cost = {cost}");
+        assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn anneal_never_returns_worse_than_init_best() {
+        let opts = SaOptions {
+            iterations: 30,
+            seed: 7,
+            ..SaOptions::default()
+        };
+        let (_, cost) = anneal(
+            16i64,
+            toy_cost(&16),
+            |x, rng| x + rng.gen_range(-3..=3),
+            toy_cost,
+            &opts,
+        );
+        assert!(cost <= toy_cost(&16));
+    }
+
+    #[test]
+    fn infinite_costs_are_never_accepted() {
+        let opts = SaOptions {
+            iterations: 50,
+            parallelism: 2,
+            initial_temperature: 1e9,
+            cooling: 1.0 - 1e-12,
+            seed: 3,
+        };
+        // All neighbors are infeasible; the incumbent must survive.
+        let (best, cost) = anneal(
+            5i64,
+            toy_cost(&5),
+            |_, _| 999,
+            |x| if *x == 999 { f64::INFINITY } else { toy_cost(x) },
+            &opts,
+        );
+        assert_eq!(best, 5);
+        assert!(cost.is_finite());
+    }
+
+    #[test]
+    fn acceptor_always_takes_improvements() {
+        let mut a = Acceptor::new(1.0, 0.9, 1);
+        assert!(a.accept(10.0, 5.0));
+        assert!(a.accept(10.0, 10.0));
+    }
+
+    #[test]
+    fn acceptor_cools() {
+        let mut a = Acceptor::new(8.0, 0.5, 1);
+        a.accept(1.0, 0.5);
+        a.accept(1.0, 0.5);
+        assert!((a.temperature() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceptor_rarely_takes_big_regressions_when_cold() {
+        let mut a = Acceptor::new(1e-6, 1.0 - 1e-9, 2);
+        let accepted = (0..1000).filter(|_| a.accept(1.0, 2.0)).count();
+        assert_eq!(accepted, 0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<i64> = (0..37).collect();
+        let costs = parallel_map(&items, |x| (*x * 2) as f64, 4);
+        for (i, c) in costs.iter().enumerate() {
+            assert_eq!(*c, (i * 2) as f64);
+        }
+    }
+
+    #[test]
+    fn parallel_map_single_thread_fallback() {
+        let items = vec![1i64, 2, 3];
+        assert_eq!(parallel_map(&items, |x| *x as f64, 1), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let opts = SaOptions {
+            iterations: 60,
+            seed: 11,
+            ..SaOptions::default()
+        };
+        let run = || {
+            anneal(
+                0i64,
+                toy_cost(&0),
+                |x, rng| x + rng.gen_range(-2..=2),
+                toy_cost,
+                &opts,
+            )
+        };
+        assert_eq!(run().0, run().0);
+    }
+}

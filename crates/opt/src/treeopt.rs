@@ -1,0 +1,636 @@
+//! Staged SA search over hierarchical tree-like networks (§4.4, §5).
+//!
+//! Each tree contributes two parameters — the branch positions `(b1, b2)` —
+//! and the search perturbs them per tree with stage-dependent step sizes.
+//! Stages follow the paper's Table 1 shape: early stages are rough and
+//! cheap (fixed-pressure `ΔT` cost, many rounds, 2RM), later stages use
+//! the full network evaluation and finally the 4RM model. All global flow
+//! directions are attempted and the best kept (§4.4); the three branch
+//! types are chosen by the caller to fit the chip size.
+
+use crate::evaluate::{Evaluator, ModelChoice};
+use crate::netscore::{evaluate_problem1, evaluate_problem2, NetworkScore};
+use crate::psearch::PressureSearchOptions;
+use crate::result::DesignResult;
+use crate::sa::{parallel_map, Acceptor};
+use crate::Problem;
+use coolnet_cases::Benchmark;
+use coolnet_network::builders::tree::{self, BranchStyle, TreeConfig, TreeParams};
+use coolnet_network::builders::GlobalFlow;
+use coolnet_network::CoolingNetwork;
+use coolnet_units::Pascal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The cost metric of one SA stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageMetric {
+    /// `ΔT` under a frozen `P_sys` — a single simulation per candidate
+    /// (stage 1 of the Problem-1 schedule).
+    FixedPressureGradient,
+    /// The full network evaluation (`W'_pump` or minimum `ΔT`).
+    Full,
+}
+
+/// One stage of the staged schedule (the paper's Table 1 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// SA iterations per round.
+    pub iterations: usize,
+    /// Independent rounds (different seeds); round winners are re-scored
+    /// with the next stage's metric and the best one seeds it.
+    pub rounds: usize,
+    /// Branch-position move step in basic cells (kept even).
+    pub step: u16,
+    /// Thermal model for this stage.
+    pub model: ModelChoice,
+    /// Cost metric.
+    pub metric: StageMetric,
+    /// Problem-2 grouping: every `group`-th iteration re-runs the full
+    /// evaluation and freezes its optimal pressure for the rest of the
+    /// group (§5, adaptation 2). `1` disables grouping.
+    pub group: usize,
+}
+
+/// Options of the tree-network search.
+#[derive(Debug, Clone)]
+pub struct TreeSearchOptions {
+    /// Stage schedule.
+    pub stages: Vec<Stage>,
+    /// Global flow directions to attempt.
+    pub flows: Vec<GlobalFlow>,
+    /// Branch style (chosen "manually to fit the chip size").
+    pub style: BranchStyle,
+    /// Number of trees; `0` selects the maximum that fits.
+    pub num_trees: usize,
+    /// Neighbors evaluated in parallel per iteration.
+    pub parallelism: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Pressure-search options used by the inner evaluations.
+    pub psearch: PressureSearchOptions,
+}
+
+impl TreeSearchOptions {
+    /// The paper's Problem-1 schedule: 60/40/40/30 iterations over
+    /// 8/4/2/1 rounds; large steps then small; 2RM until the final 4RM
+    /// stage (§6).
+    pub fn paper_problem1(seed: u64) -> Self {
+        let two = ModelChoice::fast();
+        Self {
+            stages: vec![
+                Stage {
+                    iterations: 60,
+                    rounds: 8,
+                    step: 8,
+                    model: two,
+                    metric: StageMetric::FixedPressureGradient,
+                    group: 1,
+                },
+                Stage {
+                    iterations: 40,
+                    rounds: 4,
+                    step: 8,
+                    model: two,
+                    metric: StageMetric::Full,
+                    group: 1,
+                },
+                Stage {
+                    iterations: 40,
+                    rounds: 2,
+                    step: 2,
+                    model: two,
+                    metric: StageMetric::Full,
+                    group: 1,
+                },
+                Stage {
+                    iterations: 30,
+                    rounds: 1,
+                    step: 2,
+                    model: ModelChoice::FourRm,
+                    metric: StageMetric::Full,
+                    group: 1,
+                },
+            ],
+            flows: GlobalFlow::ALL.to_vec(),
+            style: BranchStyle::Binary,
+            num_trees: 0,
+            parallelism: 8,
+            seed,
+            psearch: PressureSearchOptions::default(),
+        }
+    }
+
+    /// The paper's Problem-2 schedule: 80/20/20 iterations over 8/2/1
+    /// rounds with grouped evaluations; 4RM already in the last two stages
+    /// thanks to the grouping speed-up (§5, §6).
+    pub fn paper_problem2(seed: u64) -> Self {
+        let two = ModelChoice::fast();
+        Self {
+            stages: vec![
+                Stage {
+                    iterations: 80,
+                    rounds: 8,
+                    step: 8,
+                    model: two,
+                    metric: StageMetric::Full,
+                    group: 5,
+                },
+                Stage {
+                    iterations: 20,
+                    rounds: 2,
+                    step: 2,
+                    model: two,
+                    metric: StageMetric::Full,
+                    group: 5,
+                },
+                Stage {
+                    iterations: 20,
+                    rounds: 1,
+                    step: 2,
+                    model: ModelChoice::FourRm,
+                    metric: StageMetric::Full,
+                    group: 5,
+                },
+            ],
+            flows: GlobalFlow::ALL.to_vec(),
+            style: BranchStyle::Binary,
+            num_trees: 0,
+            parallelism: 8,
+            seed,
+            psearch: PressureSearchOptions::default(),
+        }
+    }
+
+    /// A mid-effort schedule for the reduced-scale experiment harness:
+    /// the paper's four-stage structure with fewer iterations/rounds, a
+    /// 4RM final stage, and `group` set for Problem-2 style runs.
+    pub fn reduced(seed: u64) -> Self {
+        let two = ModelChoice::fast();
+        Self {
+            stages: vec![
+                Stage {
+                    iterations: 16,
+                    rounds: 4,
+                    step: 8,
+                    model: two,
+                    metric: StageMetric::FixedPressureGradient,
+                    group: 1,
+                },
+                Stage {
+                    iterations: 12,
+                    rounds: 2,
+                    step: 4,
+                    model: two,
+                    metric: StageMetric::Full,
+                    group: 4,
+                },
+                Stage {
+                    iterations: 8,
+                    rounds: 1,
+                    step: 2,
+                    model: two,
+                    metric: StageMetric::Full,
+                    group: 4,
+                },
+                Stage {
+                    iterations: 6,
+                    rounds: 1,
+                    step: 2,
+                    model: ModelChoice::FourRm,
+                    metric: StageMetric::Full,
+                    group: 4,
+                },
+            ],
+            flows: GlobalFlow::ALL.to_vec(),
+            style: BranchStyle::Binary,
+            num_trees: 0,
+            parallelism: 4,
+            seed,
+            psearch: PressureSearchOptions {
+                rel_tol: 0.02,
+                max_probes: 60,
+                ..PressureSearchOptions::default()
+            },
+        }
+    }
+
+    /// A heavily reduced schedule for tests and smoke runs.
+    pub fn quick(seed: u64) -> Self {
+        let two = ModelChoice::fast();
+        Self {
+            stages: vec![
+                Stage {
+                    iterations: 5,
+                    rounds: 2,
+                    step: 4,
+                    model: two,
+                    metric: StageMetric::FixedPressureGradient,
+                    group: 1,
+                },
+                Stage {
+                    iterations: 4,
+                    rounds: 1,
+                    step: 2,
+                    model: two,
+                    metric: StageMetric::Full,
+                    group: 2,
+                },
+            ],
+            flows: vec![GlobalFlow::WestToEast, GlobalFlow::SouthToNorth],
+            style: BranchStyle::Binary,
+            num_trees: 0,
+            parallelism: 2,
+            seed,
+            psearch: PressureSearchOptions {
+                rel_tol: 0.05,
+                max_probes: 30,
+                ..PressureSearchOptions::default()
+            },
+        }
+    }
+}
+
+/// The staged tree-network search (the outer level of Algorithm 1).
+#[derive(Debug)]
+pub struct TreeSearch<'a> {
+    bench: &'a Benchmark,
+    opts: TreeSearchOptions,
+}
+
+impl<'a> TreeSearch<'a> {
+    /// Creates a search over `bench` with the given options.
+    pub fn new(bench: &'a Benchmark, opts: TreeSearchOptions) -> Self {
+        Self { bench, opts }
+    }
+
+    /// Runs the search for `problem`; returns the best feasible design
+    /// measured with the final stage's model, or `None` if no feasible
+    /// tree-like network was found (the paper's case-5 situation).
+    pub fn run(&self, problem: Problem) -> Option<DesignResult> {
+        let mut best: Option<DesignResult> = None;
+        for (fi, &flow) in self.opts.flows.iter().enumerate() {
+            let Some(result) = self.run_flow(problem, flow, fi as u64) else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => result.objective(problem) < b.objective(problem),
+            };
+            if better {
+                best = Some(result);
+            }
+        }
+        best
+    }
+
+    /// The along-axis length for a flow direction.
+    fn along_len(&self, flow: GlobalFlow) -> u16 {
+        if flow.axis().is_horizontal() {
+            self.bench.dims.width()
+        } else {
+            self.bench.dims.height()
+        }
+    }
+
+    fn initial_config(&self, flow: GlobalFlow) -> Option<TreeConfig> {
+        let num_trees = if self.opts.num_trees == 0 {
+            TreeConfig::max_trees(self.bench.dims, flow, self.opts.style)
+        } else {
+            self.opts.num_trees
+        };
+        if num_trees == 0 {
+            return None;
+        }
+        let along = self.along_len(flow) as i32;
+        let b1 = clamp_even(along / 3, 2, along - 6);
+        let b2 = clamp_even(2 * along / 3, b1 + 2, along - 4);
+        Some(TreeConfig::uniform(
+            flow,
+            self.opts.style,
+            num_trees,
+            b1 as u16,
+            b2 as u16,
+        ))
+    }
+
+    fn build(&self, config: &TreeConfig) -> Option<CoolingNetwork> {
+        tree::build(self.bench.dims, &self.bench.tsv, &self.bench.restricted, config).ok()
+    }
+
+    /// Scores a configuration. `fixed_p` selects the single-simulation
+    /// fixed-pressure metric; otherwise the full evaluation runs.
+    fn cost(
+        &self,
+        problem: Problem,
+        model: ModelChoice,
+        config: &TreeConfig,
+        fixed_p: Option<Pascal>,
+    ) -> f64 {
+        let Some(net) = self.build(config) else {
+            return f64::INFINITY;
+        };
+        let Ok(ev) = Evaluator::new(self.bench, &net, model) else {
+            return f64::INFINITY;
+        };
+        match fixed_p {
+            Some(p) => match ev.profile(p) {
+                Ok(profile) => profile.delta_t.value(),
+                Err(_) => f64::INFINITY,
+            },
+            None => self.full_score(problem, &ev).map_or(f64::INFINITY, |s| s.objective()),
+        }
+    }
+
+    fn full_score(&self, problem: Problem, ev: &Evaluator) -> Option<NetworkScore> {
+        match problem {
+            Problem::PumpingPower => evaluate_problem1(
+                ev,
+                self.bench.delta_t_limit,
+                self.bench.t_max_limit,
+                &self.opts.psearch,
+            )
+            .ok(),
+            Problem::ThermalGradient => evaluate_problem2(
+                ev,
+                self.bench.w_pump_limit(),
+                self.bench.t_max_limit,
+                &self.opts.psearch,
+            )
+            .ok(),
+        }
+    }
+
+    /// Full evaluation returning `(objective, optimal pressure)`.
+    fn full_eval(
+        &self,
+        problem: Problem,
+        model: ModelChoice,
+        config: &TreeConfig,
+    ) -> (f64, Option<Pascal>) {
+        let Some(net) = self.build(config) else {
+            return (f64::INFINITY, None);
+        };
+        let Ok(ev) = Evaluator::new(self.bench, &net, model) else {
+            return (f64::INFINITY, None);
+        };
+        match self.full_score(problem, &ev) {
+            Some(NetworkScore::Feasible {
+                p_sys, objective, ..
+            }) => (objective, Some(p_sys)),
+            _ => (f64::INFINITY, None),
+        }
+    }
+
+    fn perturb(&self, config: &TreeConfig, step: u16, rng: &mut StdRng) -> TreeConfig {
+        let along = self.along_len(config.flow) as i32;
+        let step = step.max(2) as i32;
+        let mut c = config.clone();
+        for t in &mut c.trees {
+            // Each parameter moves by ±step or stays, with equal
+            // probability (§4.4 move description).
+            if rng.gen::<bool>() {
+                let d = if rng.gen::<bool>() { step } else { -step };
+                t.b1 = clamp_even(t.b1 as i32 + d, 2, t.b2 as i32 - 2) as u16;
+            }
+            if rng.gen::<bool>() {
+                let d = if rng.gen::<bool>() { step } else { -step };
+                t.b2 = clamp_even(t.b2 as i32 + d, t.b1 as i32 + 2, along - 4) as u16;
+            }
+        }
+        c
+    }
+
+    fn run_flow(&self, problem: Problem, flow: GlobalFlow, flow_seed: u64) -> Option<DesignResult> {
+        let mut current = self.initial_config(flow)?;
+        // Reject flows whose uniform initialization cannot even be drawn.
+        self.build(&current)?;
+
+        for (si, stage) in self.opts.stages.iter().enumerate() {
+            let mut round_winners: Vec<(TreeConfig, f64)> = Vec::new();
+            for round in 0..stage.rounds {
+                let seed = self
+                    .opts
+                    .seed
+                    .wrapping_mul(0x9E37)
+                    .wrapping_add(flow_seed * 1000 + (si * 64 + round) as u64);
+                let winner = self.run_stage_round(problem, stage, &current, seed);
+                round_winners.push(winner);
+            }
+            // Re-evaluate round winners with the *next* stage's metric/model
+            // (or this stage's, for the last stage) and pick the best.
+            let next = self.opts.stages.get(si + 1).copied().unwrap_or(*stage);
+            let rescored = parallel_map(
+                &round_winners,
+                |(config, own_cost)| match next.metric {
+                    StageMetric::Full => self.full_eval(problem, next.model, config).0,
+                    StageMetric::FixedPressureGradient => *own_cost,
+                },
+                self.opts.parallelism,
+            );
+            let best_idx = rescored
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN costs"))
+                .map(|(i, _)| i)
+                .expect("at least one round");
+            current = round_winners[best_idx].0.clone();
+            // If a fully-evaluated stage ends with every round infeasible,
+            // later (more expensive) stages will not rescue this flow
+            // direction; bail out early (this is how the case-5 "SA cannot
+            // find a feasible solution" outcome resolves quickly).
+            if stage.metric == StageMetric::Full
+                && round_winners.iter().all(|(_, c)| c.is_infinite())
+                && rescored.iter().all(|c| c.is_infinite())
+            {
+                return None;
+            }
+        }
+
+        // Final measurement with the last stage's model (paper: stage 4 is
+        // 4RM, so the reported numbers come from the accurate model).
+        let final_model = self.opts.stages.last().map_or(ModelChoice::FourRm, |s| s.model);
+        let net = self.build(&current)?;
+        DesignResult::measure_with_model(
+            self.bench,
+            &net,
+            problem,
+            format!("tree-like SA ({flow})"),
+            &self.opts.psearch,
+            final_model,
+        )
+        .ok()
+        .flatten()
+    }
+
+    /// One SA round of one stage.
+    fn run_stage_round(
+        &self,
+        problem: Problem,
+        stage: &Stage,
+        init: &TreeConfig,
+        seed: u64,
+    ) -> (TreeConfig, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Fixed pressure for cheap metrics: from a full evaluation of the
+        // initial configuration (fallback: the search default).
+        let mut fixed_p = match stage.metric {
+            StageMetric::FixedPressureGradient => {
+                let (_, p) = self.full_eval(problem, stage.model, init);
+                Some(p.unwrap_or(Pascal::new(self.opts.psearch.p_init)))
+            }
+            StageMetric::Full => None,
+        };
+
+        let init_cost = self.cost(problem, stage.model, init, fixed_p);
+        let t0 = if init_cost.is_finite() && init_cost != 0.0 {
+            0.1 * init_cost.abs()
+        } else {
+            1.0
+        };
+        let mut acceptor = Acceptor::new(t0, 0.92, rng.gen());
+
+        let mut current = init.clone();
+        let mut current_cost = init_cost;
+        let mut best = init.clone();
+        let mut best_cost = init_cost;
+
+        for it in 0..stage.iterations {
+            // Problem-2 grouping: refresh the frozen pressure from a full
+            // evaluation of the incumbent at each group boundary.
+            if stage.metric == StageMetric::Full && stage.group > 1
+                && it % stage.group == 0 {
+                    let (cost, p) = self.full_eval(problem, stage.model, &current);
+                    current_cost = cost;
+                    fixed_p = p;
+                    if cost < best_cost {
+                        best = current.clone();
+                        best_cost = cost;
+                    }
+                }
+            let use_fixed = match stage.metric {
+                StageMetric::FixedPressureGradient => fixed_p,
+                StageMetric::Full if stage.group > 1 && it % stage.group != 0 => fixed_p,
+                StageMetric::Full => None,
+            };
+            let candidates: Vec<TreeConfig> = (0..self.opts.parallelism.max(1))
+                .map(|_| self.perturb(&current, stage.step, &mut rng))
+                .collect();
+            let costs = parallel_map(
+                &candidates,
+                |c| self.cost(problem, stage.model, c, use_fixed),
+                self.opts.parallelism,
+            );
+            let (k, &c) = costs
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN costs"))
+                .expect("candidates nonempty");
+            if acceptor.accept(current_cost, c) {
+                current = candidates[k].clone();
+                current_cost = c;
+                if c < best_cost {
+                    best = current.clone();
+                    best_cost = c;
+                }
+            }
+        }
+        (best, best_cost)
+    }
+}
+
+fn clamp_even(v: i32, lo: i32, hi: i32) -> i32 {
+    let v = v.clamp(lo, hi.max(lo));
+    if v % 2 == 0 {
+        v
+    } else if v < hi {
+        v + 1
+    } else {
+        v - 1
+    }
+}
+
+/// Re-exported tree parameter type for harness configuration.
+pub type TreeParameters = TreeParams;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolnet_grid::GridDims;
+
+    #[test]
+    fn clamp_even_behaves() {
+        assert_eq!(clamp_even(7, 2, 20), 8);
+        assert_eq!(clamp_even(21, 2, 20), 20);
+        assert_eq!(clamp_even(1, 2, 20), 2);
+        assert_eq!(clamp_even(19, 2, 19), 18);
+    }
+
+    #[test]
+    fn quick_search_solves_problem1_on_small_case() {
+        let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
+        let mut opts = TreeSearchOptions::quick(3);
+        opts.parallelism = 2;
+        let result = TreeSearch::new(&bench, opts)
+            .run(Problem::PumpingPower)
+            .expect("a feasible tree network must exist for case 1");
+        assert!(result.delta_t.value() <= bench.delta_t_limit.value() * 1.05);
+        assert!(result.w_pump.value() > 0.0);
+        assert!(result.label.contains("tree-like"));
+    }
+
+    #[test]
+    fn quick_search_solves_problem2_on_small_case() {
+        let bench = Benchmark::iccad_scaled(2, GridDims::new(21, 21));
+        let mut opts = TreeSearchOptions::quick(5);
+        opts.parallelism = 2;
+        opts.flows = vec![GlobalFlow::WestToEast];
+        let result = TreeSearch::new(&bench, opts)
+            .run(Problem::ThermalGradient)
+            .expect("a feasible tree network must exist for case 2");
+        assert!(result.w_pump.value() <= bench.w_pump_limit().value() * 1.01);
+    }
+
+    #[test]
+    fn perturbation_keeps_parameters_legal() {
+        let bench = Benchmark::iccad_scaled(1, GridDims::new(31, 31));
+        let opts = TreeSearchOptions::quick(1);
+        let search = TreeSearch::new(&bench, opts);
+        let init = search.initial_config(GlobalFlow::WestToEast).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut c = init;
+        for _ in 0..200 {
+            c = search.perturb(&c, 4, &mut rng);
+            for t in &c.trees {
+                assert!(t.b1 % 2 == 0 && t.b2 % 2 == 0);
+                assert!(t.b1 < t.b2);
+                assert!((t.b2 as i32) < 31 - 1);
+            }
+            assert!(search.build(&c).is_some(), "perturbed config must build");
+        }
+    }
+
+    #[test]
+    fn paper_schedules_have_documented_shape() {
+        let p1 = TreeSearchOptions::paper_problem1(0);
+        assert_eq!(
+            p1.stages.iter().map(|s| s.iterations).collect::<Vec<_>>(),
+            vec![60, 40, 40, 30]
+        );
+        assert_eq!(
+            p1.stages.iter().map(|s| s.rounds).collect::<Vec<_>>(),
+            vec![8, 4, 2, 1]
+        );
+        assert_eq!(p1.stages[3].model, ModelChoice::FourRm);
+        let p2 = TreeSearchOptions::paper_problem2(0);
+        assert_eq!(
+            p2.stages.iter().map(|s| s.iterations).collect::<Vec<_>>(),
+            vec![80, 20, 20]
+        );
+        assert_eq!(
+            p2.stages.iter().map(|s| s.rounds).collect::<Vec<_>>(),
+            vec![8, 2, 1]
+        );
+        assert!(p2.stages.iter().all(|s| s.group > 1));
+    }
+}

@@ -1,0 +1,173 @@
+//! Coordinate-format (triplet) assembly.
+
+use crate::csr::CsrMatrix;
+
+/// Incremental builder for sparse matrices in coordinate (COO) format.
+///
+/// Finite-volume assembly of the conductance matrices `G` (Eq. (3)) and the
+/// thermal systems (Eqs. (4)–(6)) naturally produces one triplet per
+/// cell-to-neighbor coupling; duplicates at the same `(row, col)` are summed
+/// when converting to CSR, so assembly code can simply `add` every
+/// contribution independently.
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_sparse::TripletBuilder;
+/// let mut b = TripletBuilder::new(2, 2);
+/// b.add(0, 0, 1.0);
+/// b.add(0, 0, 2.0); // accumulates
+/// let m = b.to_csr();
+/// assert_eq!(m.get(0, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TripletBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl TripletBuilder {
+    /// Creates a builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with pre-allocated capacity for `nnz` triplets.
+    pub fn with_capacity(rows: usize, cols: usize, nnz: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows of the matrix under construction.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the matrix under construction.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (pre-accumulation) triplets added so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no triplets have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds `value` at `(row, col)`. Repeated additions at the same position
+    /// accumulate. Zero values are skipped (they carry no information for
+    /// the conductance matrices built here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "triplet ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        if value != 0.0 {
+            self.entries.push((row as u32, col as u32, value));
+        }
+    }
+
+    /// Adds a graph-Laplacian coupling between unknowns `i` and `j`:
+    /// `+value` on the two diagonal entries and `-value` on the two
+    /// off-diagonal entries.
+    ///
+    /// This is the assembly pattern for every conductance `g` between two
+    /// unknowns `i != j`: conservation at `i` gives `g·(P_i - P_j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds or `i == j`.
+    pub fn add_conductance(&mut self, i: usize, j: usize, value: f64) {
+        assert_ne!(i, j, "conductance must couple two distinct unknowns");
+        self.add(i, i, value);
+        self.add(j, j, value);
+        self.add(i, j, -value);
+        self.add(j, i, -value);
+    }
+
+    /// Converts to CSR, accumulating duplicate positions and dropping any
+    /// entries that cancel to exactly zero.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CsrMatrix::from_triplets(self.rows, self.cols, &self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_accumulate() {
+        let mut b = TripletBuilder::new(3, 3);
+        b.add(1, 2, 1.5);
+        b.add(1, 2, 2.5);
+        b.add(0, 0, 1.0);
+        let m = b.to_csr();
+        assert_eq!(m.get(1, 2), 4.0);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn zeros_are_skipped() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 1, 0.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn cancelling_entries_are_dropped() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 1, 1.0);
+        b.add(0, 1, -1.0);
+        b.add(1, 1, 2.0);
+        let m = b.to_csr();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn conductance_stencil() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add_conductance(0, 1, 3.0);
+        let m = b.to_csr();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 1), 3.0);
+        assert_eq!(m.get(0, 1), -3.0);
+        assert_eq!(m.get(1, 0), -3.0);
+        // Row sums of a pure Laplacian are zero.
+        assert!(m.row_sum(0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(2, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn conductance_rejects_self_loop() {
+        let mut b = TripletBuilder::new(2, 2);
+        b.add_conductance(1, 1, 1.0);
+    }
+}

@@ -1,0 +1,396 @@
+//! Compressed sparse row (CSR) matrices.
+
+use crate::dense::DenseMatrix;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Construct via [`TripletBuilder`](crate::TripletBuilder) (assembly) or
+/// [`CsrMatrix::from_triplets`]. Column indices within each row are sorted
+/// and unique.
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_sparse::CsrMatrix;
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 1, 3.0), (0, 1, 1.0)]);
+/// let y = m.mul_vec(&[1.0, 1.0]);
+/// assert_eq!(y, vec![3.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets, accumulating
+    /// duplicates and dropping entries that cancel to exactly zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(
+                (r as usize) < rows && (c as usize) < cols,
+                "triplet ({r}, {c}) out of bounds for {rows}x{cols} matrix"
+            );
+        }
+        // Count entries per row (with duplicates), bucket, then sort+merge
+        // each row. This is O(nnz log nnz_row) without a global sort.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut bucket_col: Vec<u32> = vec![0; triplets.len()];
+        let mut bucket_val: Vec<f64> = vec![0.0; triplets.len()];
+        let mut next = counts.clone();
+        for &(r, c, v) in triplets {
+            let slot = next[r as usize];
+            bucket_col[slot] = c;
+            bucket_val[slot] = v;
+            next[r as usize] += 1;
+        }
+
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        row_ptr.push(0);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for r in 0..rows {
+            scratch.clear();
+            scratch.extend(
+                bucket_col[counts[r]..counts[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(bucket_val[counts[r]..counts[r + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut sum = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    sum += scratch[i].1;
+                    i += 1;
+                }
+                if sum != 0.0 {
+                    col_idx.push(c);
+                    values.push(sum);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the value at `(row, col)` (zero if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let (cols, vals) = self.row(row);
+        match cols.binary_search(&(col as u32)) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Returns the column indices and values of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Sum of the stored values in `row`.
+    pub fn row_sum(&self, row: usize) -> f64 {
+        self.row(row).1.iter().sum()
+    }
+
+    /// Extracts the diagonal as a dense vector (missing entries are zero).
+    pub fn diagonal(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product writing into an existing buffer (avoids the
+    /// per-iteration allocation inside Krylov loops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "x has wrong length");
+        assert_eq!(y.len(), self.rows, "y has wrong length");
+        #[allow(clippy::needless_range_loop)] // r indexes row_ptr windows too
+        for r in 0..self.rows {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Returns `‖b - A·x‖₂`, the 2-norm of the residual.
+    pub fn residual_norm(&self, x: &[f64], b: &[f64]) -> f64 {
+        let ax = self.mul_vec(x);
+        ax.iter()
+            .zip(b)
+            .map(|(axi, bi)| (bi - axi) * (bi - axi))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let triplets: Vec<(u32, u32, f64)> = self
+            .iter()
+            .map(|(r, c, v)| (c as u32, r as u32, v))
+            .collect();
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Returns `true` if the matrix is structurally and numerically symmetric
+    /// to within `tol` (relative to the largest entry magnitude).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let scale = self
+            .values
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1e-300);
+        let t = self.transpose();
+        if t.nnz() != self.nnz() {
+            return false;
+        }
+        self.iter()
+            .zip(t.iter())
+            .all(|((r1, c1, v1), (r2, c2, v2))| {
+                r1 == r2 && c1 == c2 && (v1 - v2).abs() <= tol * scale
+            })
+    }
+
+    /// Iterates over stored entries as `(row, col, value)` in row-major order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            matrix: self,
+            row: 0,
+            pos: 0,
+        }
+    }
+
+    /// Converts to a dense matrix (intended for tests and tiny systems).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            d[(r, c)] = v;
+        }
+        d
+    }
+
+    /// Estimated infinity-norm condition diagnostics: returns the min and max
+    /// absolute diagonal entry. Useful for spotting near-singular assemblies
+    /// before handing the system to a Krylov solver.
+    pub fn diagonal_range(&self) -> (f64, f64) {
+        let diag = self.diagonal();
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for d in diag {
+            lo = lo.min(d.abs());
+            hi = hi.max(d.abs());
+        }
+        (lo, hi)
+    }
+}
+
+/// Iterator over stored entries of a [`CsrMatrix`]; see [`CsrMatrix::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    matrix: &'a CsrMatrix,
+    row: usize,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = (usize, usize, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.row < self.matrix.rows {
+            if self.pos < self.matrix.row_ptr[self.row + 1] {
+                let k = self.pos;
+                self.pos += 1;
+                return Some((
+                    self.row,
+                    self.matrix.col_idx[k] as usize,
+                    self.matrix.values[k],
+                ));
+            }
+            self.row += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [2 1 0]
+        // [0 3 0]
+        // [4 0 5]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 0, 2.0), (0, 1, 1.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.mul_vec(&x), vec![4.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn get_and_row_access() {
+        let m = sample();
+        assert_eq!(m.get(2, 0), 4.0);
+        assert_eq!(m.get(1, 0), 0.0);
+        let (cols, vals) = m.row(0);
+        assert_eq!(cols, &[0, 1]);
+        assert_eq!(vals, &[2.0, 1.0]);
+        assert_eq!(m.row_sum(2), 9.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let sym = CsrMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)],
+        );
+        assert!(sym.is_symmetric(1e-12));
+        assert!(!sample().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = CsrMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.mul_vec(&x), x.to_vec());
+        assert!(i.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn diagonal_and_range() {
+        let m = sample();
+        assert_eq!(m.diagonal(), vec![2.0, 3.0, 5.0]);
+        assert_eq!(m.diagonal_range(), (2.0, 5.0));
+    }
+
+    #[test]
+    fn iter_visits_row_major_sorted() {
+        let m = sample();
+        let entries: Vec<_> = m.iter().collect();
+        assert_eq!(
+            entries,
+            vec![
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn to_dense_matches() {
+        let d = sample().to_dense();
+        assert_eq!(d[(2, 2)], 5.0);
+        assert_eq!(d[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn residual_norm_zero_for_exact_solution() {
+        let m = CsrMatrix::identity(3);
+        let b = [1.0, 2.0, 3.0];
+        assert!(m.residual_norm(&b, &b) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_triplets_rejects_out_of_bounds() {
+        CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Small dense matrices with an LU direct solver.
+//!
+//! The Krylov solvers in [`crate::solve`] handle the production-size systems;
+//! this dense path is the *reference* implementation used by unit and
+//! property tests, and by callers whose systems are tiny (a few hundred
+//! unknowns) where a direct solve is simpler and exact.
+
+use crate::solve::SolveError;
+use std::ops::{Index, IndexMut};
+
+/// A row-major dense matrix.
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_sparse::DenseMatrix;
+/// # fn main() -> Result<(), coolnet_sparse::SolveError> {
+/// let mut a = DenseMatrix::zeros(2, 2);
+/// a[(0, 0)] = 2.0;
+/// a[(1, 1)] = 4.0;
+/// let x = a.solve(&[2.0, 8.0])?;
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "x has wrong length");
+        (0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self.data[r * self.cols + c] * x[c])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Solves `A·x = b` by LU decomposition with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Singular`] if a pivot underflows, and
+    /// [`SolveError::DimensionMismatch`] if the matrix is not square or `b`
+    /// has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        if self.rows != self.cols {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.rows,
+                actual: self.cols,
+            });
+        }
+        if b.len() != self.rows {
+            return Err(SolveError::DimensionMismatch {
+                expected: self.rows,
+                actual: b.len(),
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut x = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        #[allow(clippy::needless_range_loop)] // permutation indexing is clearer by row
+        for k in 0..n {
+            // Partial pivot.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[perm[k] * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[perm[r] * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(SolveError::Singular { pivot: k });
+            }
+            perm.swap(k, pivot_row);
+            let pk = perm[k];
+            let pivot = lu[pk * n + k];
+            for r in (k + 1)..n {
+                let pr = perm[r];
+                let factor = lu[pr * n + k] / pivot;
+                lu[pr * n + k] = factor;
+                for c in (k + 1)..n {
+                    lu[pr * n + c] -= factor * lu[pk * n + c];
+                }
+            }
+        }
+
+        // Forward substitution (apply permutation to b).
+        let mut y = vec![0.0; n];
+        #[allow(clippy::needless_range_loop)] // r walks y and perm in lockstep
+        for r in 0..n {
+            let pr = perm[r];
+            let mut acc = x[pr];
+            for c in 0..r {
+                acc -= lu[pr * n + c] * y[c];
+            }
+            y[r] = acc;
+        }
+        // Back substitution.
+        for r in (0..n).rev() {
+            let pr = perm[r];
+            let mut acc = y[r];
+            for c in (r + 1)..n {
+                acc -= lu[pr * n + c] * x[c];
+            }
+            x[r] = acc / lu[pr * n + r];
+        }
+        Ok(x)
+    }
+}
+
+impl Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for DenseMatrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // [3 1; 1 2] x = [9; 8] => x = [2; 3]
+        let a = DenseMatrix::from_rows(2, 2, &[3.0, 1.0, 1.0, 2.0]);
+        let x = a.solve(&[9.0, 8.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        // Leading entry zero requires a row swap.
+        let a = DenseMatrix::from_rows(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[5.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 5.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        match a.solve(&[1.0, 2.0]) {
+            Err(SolveError::Singular { .. }) => {}
+            other => panic!("expected Singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+        let b = DenseMatrix::identity(2);
+        assert!(matches!(
+            b.solve(&[1.0]),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_inverts_mul() {
+        let a = DenseMatrix::from_rows(3, 3, &[4.0, 1.0, 0.0, 1.0, 5.0, 2.0, 0.0, 2.0, 6.0]);
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let mut m = DenseMatrix::zeros(2, 2);
+        m[(0, 1)] = 9.0;
+        assert_eq!(m[(0, 1)], 9.0);
+        assert_eq!(m[(1, 0)], 0.0);
+    }
+}

@@ -1,0 +1,705 @@
+//! Krylov solvers: preconditioned CG and BiCGSTAB.
+
+use crate::csr::CsrMatrix;
+use crate::ops::{axpy, dot, norm2, xpby};
+use crate::precond::Preconditioner;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the linear solvers in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// Dimensions of the matrix, right-hand side or guess do not agree.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Offending dimension.
+        actual: usize,
+    },
+    /// A direct factorization hit a (near-)zero pivot.
+    Singular {
+        /// Elimination step at which the pivot vanished.
+        pivot: usize,
+    },
+    /// The iteration did not reach the requested tolerance.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Relative residual at the last iteration.
+        residual: f64,
+    },
+    /// The iteration broke down (an inner product required for the recurrence
+    /// vanished), typically a symptom of an incompatible matrix class.
+    Breakdown {
+        /// Iterations performed before breakdown.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            SolveError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at step {pivot})")
+            }
+            SolveError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "no convergence after {iterations} iterations (relative residual {residual:.3e})"
+            ),
+            SolveError::Breakdown { iterations } => {
+                write!(f, "krylov recurrence broke down after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Options controlling the iterative solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverOptions {
+    /// Relative residual target `‖b − A·x‖ / ‖b‖`.
+    pub tolerance: f64,
+    /// Hard iteration cap; `0` means `4 * n`.
+    pub max_iterations: usize,
+    /// Optional initial guess (must match the system dimension if set).
+    pub initial_guess: Option<Vec<f64>>,
+}
+
+impl Default for SolverOptions {
+    /// `tolerance = 1e-10`, automatic iteration cap, zero initial guess.
+    fn default() -> Self {
+        Self {
+            tolerance: 1e-10,
+            max_iterations: 0,
+            initial_guess: None,
+        }
+    }
+}
+
+impl SolverOptions {
+    /// Returns options with the given relative tolerance.
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        Self {
+            tolerance,
+            ..Self::default()
+        }
+    }
+
+    fn cap(&self, n: usize) -> usize {
+        if self.max_iterations == 0 {
+            (4 * n).max(100)
+        } else {
+            self.max_iterations
+        }
+    }
+
+    fn guess(&self, n: usize) -> Result<Vec<f64>, SolveError> {
+        match &self.initial_guess {
+            Some(g) if g.len() == n => Ok(g.clone()),
+            Some(g) => Err(SolveError::DimensionMismatch {
+                expected: n,
+                actual: g.len(),
+            }),
+            None => Ok(vec![0.0; n]),
+        }
+    }
+}
+
+/// Statistics reported alongside a converged solution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolveStats {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+/// A converged solution plus its [`SolveStats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The solution vector.
+    pub solution: Vec<f64>,
+    /// Convergence statistics.
+    pub stats: SolveStats,
+}
+
+fn check_square(a: &CsrMatrix, b: &[f64]) -> Result<usize, SolveError> {
+    if a.rows() != a.cols() {
+        return Err(SolveError::DimensionMismatch {
+            expected: a.rows(),
+            actual: a.cols(),
+        });
+    }
+    if b.len() != a.rows() {
+        return Err(SolveError::DimensionMismatch {
+            expected: a.rows(),
+            actual: b.len(),
+        });
+    }
+    Ok(a.rows())
+}
+
+/// Preconditioned conjugate gradients for symmetric positive definite
+/// systems — the pressure solve of Eq. (3).
+///
+/// # Errors
+///
+/// Returns [`SolveError::DimensionMismatch`] on shape errors,
+/// [`SolveError::NotConverged`] if the iteration cap is reached, and
+/// [`SolveError::Breakdown`] if a recurrence denominator vanishes (e.g. the
+/// matrix is not positive definite).
+pub fn cg(
+    a: &CsrMatrix,
+    b: &[f64],
+    m: &dyn Preconditioner,
+    options: &SolverOptions,
+) -> Result<Solution, SolveError> {
+    let n = check_square(a, b)?;
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(Solution {
+            solution: vec![0.0; n],
+            stats: SolveStats::default(),
+        });
+    }
+
+    let mut x = options.guess(n)?;
+    let mut r = b.to_vec();
+    let mut ax = vec![0.0; n];
+    a.mul_vec_into(&x, &mut ax);
+    for (ri, axi) in r.iter_mut().zip(&ax) {
+        *ri -= axi;
+    }
+
+    let mut z = vec![0.0; n];
+    m.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let max_iter = options.cap(n);
+
+    for it in 0..max_iter {
+        let res = norm2(&r) / b_norm;
+        if res <= options.tolerance {
+            return Ok(Solution {
+                solution: x,
+                stats: SolveStats {
+                    iterations: it,
+                    residual: res,
+                },
+            });
+        }
+        a.mul_vec_into(&p, &mut ax);
+        let pap = dot(&p, &ax);
+        if pap.abs() < 1e-300 {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ax, &mut r);
+        m.apply(&r, &mut z);
+        let rz_next = dot(&r, &z);
+        let beta = rz_next / rz;
+        rz = rz_next;
+        xpby(&z, beta, &mut p);
+    }
+
+    let res = norm2(&r) / b_norm;
+    if res <= options.tolerance {
+        Ok(Solution {
+            solution: x,
+            stats: SolveStats {
+                iterations: max_iter,
+                residual: res,
+            },
+        })
+    } else {
+        Err(SolveError::NotConverged {
+            iterations: max_iter,
+            residual: res,
+        })
+    }
+}
+
+/// Preconditioned BiCGSTAB for general (nonsymmetric) systems — the thermal
+/// solves whose advection terms of Eq. (6) break symmetry.
+///
+/// # Errors
+///
+/// Same error conditions as [`cg`].
+pub fn bicgstab(
+    a: &CsrMatrix,
+    b: &[f64],
+    m: &dyn Preconditioner,
+    options: &SolverOptions,
+) -> Result<Solution, SolveError> {
+    let n = check_square(a, b)?;
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(Solution {
+            solution: vec![0.0; n],
+            stats: SolveStats::default(),
+        });
+    }
+
+    let mut x = options.guess(n)?;
+    let mut r = b.to_vec();
+    let mut tmp = vec![0.0; n];
+    a.mul_vec_into(&x, &mut tmp);
+    for (ri, ti) in r.iter_mut().zip(&tmp) {
+        *ri -= ti;
+    }
+    let r0 = r.clone();
+
+    let mut rho = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut p_hat = vec![0.0; n];
+    let mut s_hat = vec![0.0; n];
+    let mut t = vec![0.0; n];
+    let max_iter = options.cap(n);
+
+    for it in 0..max_iter {
+        let res = norm2(&r) / b_norm;
+        if res <= options.tolerance {
+            // The recursive residual can drift from the true residual; verify
+            // before declaring victory, and keep iterating on the *true*
+            // residual if it disagrees.
+            a.mul_vec_into(&x, &mut tmp);
+            for ((ri, bi), ti) in r.iter_mut().zip(b).zip(&tmp) {
+                *ri = bi - ti;
+            }
+            let true_res = norm2(&r) / b_norm;
+            if true_res <= options.tolerance * 10.0 {
+                return Ok(Solution {
+                    solution: x,
+                    stats: SolveStats {
+                        iterations: it,
+                        residual: true_res,
+                    },
+                });
+            }
+        }
+        let rho_next = dot(&r0, &r);
+        if rho_next.abs() < 1e-300 {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+        let beta = (rho_next / rho) * (alpha / omega);
+        rho = rho_next;
+        // p = r + beta * (p - omega * v)
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        m.apply(&p, &mut p_hat);
+        a.mul_vec_into(&p_hat, &mut v);
+        let r0v = dot(&r0, &v);
+        if r0v.abs() < 1e-300 {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+        alpha = rho / r0v;
+        // s = r - alpha * v (reuse r as s)
+        axpy(-alpha, &v, &mut r);
+        if norm2(&r) / b_norm <= options.tolerance {
+            // Early exit on the half-step. Verify with the true residual; if
+            // it disagrees (recursive-residual drift), undo and continue.
+            axpy(alpha, &p_hat, &mut x);
+            a.mul_vec_into(&x, &mut tmp);
+            let mut true_sq = 0.0;
+            for (bi, ti) in b.iter().zip(&tmp) {
+                true_sq += (bi - ti) * (bi - ti);
+            }
+            let res = true_sq.sqrt() / b_norm;
+            if res <= options.tolerance * 10.0 {
+                return Ok(Solution {
+                    solution: x,
+                    stats: SolveStats {
+                        iterations: it + 1,
+                        residual: res,
+                    },
+                });
+            }
+            axpy(-alpha, &p_hat, &mut x);
+        }
+        m.apply(&r, &mut s_hat);
+        a.mul_vec_into(&s_hat, &mut t);
+        let tt = dot(&t, &t);
+        if tt.abs() < 1e-300 {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+        omega = dot(&t, &r) / tt;
+        axpy(alpha, &p_hat, &mut x);
+        axpy(omega, &s_hat, &mut x);
+        // r = s - omega * t
+        axpy(-omega, &t, &mut r);
+        if omega.abs() < 1e-300 {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+    }
+
+    let res = norm2(&r) / b_norm;
+    if res <= options.tolerance {
+        Ok(Solution {
+            solution: x,
+            stats: SolveStats {
+                iterations: max_iter,
+                residual: res,
+            },
+        })
+    } else {
+        Err(SolveError::NotConverged {
+            iterations: max_iter,
+            residual: res,
+        })
+    }
+}
+
+/// Restarted GMRES(m) with left preconditioning — the robust fallback for
+/// systems where BiCGSTAB stagnates (highly nonsymmetric advection
+/// operators at extreme flow rates).
+///
+/// `restart` is the Krylov subspace dimension between restarts (0 selects
+/// 50). Convergence is measured on the *true* residual at each restart.
+///
+/// # Errors
+///
+/// Same error conditions as [`cg`].
+pub fn gmres(
+    a: &CsrMatrix,
+    b: &[f64],
+    m: &dyn Preconditioner,
+    restart: usize,
+    options: &SolverOptions,
+) -> Result<Solution, SolveError> {
+    let n = check_square(a, b)?;
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(Solution {
+            solution: vec![0.0; n],
+            stats: SolveStats::default(),
+        });
+    }
+    let restart = if restart == 0 { 50 } else { restart }.min(n);
+    let max_outer = (options.cap(n) / restart).max(4);
+    let mut x = options.guess(n)?;
+    let mut total_inner = 0usize;
+    let mut tmp = vec![0.0; n];
+    let mut z = vec![0.0; n];
+
+    for _outer in 0..max_outer {
+        // True residual.
+        a.mul_vec_into(&x, &mut tmp);
+        let mut r = vec![0.0; n];
+        for i in 0..n {
+            r[i] = b[i] - tmp[i];
+        }
+        let true_res = norm2(&r) / b_norm;
+        if true_res <= options.tolerance {
+            return Ok(Solution {
+                solution: x,
+                stats: SolveStats {
+                    iterations: total_inner,
+                    residual: true_res,
+                },
+            });
+        }
+        // Preconditioned residual seeds the Krylov basis.
+        m.apply(&r, &mut z);
+        let beta = norm2(&z);
+        if beta < 1e-300 {
+            return Err(SolveError::Breakdown {
+                iterations: total_inner,
+            });
+        }
+        let mut basis: Vec<Vec<f64>> = Vec::with_capacity(restart + 1);
+        basis.push(z.iter().map(|v| v / beta).collect());
+        // Hessenberg columns, Givens rotations, residual vector g.
+        let mut h: Vec<Vec<f64>> = Vec::with_capacity(restart);
+        let mut cs = Vec::with_capacity(restart);
+        let mut sn = Vec::with_capacity(restart);
+        let mut g = vec![0.0; restart + 1];
+        g[0] = beta;
+        let mut k_used = 0;
+
+        for j in 0..restart {
+            total_inner += 1;
+            a.mul_vec_into(&basis[j], &mut tmp);
+            m.apply(&tmp, &mut z);
+            let mut col = vec![0.0; j + 2];
+            let mut w = z.clone();
+            for (i, vi) in basis.iter().enumerate().take(j + 1) {
+                let hij = dot(&w, vi);
+                col[i] = hij;
+                axpy(-hij, vi, &mut w);
+            }
+            let wn = norm2(&w);
+            col[j + 1] = wn;
+            // Apply accumulated Givens rotations to the new column.
+            for i in 0..j {
+                let (c, s): (f64, f64) = (cs[i], sn[i]);
+                let t = c * col[i] + s * col[i + 1];
+                col[i + 1] = -s * col[i] + c * col[i + 1];
+                col[i] = t;
+            }
+            // New rotation to annihilate col[j+1].
+            let denom = (col[j] * col[j] + col[j + 1] * col[j + 1]).sqrt();
+            let (c, s) = if denom < 1e-300 {
+                (1.0, 0.0)
+            } else {
+                (col[j] / denom, col[j + 1] / denom)
+            };
+            cs.push(c);
+            sn.push(s);
+            col[j] = c * col[j] + s * col[j + 1];
+            col[j + 1] = 0.0;
+            let gj = g[j];
+            g[j] = c * gj;
+            g[j + 1] = -s * gj;
+            h.push(col);
+            k_used = j + 1;
+            if wn < 1e-300 {
+                break; // happy breakdown: exact solution in this subspace
+            }
+            basis.push(w.iter().map(|v| v / wn).collect());
+            if g[j + 1].abs() / beta <= options.tolerance * 0.1 {
+                break;
+            }
+        }
+        // Solve the (k_used × k_used) triangular system H y = g.
+        let mut y = vec![0.0; k_used];
+        for i in (0..k_used).rev() {
+            let mut acc = g[i];
+            for j in (i + 1)..k_used {
+                acc -= h[j][i] * y[j];
+            }
+            y[i] = acc / h[i][i];
+        }
+        for (j, yj) in y.iter().enumerate() {
+            axpy(*yj, &basis[j], &mut x);
+        }
+    }
+
+    a.mul_vec_into(&x, &mut tmp);
+    let mut r = vec![0.0; n];
+    for i in 0..n {
+        r[i] = b[i] - tmp[i];
+    }
+    let res = norm2(&r) / b_norm;
+    if res <= options.tolerance * 10.0 {
+        Ok(Solution {
+            solution: x,
+            stats: SolveStats {
+                iterations: total_inner,
+                residual: res,
+            },
+        })
+    } else {
+        Err(SolveError::NotConverged {
+            iterations: total_inner,
+            residual: res,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::TripletBuilder;
+    use crate::precond::{Identity, Ilu0, Jacobi};
+
+    /// 1-D Poisson matrix, the classic SPD test problem.
+    fn poisson(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+                b.add(i + 1, i, -1.0);
+            }
+        }
+        b.to_csr()
+    }
+
+    /// Nonsymmetric advection–diffusion matrix.
+    fn advection(n: usize, peclet: f64) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0 + peclet);
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+                b.add(i + 1, i, -1.0 - peclet);
+            }
+        }
+        b.to_csr()
+    }
+
+    #[test]
+    fn cg_solves_poisson() {
+        let a = poisson(50);
+        let x_true: Vec<f64> = (0..50).map(|i| (i as f64 * 0.3).sin()).collect();
+        let b = a.mul_vec(&x_true);
+        let sol = cg(&a, &b, &Jacobi::new(&a), &SolverOptions::default()).unwrap();
+        for (xi, ti) in sol.solution.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-7);
+        }
+        assert!(sol.stats.iterations <= 50);
+    }
+
+    #[test]
+    fn cg_with_identity_converges_too() {
+        let a = poisson(20);
+        let b = vec![1.0; 20];
+        let sol = cg(&a, &b, &Identity::new(20), &SolverOptions::default()).unwrap();
+        assert!(a.residual_norm(&sol.solution, &b) < 1e-8);
+    }
+
+    #[test]
+    fn cg_zero_rhs_returns_zero() {
+        let a = poisson(5);
+        let sol = cg(&a, &[0.0; 5], &Identity::new(5), &SolverOptions::default()).unwrap();
+        assert_eq!(sol.solution, vec![0.0; 5]);
+        assert_eq!(sol.stats.iterations, 0);
+    }
+
+    #[test]
+    fn cg_respects_initial_guess() {
+        let a = poisson(10);
+        let x_true: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b = a.mul_vec(&x_true);
+        let opts = SolverOptions {
+            initial_guess: Some(x_true.clone()),
+            ..SolverOptions::default()
+        };
+        let sol = cg(&a, &b, &Identity::new(10), &opts).unwrap();
+        assert_eq!(sol.stats.iterations, 0);
+    }
+
+    #[test]
+    fn cg_rejects_bad_guess_length() {
+        let a = poisson(4);
+        let opts = SolverOptions {
+            initial_guess: Some(vec![0.0; 3]),
+            ..SolverOptions::default()
+        };
+        assert!(matches!(
+            cg(&a, &[1.0; 4], &Identity::new(4), &opts),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn cg_reports_nonconvergence() {
+        let a = poisson(100);
+        let b = vec![1.0; 100];
+        let opts = SolverOptions {
+            tolerance: 1e-14,
+            max_iterations: 2,
+            initial_guess: None,
+        };
+        assert!(matches!(
+            cg(&a, &b, &Identity::new(100), &opts),
+            Err(SolveError::NotConverged { iterations: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn bicgstab_solves_nonsymmetric() {
+        let a = advection(60, 1.5);
+        assert!(!a.is_symmetric(1e-12));
+        let x_true: Vec<f64> = (0..60).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let b = a.mul_vec(&x_true);
+        let sol = bicgstab(&a, &b, &Ilu0::new(&a), &SolverOptions::default()).unwrap();
+        assert!(a.residual_norm(&sol.solution, &b) / crate::ops::norm2(&b) < 1e-8);
+    }
+
+    #[test]
+    fn bicgstab_with_jacobi_on_strong_advection() {
+        let a = advection(40, 10.0);
+        let b = vec![1.0; 40];
+        let sol = bicgstab(&a, &b, &Jacobi::new(&a), &SolverOptions::default()).unwrap();
+        assert!(a.residual_norm(&sol.solution, &b) < 1e-7);
+    }
+
+    #[test]
+    fn bicgstab_zero_rhs_returns_zero() {
+        let a = advection(5, 1.0);
+        let sol =
+            bicgstab(&a, &[0.0; 5], &Identity::new(5), &SolverOptions::default()).unwrap();
+        assert_eq!(sol.solution, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn solvers_agree_with_dense_lu() {
+        let a = advection(12, 2.0);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64 * 1.7).cos()).collect();
+        let dense_x = a.to_dense().solve(&b).unwrap();
+        let sol = bicgstab(&a, &b, &Ilu0::new(&a), &SolverOptions::default()).unwrap();
+        for (xi, di) in sol.solution.iter().zip(&dense_x) {
+            assert!((xi - di).abs() < 1e-7, "{xi} vs {di}");
+        }
+    }
+
+    #[test]
+    fn gmres_solves_nonsymmetric() {
+        let a = advection(60, 3.0);
+        let x_true: Vec<f64> = (0..60).map(|i| ((i * 5 % 17) as f64) - 8.0).collect();
+        let b = a.mul_vec(&x_true);
+        let sol = gmres(&a, &b, &Ilu0::new(&a), 20, &SolverOptions::default()).unwrap();
+        assert!(a.residual_norm(&sol.solution, &b) / crate::ops::norm2(&b) < 1e-8);
+    }
+
+    #[test]
+    fn gmres_handles_tiny_restart() {
+        let a = advection(25, 1.0);
+        let b = vec![1.0; 25];
+        let sol = gmres(&a, &b, &Jacobi::new(&a), 5, &SolverOptions::default()).unwrap();
+        assert!(a.residual_norm(&sol.solution, &b) < 1e-7);
+    }
+
+    #[test]
+    fn gmres_zero_rhs_and_default_restart() {
+        let a = advection(10, 1.0);
+        let sol = gmres(&a, &[0.0; 10], &Identity::new(10), 0, &SolverOptions::default())
+            .unwrap();
+        assert_eq!(sol.solution, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn gmres_matches_dense_lu() {
+        let a = advection(15, 4.0);
+        let b: Vec<f64> = (0..15).map(|i| (i as f64 * 0.9).sin()).collect();
+        let dense = a.to_dense().solve(&b).unwrap();
+        let sol = gmres(&a, &b, &Ilu0::new(&a), 0, &SolverOptions::with_tolerance(1e-12))
+            .unwrap();
+        for (s, d) in sol.solution.iter().zip(&dense) {
+            assert!((s - d).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
+        assert!(matches!(
+            cg(&a, &[1.0, 1.0], &Identity::new(2), &SolverOptions::default()),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SolveError::NotConverged {
+            iterations: 7,
+            residual: 0.5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('7') && msg.contains("convergence"));
+        assert!(SolveError::Singular { pivot: 3 }.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the sparse linear-algebra substrate.
+//!
+//! Strategy: generate random diagonally dominant systems (which are
+//! guaranteed nonsingular and keep both CG and BiCGSTAB in their comfort
+//! zone), then check the algebraic invariants that the rest of the
+//! workspace relies on.
+
+use coolnet_sparse::precond::{Ilu0, Jacobi};
+use coolnet_sparse::{solve, CsrMatrix, SolverOptions, TripletBuilder};
+use proptest::prelude::*;
+
+/// Random symmetric diagonally dominant matrix plus a dense vector.
+fn spd_system(max_n: usize) -> impl Strategy<Value = (CsrMatrix, Vec<f64>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let entries = proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..4 * n);
+        let rhs = proptest::collection::vec(-10.0f64..10.0, n);
+        (Just(n), entries, rhs).prop_map(|(n, entries, rhs)| {
+            let mut b = TripletBuilder::new(n, n);
+            let mut diag = vec![1.0f64; n];
+            for (i, j, v) in entries {
+                if i != j {
+                    b.add(i, j, v);
+                    b.add(j, i, v);
+                    diag[i] += 2.0 * v.abs();
+                    diag[j] += 2.0 * v.abs();
+                }
+            }
+            for (i, d) in diag.iter().enumerate() {
+                b.add(i, i, *d);
+            }
+            (b.to_csr(), rhs)
+        })
+    })
+}
+
+/// Random (generally nonsymmetric) diagonally dominant matrix plus RHS.
+fn nonsym_system(max_n: usize) -> impl Strategy<Value = (CsrMatrix, Vec<f64>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let entries = proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..4 * n);
+        let rhs = proptest::collection::vec(-10.0f64..10.0, n);
+        (Just(n), entries, rhs).prop_map(|(n, entries, rhs)| {
+            let mut b = TripletBuilder::new(n, n);
+            let mut diag = vec![1.0f64; n];
+            for (i, j, v) in entries {
+                if i != j {
+                    b.add(i, j, v);
+                    diag[i] += v.abs();
+                }
+            }
+            for (i, d) in diag.iter().enumerate() {
+                b.add(i, i, *d);
+            }
+            (b.to_csr(), rhs)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_matches_dense_matvec((a, x) in nonsym_system(20)) {
+        let sparse_y = a.mul_vec(&x);
+        let dense_y = a.to_dense().mul_vec(&x);
+        for (s, d) in sparse_y.iter().zip(&dense_y) {
+            prop_assert!((s - d).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive((a, _x) in nonsym_system(20)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn spd_construction_is_symmetric((a, _x) in spd_system(20)) {
+        prop_assert!(a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn cg_solves_random_spd((a, b) in spd_system(20)) {
+        let sol = solve::cg(&a, &b, &Jacobi::new(&a), &SolverOptions::default()).unwrap();
+        let bn = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        prop_assert!(a.residual_norm(&sol.solution, &b) / bn < 1e-8);
+    }
+
+    #[test]
+    fn bicgstab_solves_random_nonsymmetric((a, b) in nonsym_system(20)) {
+        let sol =
+            solve::bicgstab(&a, &b, &Ilu0::new(&a), &SolverOptions::default()).unwrap();
+        let bn = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        prop_assert!(a.residual_norm(&sol.solution, &b) / bn < 1e-7);
+    }
+
+    #[test]
+    fn iterative_matches_dense_lu((a, b) in nonsym_system(14)) {
+        let dense = a.to_dense().solve(&b).unwrap();
+        let sol =
+            solve::bicgstab(&a, &b, &Ilu0::new(&a), &SolverOptions::with_tolerance(1e-12))
+                .unwrap();
+        let scale = dense.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (s, d) in sol.solution.iter().zip(&dense) {
+            prop_assert!((s - d).abs() / scale < 1e-6, "{} vs {}", s, d);
+        }
+    }
+
+    #[test]
+    fn row_sums_match_dense((a, _x) in nonsym_system(20)) {
+        let d = a.to_dense();
+        for r in 0..a.rows() {
+            let dense_sum: f64 = (0..a.cols()).map(|c| d[(r, c)]).sum();
+            prop_assert!((a.row_sum(r) - dense_sum).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Shared assembly core for the 4RM and 2RM simulators.
+//!
+//! Both models reduce to the same algebraic shape: a conduction operator
+//! that is independent of the operating point, plus an advection operator
+//! and an inlet source that scale linearly with the system pressure drop
+//! (flows are linear in `P_sys`). [`Assembled`] stores the two parts
+//! separately so a pressure sweep costs one re-combination and one Krylov
+//! solve per point instead of a full re-assembly.
+
+use crate::config::{AdvectionScheme, ThermalConfig};
+use crate::error::ThermalError;
+use crate::solution::{Resolution, SourceLayerTemps, ThermalSolution};
+use coolnet_grid::GridDims;
+use coolnet_sparse::precond::Ilu0;
+use coolnet_sparse::{solve, CsrMatrix, SolverOptions, TripletBuilder};
+use coolnet_units::Pascal;
+
+/// Node indices of one source layer plus its spatial resolution.
+#[derive(Debug, Clone)]
+pub(crate) struct SourceLayerMeta {
+    pub layer_index: usize,
+    pub dims: GridDims,
+    pub resolution: Resolution,
+    /// Node index per layer position (row-major; fine or coarse).
+    pub nodes: Vec<usize>,
+}
+
+/// The assembled, pressure-parametric thermal system.
+#[derive(Debug, Clone)]
+pub(crate) struct Assembled {
+    /// Number of thermal nodes.
+    pub n: usize,
+    /// Conduction couplings (pressure-independent triplets).
+    pub cond: Vec<(u32, u32, f64)>,
+    /// Advection couplings at `P_sys = 1` (scale linearly with pressure).
+    pub adv_unit: Vec<(u32, u32, f64)>,
+    /// Die power per node (RHS, pressure-independent).
+    pub rhs_source: Vec<f64>,
+    /// `C_v · Q_in` per node at `P_sys = 1`; multiplied by
+    /// `P_sys · T_in` when forming the RHS.
+    pub rhs_inlet_unit: Vec<f64>,
+    /// Thermal capacitance per node in J/K (for the transient extension).
+    pub capacitance: Vec<f64>,
+    /// Source-layer metadata for building solutions.
+    pub source_meta: Vec<SourceLayerMeta>,
+}
+
+impl Assembled {
+    /// Builds the full system matrix and RHS at the given pressure.
+    pub fn system(&self, p_sys: Pascal, t_inlet: f64) -> (CsrMatrix, Vec<f64>) {
+        let p = p_sys.value();
+        let mut b = TripletBuilder::with_capacity(self.n, self.n, self.cond.len() + self.adv_unit.len());
+        for &(r, c, v) in &self.cond {
+            b.add(r as usize, c as usize, v);
+        }
+        for &(r, c, v) in &self.adv_unit {
+            b.add(r as usize, c as usize, v * p);
+        }
+        let rhs: Vec<f64> = self
+            .rhs_source
+            .iter()
+            .zip(&self.rhs_inlet_unit)
+            .map(|(&q, &g_in)| q + g_in * p * t_inlet)
+            .collect();
+        (b.to_csr(), rhs)
+    }
+
+    /// Solves the steady-state system at `p_sys`.
+    pub fn steady(
+        &self,
+        p_sys: Pascal,
+        config: &ThermalConfig,
+        guess: Option<&[f64]>,
+    ) -> Result<ThermalSolution, ThermalError> {
+        if p_sys.value() <= 0.0 {
+            return Err(ThermalError::ZeroFlow);
+        }
+        let (matrix, rhs) = self.system(p_sys, config.t_inlet.value());
+        let precond = Ilu0::new(&matrix);
+        let mut options = SolverOptions::with_tolerance(config.tolerance);
+        options.initial_guess = Some(match guess {
+            Some(g) => g.to_vec(),
+            None => vec![config.t_inlet.value(); self.n],
+        });
+        options.max_iterations = (8 * self.n).max(400);
+        let solution = match solve::bicgstab(&matrix, &rhs, &precond, &options) {
+            Ok(s) => s,
+            // BiCGSTAB can stagnate on the highly nonsymmetric systems that
+            // extreme pressure probes produce. Fall back to restarted GMRES
+            // (robust), then to a dense LU for small systems (exact).
+            Err(_) => match solve::gmres(&matrix, &rhs, &precond, 60, &options) {
+                Ok(s) => s,
+                Err(e) if self.n <= 4096 => {
+                    let x = matrix.to_dense().solve(&rhs).map_err(|_| e)?;
+                    let residual = matrix.residual_norm(&x, &rhs);
+                    coolnet_sparse::Solution {
+                        solution: x,
+                        stats: coolnet_sparse::SolveStats {
+                            iterations: 0,
+                            residual,
+                        },
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            },
+        };
+        Ok(self.extract(solution.solution, solution.stats))
+    }
+
+    /// Packages raw node temperatures into a [`ThermalSolution`].
+    pub fn extract(
+        &self,
+        temps: Vec<f64>,
+        stats: coolnet_sparse::SolveStats,
+    ) -> ThermalSolution {
+        let layers = self
+            .source_meta
+            .iter()
+            .map(|m| {
+                let values = m.nodes.iter().map(|&i| temps[i]).collect();
+                SourceLayerTemps::new(m.layer_index, m.dims, m.resolution, values)
+            })
+            .collect();
+        ThermalSolution::new(layers, temps, stats)
+    }
+
+    /// Adds the advection coupling for a face carrying flow `q_unit` (at
+    /// `P_sys = 1`) from node `up` into node `down` of the energy balance.
+    ///
+    /// For the balance row of node `i` written as `A·T = b`, the net
+    /// advected energy into `i` from a neighboring liquid node `j` carrying
+    /// `Q_ji` is `C_v · Q_ji · T*` with `T* = (T_i + T_j)/2` (central,
+    /// Eq. (6)) or the upwind temperature. This helper adds both rows of
+    /// one face at once; `q_unit` is the *signed* flow from `i` to `j`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_advection_face(
+        &mut self,
+        i: usize,
+        j: usize,
+        q_unit: f64,
+        cv: f64,
+        scheme: AdvectionScheme,
+    ) {
+        // Flow from j into i is -q_unit; into j is +q_unit.
+        match scheme {
+            AdvectionScheme::Central => {
+                // Row i: -(Cv·Q_ji/2)·(T_i + T_j), Q_ji = -q_unit.
+                let half = cv * q_unit / 2.0;
+                self.adv_unit.push((i as u32, i as u32, half));
+                self.adv_unit.push((i as u32, j as u32, half));
+                // Row j: Q_ij = +q_unit.
+                self.adv_unit.push((j as u32, j as u32, -half));
+                self.adv_unit.push((j as u32, i as u32, -half));
+            }
+            AdvectionScheme::Upwind => {
+                // Energy into i: Cv·Q_ji·T_up where T_up = T_j if Q_ji > 0
+                // (flow j→i), else T_i. Row coefficients are -Cv·Q_ji on the
+                // upwind unknown. Flow sign is fixed at assembly time from
+                // the unit solution; the field direction does not change
+                // with P_sys (linearity), so this is exact for all P_sys.
+                let c = cv * q_unit;
+                if q_unit > 0.0 {
+                    // i → j: into j from i carries T_i; out of i carries T_i.
+                    self.adv_unit.push((i as u32, i as u32, c));
+                    self.adv_unit.push((j as u32, i as u32, -c));
+                } else {
+                    // j → i: into i carries T_j.
+                    self.adv_unit.push((i as u32, j as u32, c));
+                    self.adv_unit.push((j as u32, j as u32, -c));
+                }
+            }
+        }
+    }
+
+    /// Adds the inlet/outlet advection terms of a node: `q_in_unit` enters
+    /// at `T_in` (RHS) and `q_out_unit` leaves at the node temperature
+    /// (diagonal).
+    pub fn add_port_advection(&mut self, i: usize, q_in_unit: f64, q_out_unit: f64, cv: f64) {
+        if q_in_unit != 0.0 {
+            self.rhs_inlet_unit[i] += cv * q_in_unit;
+            // Mass entering also leaves through cell faces or the outlet;
+            // the inlet face itself carries no T_i term.
+        }
+        if q_out_unit != 0.0 {
+            self.adv_unit.push((i as u32, i as u32, cv * q_out_unit));
+        }
+    }
+
+    /// Adds a symmetric conductance between two nodes.
+    pub fn add_conductance(&mut self, i: usize, j: usize, g: f64) {
+        if g <= 0.0 {
+            return;
+        }
+        self.cond.push((i as u32, i as u32, g));
+        self.cond.push((j as u32, j as u32, g));
+        self.cond.push((i as u32, j as u32, -g));
+        self.cond.push((j as u32, i as u32, -g));
+    }
+}
+
+/// Series combination of two half-path conductances (Eqs. (5) and (7)):
+/// `g = g_a·g_b / (g_a + g_b)`, zero if either vanishes.
+pub(crate) fn series(g_a: f64, g_b: f64) -> f64 {
+    if g_a <= 0.0 || g_b <= 0.0 {
+        0.0
+    } else {
+        g_a * g_b / (g_a + g_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty(n: usize) -> Assembled {
+        Assembled {
+            n,
+            cond: Vec::new(),
+            adv_unit: Vec::new(),
+            rhs_source: vec![0.0; n],
+            rhs_inlet_unit: vec![0.0; n],
+            capacitance: vec![1.0; n],
+            source_meta: vec![SourceLayerMeta {
+                layer_index: 0,
+                dims: GridDims::new(n as u16, 1),
+                resolution: Resolution::Fine,
+                nodes: (0..n).collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn series_combination() {
+        assert_eq!(series(2.0, 2.0), 1.0);
+        assert_eq!(series(0.0, 5.0), 0.0);
+        assert_eq!(series(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn central_advection_row_sums_preserve_energy() {
+        // One face between nodes 0 and 1 carrying q: column sums of the
+        // advection operator must vanish for interior faces (what enters j
+        // left i).
+        let mut a = empty(2);
+        a.add_advection_face(0, 1, 3.0, 2.0, AdvectionScheme::Central);
+        let mut col_sums = [0.0f64; 2];
+        for &(_, c, v) in &a.adv_unit {
+            col_sums[c as usize] += v;
+        }
+        assert!(col_sums.iter().all(|s| s.abs() < 1e-12), "{col_sums:?}");
+    }
+
+    #[test]
+    fn upwind_advection_is_conservative_too() {
+        let mut a = empty(2);
+        a.add_advection_face(0, 1, -1.5, 4.0, AdvectionScheme::Upwind);
+        let mut col_sums = [0.0f64; 2];
+        for &(_, c, v) in &a.adv_unit {
+            col_sums[c as usize] += v;
+        }
+        assert!(col_sums.iter().all(|s| s.abs() < 1e-12));
+    }
+
+    #[test]
+    fn pure_advection_chain_transports_inlet_temperature()
+    {
+        // Inlet -> node0 -> node1 -> outlet at flow q: with no conduction
+        // and central differencing, both nodes sit at T_in in steady state.
+        let mut a = empty(2);
+        let (cv, q) = (4e6, 1e-9);
+        a.add_port_advection(0, q, 0.0, cv);
+        a.add_advection_face(0, 1, q, cv, AdvectionScheme::Central);
+        a.add_port_advection(1, 0.0, q, cv);
+        let sol = a
+            .steady(Pascal::new(1.0), &ThermalConfig::default(), None)
+            .unwrap();
+        for &t in sol.all_temperatures() {
+            assert!((t - 300.0).abs() < 1e-6, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn heated_advection_chain_rises_by_q_over_cvq() {
+        // Node 0 receives power P; outlet temperature rise = P / (Cv·Q).
+        let mut a = empty(2);
+        let (cv, q) = (4e6, 1e-9);
+        a.add_port_advection(0, q, 0.0, cv);
+        a.add_advection_face(0, 1, q, cv, AdvectionScheme::Upwind);
+        a.add_port_advection(1, 0.0, q, cv);
+        a.rhs_source[0] = 0.01; // 10 mW
+        let sol = a
+            .steady(Pascal::new(1.0), &ThermalConfig::default(), None)
+            .unwrap();
+        let rise = 0.01 / (cv * q);
+        let t = sol.all_temperatures();
+        assert!((t[1] - (300.0 + rise)).abs() / rise < 1e-6, "t = {t:?}");
+    }
+
+    #[test]
+    fn zero_pressure_is_rejected() {
+        let a = empty(2);
+        assert!(matches!(
+            a.steady(Pascal::new(0.0), &ThermalConfig::default(), None),
+            Err(ThermalError::ZeroFlow)
+        ));
+    }
+
+    #[test]
+    fn conduction_diffuses_between_nodes() {
+        // Two nodes coupled by conduction, node 0 pinned by strong flow at
+        // T_in, node 1 heated: T_1 = T_0 + P/g.
+        let mut a = empty(2);
+        a.add_port_advection(0, 1e-6, 1e-6, 4e6); // strong flushing flow
+        a.add_conductance(0, 1, 0.5);
+        a.rhs_source[1] = 1.0;
+        let sol = a
+            .steady(Pascal::new(1.0), &ThermalConfig::default(), None)
+            .unwrap();
+        let t = sol.all_temperatures();
+        assert!((t[1] - t[0] - 2.0).abs() < 1e-3, "t = {t:?}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Model-accuracy comparison (Fig. 9(a)).
+//!
+//! The paper evaluates each 2RM simulation by "its average relative error
+//! of thermal nodes in the source layers (compared with 4RM simulation)".
+//! [`mean_relative_error`] reproduces that metric: for every basic cell of
+//! every source layer, the coarse solution is resolved to the containing
+//! thermal cell and compared with the fine solution.
+
+use crate::solution::ThermalSolution;
+
+/// Mean relative error of `test` against `reference` over all source-layer
+/// basic cells: `mean(|T_test − T_ref| / T_ref)`.
+///
+/// # Panics
+///
+/// Panics if the two solutions have different numbers of source layers or
+/// differing grid dimensions.
+pub fn mean_relative_error(reference: &ThermalSolution, test: &ThermalSolution) -> f64 {
+    assert_eq!(
+        reference.source_layers().len(),
+        test.source_layers().len(),
+        "source-layer count mismatch"
+    );
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (r, t) in reference.source_layers().iter().zip(test.source_layers()) {
+        assert_eq!(r.dims(), t.dims(), "grid dimension mismatch");
+        for cell in r.dims().iter() {
+            let tr = r.temperature(cell).value();
+            let tt = t.temperature(cell).value();
+            sum += (tt - tr).abs() / tr;
+            count += 1;
+        }
+    }
+    sum / count as f64
+}
+
+/// Maximum absolute temperature difference (kelvin) over source-layer
+/// basic cells — a stricter companion metric to [`mean_relative_error`].
+///
+/// # Panics
+///
+/// Same conditions as [`mean_relative_error`].
+pub fn max_absolute_error(reference: &ThermalSolution, test: &ThermalSolution) -> f64 {
+    let mut max = 0.0f64;
+    for (r, t) in reference.source_layers().iter().zip(test.source_layers()) {
+        assert_eq!(r.dims(), t.dims(), "grid dimension mismatch");
+        for cell in r.dims().iter() {
+            let d = (t.temperature(cell).value() - r.temperature(cell).value()).abs();
+            max = max.max(d);
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThermalConfig;
+    use crate::fourrm::FourRm;
+    use crate::power::PowerMap;
+    use crate::stack::Stack;
+    use crate::tworm::TwoRm;
+    use coolnet_grid::{Cell, Dir, GridDims, Side};
+    use coolnet_network::{CoolingNetwork, PortKind};
+    use coolnet_units::Pascal;
+
+    fn stack(dims: GridDims) -> Stack {
+        let mut b = CoolingNetwork::builder(dims);
+        let mut y = 0;
+        while y < dims.height() {
+            b.segment(Cell::new(0, y), Dir::East, dims.width());
+            y += 2;
+        }
+        b.port(PortKind::Inlet, Side::West, 0, dims.height() - 1);
+        b.port(PortKind::Outlet, Side::East, 0, dims.height() - 1);
+        Stack::interlayer(
+            dims,
+            100e-6,
+            vec![PowerMap::uniform(dims, 3.0)],
+            &[b.build().unwrap()],
+            200e-6,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_solutions_have_zero_error() {
+        let dims = GridDims::new(11, 11);
+        let s = stack(dims);
+        let sol = FourRm::new(&s, &ThermalConfig::default())
+            .unwrap()
+            .simulate(Pascal::from_kilopascals(5.0))
+            .unwrap();
+        assert_eq!(mean_relative_error(&sol, &sol), 0.0);
+        assert_eq!(max_absolute_error(&sol, &sol), 0.0);
+    }
+
+    #[test]
+    fn error_grows_with_coarsening() {
+        // The Fig. 9(a) trend: accuracy decreases as thermal cells grow.
+        let dims = GridDims::new(21, 21);
+        let s = stack(dims);
+        let p = Pascal::from_kilopascals(5.0);
+        let reference = FourRm::new(&s, &ThermalConfig::default())
+            .unwrap()
+            .simulate(p)
+            .unwrap();
+        let mut last = 0.0;
+        let mut errors = Vec::new();
+        for m in [1u16, 3, 7] {
+            let sol = TwoRm::new(&s, m, &ThermalConfig::default())
+                .unwrap()
+                .simulate(p)
+                .unwrap();
+            errors.push(mean_relative_error(&reference, &sol));
+        }
+        // Not necessarily strictly monotone at every step, but the coarsest
+        // must be worse than the finest.
+        assert!(errors[2] > errors[0], "errors = {errors:?}");
+        // And all errors stay small in relative terms.
+        for e in &errors {
+            assert!(*e < 0.05, "errors = {errors:?}");
+            last = *e;
+        }
+        let _ = last;
+    }
+}

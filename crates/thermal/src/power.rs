@@ -1,0 +1,189 @@
+//! Per-cell heat dissipation maps.
+
+use coolnet_grid::{Cell, GridDims};
+use coolnet_units::Watt;
+use serde::{Deserialize, Serialize};
+
+/// Heat dissipation of one source layer, in watts per basic cell.
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_grid::{Cell, GridDims};
+/// use coolnet_thermal::PowerMap;
+///
+/// let mut p = PowerMap::zeros(GridDims::new(10, 10));
+/// p.add_block(2, 2, 5, 5, 8.0); // an 8 W block
+/// assert!((p.total().value() - 8.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerMap {
+    dims: GridDims,
+    values: Vec<f64>,
+}
+
+impl PowerMap {
+    /// An all-zero map over `dims`.
+    pub fn zeros(dims: GridDims) -> Self {
+        Self {
+            dims,
+            values: vec![0.0; dims.num_cells()],
+        }
+    }
+
+    /// A map dissipating `total` watts spread uniformly over all cells.
+    pub fn uniform(dims: GridDims, total: f64) -> Self {
+        let per_cell = total / dims.num_cells() as f64;
+        Self {
+            dims,
+            values: vec![per_cell; dims.num_cells()],
+        }
+    }
+
+    /// Builds a map from raw per-cell values in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != dims.num_cells()` or any value is negative
+    /// or non-finite.
+    pub fn from_values(dims: GridDims, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), dims.num_cells(), "power map length mismatch");
+        assert!(
+            values.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "power values must be finite and non-negative"
+        );
+        Self { dims, values }
+    }
+
+    /// Grid dimensions of the map.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// Power of one cell in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid.
+    pub fn get(&self, cell: Cell) -> f64 {
+        self.values[self.dims.index(cell)]
+    }
+
+    /// Adds `watts` to one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid.
+    pub fn add(&mut self, cell: Cell, watts: f64) {
+        self.values[self.dims.index(cell)] += watts;
+    }
+
+    /// Spreads `total` watts uniformly over the rectangle
+    /// `(x0..=x1, y0..=y1)` — one floorplan block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is inverted or outside the grid.
+    pub fn add_block(&mut self, x0: u16, y0: u16, x1: u16, y1: u16, total: f64) {
+        assert!(x0 <= x1 && y0 <= y1, "inverted block");
+        assert!(
+            self.dims.contains(Cell::new(x1, y1)),
+            "block outside the grid"
+        );
+        let n = (x1 - x0 + 1) as f64 * (y1 - y0 + 1) as f64;
+        let per_cell = total / n;
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                self.add(Cell::new(x, y), per_cell);
+            }
+        }
+    }
+
+    /// Total dissipated power.
+    pub fn total(&self) -> Watt {
+        Watt::new(self.values.iter().sum())
+    }
+
+    /// Scales the whole map so its total becomes `total` watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current total is zero.
+    pub fn scale_to_total(&mut self, total: f64) {
+        let current = self.total().value();
+        assert!(current > 0.0, "cannot rescale an all-zero power map");
+        let f = total / current;
+        for v in &mut self.values {
+            *v *= f;
+        }
+    }
+
+    /// Sum of power over a rectangle of cells (used by the 2RM coarsening).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is outside the grid.
+    pub fn block_total(&self, x0: u16, y0: u16, x1: u16, y1: u16) -> f64 {
+        let mut sum = 0.0;
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                sum += self.get(Cell::new(x, y));
+            }
+        }
+        sum
+    }
+
+    /// The raw row-major values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_total_is_exact() {
+        let p = PowerMap::uniform(GridDims::new(7, 3), 42.0);
+        assert!((p.total().value() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_accumulate() {
+        let mut p = PowerMap::zeros(GridDims::new(10, 10));
+        p.add_block(0, 0, 4, 4, 10.0);
+        p.add_block(2, 2, 6, 6, 5.0);
+        assert!((p.total().value() - 15.0).abs() < 1e-9);
+        // Overlap cell carries power from both blocks.
+        assert!(p.get(Cell::new(3, 3)) > p.get(Cell::new(0, 0)));
+    }
+
+    #[test]
+    fn scale_to_total_rescales() {
+        let mut p = PowerMap::uniform(GridDims::new(5, 5), 10.0);
+        p.scale_to_total(37.038);
+        assert!((p.total().value() - 37.038).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_total_matches_add_block() {
+        let mut p = PowerMap::zeros(GridDims::new(8, 8));
+        p.add_block(1, 1, 3, 3, 9.0);
+        assert!((p.block_total(1, 1, 3, 3) - 9.0).abs() < 1e-9);
+        assert!((p.block_total(0, 0, 7, 7) - 9.0).abs() < 1e-9);
+        assert_eq!(p.block_total(5, 5, 7, 7), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_power_rejected() {
+        PowerMap::from_values(GridDims::new(2, 1), vec![1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_rejected() {
+        PowerMap::from_values(GridDims::new(2, 2), vec![1.0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Solved temperature fields and the paper's thermal metrics.
+
+use coolnet_grid::{Cell, Coarsening, GridDims};
+use coolnet_sparse::SolveStats;
+use coolnet_units::Kelvin;
+
+/// How a source layer's temperatures are indexed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Resolution {
+    /// One value per basic cell (4RM).
+    Fine,
+    /// One value per coarse thermal cell (2RM).
+    Coarse(Coarsening),
+}
+
+/// Temperatures of one source layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceLayerTemps {
+    /// Index of this layer within the stack.
+    pub layer_index: usize,
+    dims: GridDims,
+    resolution: Resolution,
+    temps: Vec<f64>,
+}
+
+impl SourceLayerTemps {
+    /// Creates a source-layer temperature map. Mostly constructed by the
+    /// simulators; public so harnesses can synthesize maps for rendering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `temps.len()` does not match the node count implied by
+    /// `resolution`.
+    pub fn new(
+        layer_index: usize,
+        dims: GridDims,
+        resolution: Resolution,
+        temps: Vec<f64>,
+    ) -> Self {
+        let expected = match resolution {
+            Resolution::Fine => dims.num_cells(),
+            Resolution::Coarse(c) => c.num_coarse_cells(),
+        };
+        assert_eq!(temps.len(), expected, "temperature count mismatch");
+        Self {
+            layer_index,
+            dims,
+            resolution,
+            temps,
+        }
+    }
+
+    /// The fine (basic-cell) grid dimensions of the layer.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// The layer's resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Temperature at a *basic* cell. For coarse solutions this resolves to
+    /// the containing thermal cell, which is how 2RM and 4RM maps are
+    /// compared in Fig. 9(a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is outside the grid.
+    pub fn temperature(&self, cell: Cell) -> Kelvin {
+        let v = match self.resolution {
+            Resolution::Fine => self.temps[self.dims.index(cell)],
+            Resolution::Coarse(c) => self.temps[c.coarse_index_of(cell)],
+        };
+        Kelvin::new(v)
+    }
+
+    /// Minimum node temperature in this layer.
+    pub fn min(&self) -> Kelvin {
+        Kelvin::new(self.temps.iter().copied().fold(f64::INFINITY, f64::min))
+    }
+
+    /// Maximum node temperature in this layer.
+    pub fn max(&self) -> Kelvin {
+        Kelvin::new(self.temps.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Temperature range `ΔT_i` of this layer (§3).
+    pub fn range(&self) -> Kelvin {
+        self.max() - self.min()
+    }
+
+    /// Raw node temperatures in row-major node order.
+    pub fn values(&self) -> &[f64] {
+        &self.temps
+    }
+}
+
+/// A steady-state (or one transient snapshot) thermal solution.
+///
+/// Exposes the three §3 metrics: [`max_temperature`](Self::max_temperature)
+/// (`T_max`), [`gradient`](Self::gradient) (`ΔT`) and per-layer temperature
+/// maps (Fig. 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalSolution {
+    source_layers: Vec<SourceLayerTemps>,
+    all_temperatures: Vec<f64>,
+    stats: SolveStats,
+}
+
+impl ThermalSolution {
+    pub(crate) fn new(
+        source_layers: Vec<SourceLayerTemps>,
+        all_temperatures: Vec<f64>,
+        stats: SolveStats,
+    ) -> Self {
+        assert!(!source_layers.is_empty(), "no source layers in solution");
+        Self {
+            source_layers,
+            all_temperatures,
+            stats,
+        }
+    }
+
+    /// Per-die source-layer temperature maps, bottom die first.
+    pub fn source_layers(&self) -> &[SourceLayerTemps] {
+        &self.source_layers
+    }
+
+    /// Peak temperature `T_max` — the maximum over source-layer nodes
+    /// (which is the global maximum by energy conservation, §3).
+    pub fn max_temperature(&self) -> Kelvin {
+        self.source_layers
+            .iter()
+            .map(SourceLayerTemps::max)
+            .fold(Kelvin::new(f64::NEG_INFINITY), Kelvin::max)
+    }
+
+    /// Thermal gradient `ΔT = max_i(ΔT_i)`: the largest per-source-layer
+    /// temperature range (§3, following the ICCAD 2015 contest definition).
+    pub fn gradient(&self) -> Kelvin {
+        self.source_layers
+            .iter()
+            .map(SourceLayerTemps::range)
+            .fold(Kelvin::new(f64::NEG_INFINITY), Kelvin::max)
+    }
+
+    /// Every node temperature of the underlying model (diagnostics).
+    pub fn all_temperatures(&self) -> &[f64] {
+        &self.all_temperatures
+    }
+
+    /// Linear-solver statistics of this solve.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(values: Vec<f64>, w: u16, h: u16) -> SourceLayerTemps {
+        SourceLayerTemps::new(1, GridDims::new(w, h), Resolution::Fine, values)
+    }
+
+    #[test]
+    fn range_and_extremes() {
+        let l = layer(vec![300.0, 310.0, 305.0, 320.0], 2, 2);
+        assert_eq!(l.min().value(), 300.0);
+        assert_eq!(l.max().value(), 320.0);
+        assert_eq!(l.range().value(), 20.0);
+        assert_eq!(l.temperature(Cell::new(1, 1)).value(), 320.0);
+    }
+
+    #[test]
+    fn gradient_is_max_per_layer_range() {
+        let a = layer(vec![300.0, 310.0], 2, 1); // range 10
+        let b = SourceLayerTemps::new(3, GridDims::new(2, 1), Resolution::Fine, vec![300.0, 325.0]);
+        let sol = ThermalSolution::new(vec![a, b], vec![], SolveStats::default());
+        assert_eq!(sol.gradient().value(), 25.0);
+        assert_eq!(sol.max_temperature().value(), 325.0);
+    }
+
+    #[test]
+    fn coarse_resolution_resolves_containing_cell() {
+        let dims = GridDims::new(4, 4);
+        let c = Coarsening::new(dims, 2);
+        let temps = vec![300.0, 301.0, 302.0, 303.0]; // 2x2 coarse grid
+        let l = SourceLayerTemps::new(0, dims, Resolution::Coarse(c), temps);
+        assert_eq!(l.temperature(Cell::new(0, 0)).value(), 300.0);
+        assert_eq!(l.temperature(Cell::new(1, 1)).value(), 300.0);
+        assert_eq!(l.temperature(Cell::new(2, 0)).value(), 301.0);
+        assert_eq!(l.temperature(Cell::new(3, 3)).value(), 303.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature count mismatch")]
+    fn wrong_count_is_rejected() {
+        layer(vec![300.0], 2, 2);
+    }
+}

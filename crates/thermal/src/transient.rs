@@ -1,0 +1,318 @@
+//! Transient thermal analysis (backward Euler), the §2.3 extension.
+//!
+//! Both compact models expose the same algebraic structure
+//! `A(P_sys)·T = b`, so the transient extension is shared: with nodal heat
+//! capacities `C`, backward Euler solves
+//! `(C/Δt + A)·T^{k+1} = (C/Δt)·T^k + b` each step — unconditionally
+//! stable, so large steps are safe.
+
+use crate::assembly::Assembled;
+use crate::config::ThermalConfig;
+use crate::error::ThermalError;
+use crate::fourrm::FourRm;
+use crate::solution::ThermalSolution;
+use crate::tworm::TwoRm;
+use coolnet_sparse::precond::Ilu0;
+use coolnet_sparse::{solve, CsrMatrix, SolveStats, SolverOptions, TripletBuilder};
+use coolnet_units::Pascal;
+
+/// A transient integrator over one of the compact models.
+///
+/// # Examples
+///
+/// See `examples/transient_power_step.rs` for a die-power step response.
+#[derive(Debug)]
+pub struct Transient<'a> {
+    assembled: &'a Assembled,
+    config: ThermalConfig,
+    matrix: CsrMatrix,
+    precond: Ilu0,
+    /// Die-power part of the RHS (unscaled).
+    rhs_power: Vec<f64>,
+    /// Inlet-advection part of the RHS (fixed for a given pressure).
+    rhs_inlet: Vec<f64>,
+    /// Run-time multiplier on the die power (DVFS modeling).
+    power_scale: f64,
+    cap_over_dt: Vec<f64>,
+    temps: Vec<f64>,
+    dt: f64,
+    time: f64,
+    last_stats: SolveStats,
+}
+
+impl FourRm {
+    /// Starts a transient run at pressure `p_sys` with time step `dt`
+    /// seconds, from a uniform `T_in` initial condition (or `initial`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::ZeroFlow`] for non-positive pressure or
+    /// `dt <= 0`.
+    pub fn transient(
+        &self,
+        p_sys: Pascal,
+        dt: f64,
+        initial: Option<&ThermalSolution>,
+    ) -> Result<Transient<'_>, ThermalError> {
+        Transient::new(self.assembled(), self.config().clone(), p_sys, dt, initial)
+    }
+}
+
+impl TwoRm {
+    /// Starts a transient run at pressure `p_sys` with time step `dt`
+    /// seconds, from a uniform `T_in` initial condition (or `initial`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::ZeroFlow`] for non-positive pressure or
+    /// `dt <= 0`.
+    pub fn transient(
+        &self,
+        p_sys: Pascal,
+        dt: f64,
+        initial: Option<&ThermalSolution>,
+    ) -> Result<Transient<'_>, ThermalError> {
+        Transient::new(self.assembled(), self.config().clone(), p_sys, dt, initial)
+    }
+}
+
+impl<'a> Transient<'a> {
+    fn new(
+        assembled: &'a Assembled,
+        config: ThermalConfig,
+        p_sys: Pascal,
+        dt: f64,
+        initial: Option<&ThermalSolution>,
+    ) -> Result<Self, ThermalError> {
+        if p_sys.value() <= 0.0 || dt <= 0.0 {
+            return Err(ThermalError::ZeroFlow);
+        }
+        let (steady_matrix, _) = assembled.system(p_sys, config.t_inlet.value());
+        let rhs_power = assembled.rhs_source.clone();
+        let rhs_inlet: Vec<f64> = assembled
+            .rhs_inlet_unit
+            .iter()
+            .map(|&g| g * p_sys.value() * config.t_inlet.value())
+            .collect();
+        let n = assembled.n;
+        let cap_over_dt: Vec<f64> = assembled.capacitance.iter().map(|c| c / dt).collect();
+        // (C/dt + A)
+        let mut b = TripletBuilder::with_capacity(n, n, steady_matrix.nnz() + n);
+        for (r, c, v) in steady_matrix.iter() {
+            b.add(r, c, v);
+        }
+        for (i, &c) in cap_over_dt.iter().enumerate() {
+            b.add(i, i, c);
+        }
+        let matrix = b.to_csr();
+        let precond = Ilu0::new(&matrix);
+        let temps = match initial {
+            Some(sol) => sol.all_temperatures().to_vec(),
+            None => vec![config.t_inlet.value(); n],
+        };
+        Ok(Self {
+            assembled,
+            config,
+            matrix,
+            precond,
+            rhs_power,
+            rhs_inlet,
+            power_scale: 1.0,
+            cap_over_dt,
+            temps,
+            dt,
+            time: 0.0,
+            last_stats: SolveStats::default(),
+        })
+    }
+
+    /// Scales the die power by `scale` from the next step on — the DVFS
+    /// hook of the paper's future-work section ("combining cooling networks
+    /// with run-time thermal management ... to handle dynamic die power").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative or non-finite.
+    pub fn set_power_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale >= 0.0,
+            "power scale must be finite and non-negative"
+        );
+        self.power_scale = scale;
+    }
+
+    /// The current die-power multiplier.
+    pub fn power_scale(&self) -> f64 {
+        self.power_scale
+    }
+
+    /// Simulated time elapsed in seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The fixed time step in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Advances one backward-Euler step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::Solver`] if the linear solve fails.
+    pub fn step(&mut self) -> Result<(), ThermalError> {
+        let rhs: Vec<f64> = self
+            .rhs_power
+            .iter()
+            .zip(&self.rhs_inlet)
+            .zip(self.cap_over_dt.iter().zip(&self.temps))
+            .map(|((&q, &inlet), (&c, &t))| q * self.power_scale + inlet + c * t)
+            .collect();
+        let mut options = SolverOptions::with_tolerance(self.config.tolerance);
+        options.initial_guess = Some(self.temps.clone());
+        let sol = solve::bicgstab(&self.matrix, &rhs, &self.precond, &options)?;
+        self.temps = sol.solution;
+        self.last_stats = sol.stats;
+        self.time += self.dt;
+        Ok(())
+    }
+
+    /// Advances `steps` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first step error.
+    pub fn run(&mut self, steps: usize) -> Result<(), ThermalError> {
+        for _ in 0..steps {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// A snapshot of the current temperature field.
+    pub fn snapshot(&self) -> ThermalSolution {
+        self.assembled.extract(self.temps.clone(), self.last_stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::PowerMap;
+    use crate::stack::Stack;
+    use coolnet_grid::{Cell, Dir, GridDims, Side};
+    use coolnet_network::{CoolingNetwork, PortKind};
+
+    fn stack(dims: GridDims, watts: f64) -> Stack {
+        let mut b = CoolingNetwork::builder(dims);
+        let mut y = 0;
+        while y < dims.height() {
+            b.segment(Cell::new(0, y), Dir::East, dims.width());
+            y += 2;
+        }
+        b.port(PortKind::Inlet, Side::West, 0, dims.height() - 1);
+        b.port(PortKind::Outlet, Side::East, 0, dims.height() - 1);
+        Stack::interlayer(
+            dims,
+            100e-6,
+            vec![PowerMap::uniform(dims, watts)],
+            &[b.build().unwrap()],
+            200e-6,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let dims = GridDims::new(9, 9);
+        let s = stack(dims, 3.0);
+        let sim = FourRm::new(&s, &ThermalConfig::default()).unwrap();
+        let p = Pascal::from_kilopascals(5.0);
+        let steady = sim.simulate(p).unwrap();
+        let mut tr = sim.transient(p, 5e-3, None).unwrap();
+        tr.run(400).unwrap();
+        let final_t = tr.snapshot().max_temperature().value();
+        let steady_t = steady.max_temperature().value();
+        assert!(
+            (final_t - steady_t).abs() < 0.05 * (steady_t - 300.0),
+            "transient {final_t} vs steady {steady_t}"
+        );
+    }
+
+    #[test]
+    fn temperature_rises_monotonically_from_cold_start() {
+        let dims = GridDims::new(9, 9);
+        let s = stack(dims, 3.0);
+        let sim = TwoRm::new(&s, 3, &ThermalConfig::default()).unwrap();
+        let mut tr = sim.transient(Pascal::from_kilopascals(5.0), 1e-3, None).unwrap();
+        let mut last = 300.0;
+        for _ in 0..10 {
+            tr.step().unwrap();
+            let t = tr.snapshot().max_temperature().value();
+            assert!(t >= last - 1e-9, "t = {t}, last = {last}");
+            last = t;
+        }
+        assert!(last > 300.0);
+        assert!((tr.time() - 10e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starting_from_steady_state_stays_there() {
+        let dims = GridDims::new(9, 9);
+        let s = stack(dims, 2.0);
+        let sim = FourRm::new(&s, &ThermalConfig::default()).unwrap();
+        let p = Pascal::from_kilopascals(5.0);
+        let steady = sim.simulate(p).unwrap();
+        let mut tr = sim.transient(p, 1e-2, Some(&steady)).unwrap();
+        tr.run(3).unwrap();
+        let t = tr.snapshot().max_temperature().value();
+        assert!((t - steady.max_temperature().value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_scale_changes_the_steady_target() {
+        // Halving the power mid-run must steer toward a halved rise.
+        let dims = GridDims::new(9, 9);
+        let s = stack(dims, 4.0);
+        let sim = TwoRm::new(&s, 3, &ThermalConfig::default()).unwrap();
+        let p = Pascal::from_kilopascals(5.0);
+        let steady_full = sim.simulate(p).unwrap().max_temperature().value();
+        let mut tr = sim.transient(p, 5e-3, None).unwrap();
+        tr.run(200).unwrap();
+        let at_full = tr.snapshot().max_temperature().value();
+        assert!((at_full - steady_full).abs() < 0.1 * (steady_full - 300.0));
+        tr.set_power_scale(0.5);
+        assert_eq!(tr.power_scale(), 0.5);
+        tr.run(400).unwrap();
+        let at_half = tr.snapshot().max_temperature().value();
+        let expected = 300.0 + 0.5 * (steady_full - 300.0);
+        assert!(
+            (at_half - expected).abs() < 0.15 * (steady_full - 300.0),
+            "at_half = {at_half}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power scale")]
+    fn negative_power_scale_panics() {
+        let dims = GridDims::new(9, 9);
+        let s = stack(dims, 1.0);
+        let sim = TwoRm::new(&s, 3, &ThermalConfig::default()).unwrap();
+        let mut tr = sim
+            .transient(Pascal::from_kilopascals(5.0), 1e-3, None)
+            .unwrap();
+        tr.set_power_scale(-1.0);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let dims = GridDims::new(9, 9);
+        let s = stack(dims, 2.0);
+        let sim = FourRm::new(&s, &ThermalConfig::default()).unwrap();
+        assert!(sim.transient(Pascal::new(0.0), 1e-3, None).is_err());
+        assert!(sim
+            .transient(Pascal::from_kilopascals(1.0), 0.0, None)
+            .is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Rectangular microchannel geometry and the hydraulic quantities derived
+//! from it.
+
+use crate::coolant::Coolant;
+use crate::nusselt::{aspect_ratio, nusselt_number, WallCondition};
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one microchannel segment through a basic cell.
+///
+/// A basic cell is `pitch × pitch` in plan; if it is liquid it holds a
+/// channel of cross-section `width × height`. In the ICCAD 2015 benchmarks
+/// the channel width equals the cell pitch (`w_c = 100 µm`), so a liquid
+/// cell is wall-to-wall fluid; the type supports narrower channels too
+/// (e.g. for channel-width-modulation ablations).
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_units::channel::ChannelGeometry;
+/// let geom = ChannelGeometry::new(100e-6, 200e-6, 100e-6);
+/// // Hydraulic diameter of a 100x200 µm duct:
+/// assert!((geom.hydraulic_diameter() - 2.0 * 100e-6 * 200e-6 / 300e-6).abs() < 1e-18);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelGeometry {
+    width: f64,
+    height: f64,
+    pitch: f64,
+}
+
+impl ChannelGeometry {
+    /// Creates a channel geometry from width, height and basic-cell pitch,
+    /// all in meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is not strictly positive or if the channel is
+    /// wider than the cell pitch.
+    pub fn new(width: f64, height: f64, pitch: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0 && pitch > 0.0,
+            "channel dimensions must be positive"
+        );
+        assert!(
+            width <= pitch,
+            "channel width {width} exceeds basic-cell pitch {pitch}"
+        );
+        Self {
+            width,
+            height,
+            pitch,
+        }
+    }
+
+    /// The ICCAD 2015 benchmark geometry: `w_c = 100 µm`, pitch `100 µm`,
+    /// with the per-case channel height `h_c` (200 or 400 µm; Table 2).
+    pub fn iccad2015(channel_height: f64) -> Self {
+        Self::new(100e-6, channel_height, 100e-6)
+    }
+
+    /// Channel width `w_c` in meters.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Channel height `h_c` in meters.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Basic-cell pitch in meters.
+    pub fn pitch(&self) -> f64 {
+        self.pitch
+    }
+
+    /// Cross-sectional area `A_c = w·h` of the duct in m².
+    pub fn cross_section_area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Hydraulic diameter `D_h = 4·A_c / perimeter = 2·w·h / (w + h)`.
+    pub fn hydraulic_diameter(&self) -> f64 {
+        2.0 * self.width * self.height / (self.width + self.height)
+    }
+
+    /// Fluid conductance of Eq. (1):
+    /// `g_fluid = D_h² · A_c / (32 · l · µ)`,
+    /// where `l` is the center-to-center distance of the two liquid cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` is not strictly positive.
+    pub fn fluid_conductance(&self, coolant: &Coolant, distance: f64) -> f64 {
+        assert!(distance > 0.0, "distance must be positive, got {distance}");
+        let dh = self.hydraulic_diameter();
+        dh * dh * self.cross_section_area() / (32.0 * distance * coolant.dynamic_viscosity)
+    }
+
+    /// Convective heat-transfer coefficient `h_conv = Nu · k_liquid / D_h`
+    /// used in the solid–liquid wall conductance (Eqs. (5) and (8)).
+    pub fn convection_coefficient(&self, coolant: &Coolant, condition: WallCondition) -> f64 {
+        let alpha = aspect_ratio(self.width, self.height);
+        let nu = nusselt_number(alpha, condition);
+        nu * coolant.thermal_conductivity / self.hydraulic_diameter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> ChannelGeometry {
+        ChannelGeometry::iccad2015(200e-6)
+    }
+
+    #[test]
+    fn iccad_geometry_matches_table2() {
+        let g = geom();
+        assert_eq!(g.width(), 100e-6);
+        assert_eq!(g.pitch(), 100e-6);
+        assert_eq!(g.height(), 200e-6);
+    }
+
+    #[test]
+    fn hydraulic_diameter_formula() {
+        let g = geom();
+        let expected = 2.0 * 100e-6 * 200e-6 / (100e-6 + 200e-6);
+        assert!((g.hydraulic_diameter() - expected).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fluid_conductance_scales_inversely_with_distance() {
+        let g = geom();
+        let water = Coolant::water();
+        let g1 = g.fluid_conductance(&water, 100e-6);
+        let g2 = g.fluid_conductance(&water, 200e-6);
+        assert!((g1 / g2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fluid_conductance_magnitude_is_physical() {
+        // For the ICCAD geometry, pressure drops of a few kPa should drive
+        // flows of order 1e-8..1e-6 m^3/s per channel — sanity check the
+        // conductance magnitude supports that.
+        let g = geom();
+        let cond = g.fluid_conductance(&Coolant::water(), 100e-6);
+        let q = cond * 1.0e3; // 1 kPa across one cell
+        assert!(q > 1e-9 && q < 1e-2, "q = {q}");
+    }
+
+    #[test]
+    fn convection_coefficient_uses_nusselt() {
+        let g = geom();
+        let water = Coolant::water();
+        let h = g.convection_coefficient(&water, WallCondition::ConstantHeatFlux);
+        // Nu ~ 4.1 for alpha = 0.5, Dh = 133 µm, k = 0.613 =>
+        // h ~ 4.1 * 0.613 / 1.33e-4 ~ 1.9e4 W/m^2K.
+        assert!(h > 1.0e4 && h < 4.0e4, "h = {h}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds basic-cell pitch")]
+    fn rejects_channel_wider_than_pitch() {
+        ChannelGeometry::new(200e-6, 200e-6, 100e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn rejects_zero_distance() {
+        geom().fluid_conductance(&Coolant::water(), 0.0);
+    }
+}

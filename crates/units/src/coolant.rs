@@ -1,0 +1,82 @@
+//! Coolant (working fluid) properties.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Thermophysical properties of a single-phase liquid coolant.
+///
+/// The paper (and 3D-ICE, and the ICCAD 2015 contest) use water near the
+/// inlet temperature of 300 K. Properties are treated as
+/// temperature-independent, as is standard in these compact models.
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_units::Coolant;
+/// let water = Coolant::water();
+/// // Volumetric heat capacity C_v of Eq. (6):
+/// assert!(water.volumetric_heat_capacity() > 4.0e6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Coolant {
+    /// Human-readable name.
+    pub name: String,
+    /// Dynamic viscosity `µ` in Pa·s (Eq. (1)).
+    pub dynamic_viscosity: f64,
+    /// Thermal conductivity `k_liquid` in W/(m·K) (Eq. (5)).
+    pub thermal_conductivity: f64,
+    /// Density `ρ` in kg/m³.
+    pub density: f64,
+    /// Specific heat capacity `c_p` in J/(kg·K).
+    pub specific_heat: f64,
+}
+
+impl Coolant {
+    /// Water at 300 K — the coolant of every experiment in the paper.
+    pub fn water() -> Self {
+        Self {
+            name: "water".to_owned(),
+            dynamic_viscosity: 8.55e-4,
+            thermal_conductivity: 0.613,
+            density: 997.0,
+            specific_heat: 4179.0,
+        }
+    }
+
+    /// Volumetric specific heat `C_v = ρ·c_p` in J/(m³·K), the advection
+    /// coefficient of Eq. (6).
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.density * self.specific_heat
+    }
+}
+
+impl Default for Coolant {
+    /// Defaults to [`Coolant::water`].
+    fn default() -> Self {
+        Self::water()
+    }
+}
+
+impl fmt::Display for Coolant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (µ = {} Pa·s)", self.name, self.dynamic_viscosity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_properties_near_300k() {
+        let w = Coolant::water();
+        assert!(w.dynamic_viscosity > 5e-4 && w.dynamic_viscosity < 1.1e-3);
+        assert!(w.thermal_conductivity > 0.55 && w.thermal_conductivity < 0.7);
+        assert!((w.volumetric_heat_capacity() - 997.0 * 4179.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn default_is_water() {
+        assert_eq!(Coolant::default(), Coolant::water());
+    }
+}

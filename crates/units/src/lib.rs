@@ -1,0 +1,45 @@
+//! Physical units, material properties and coolant correlations used across
+//! the `coolnet` workspace.
+//!
+//! This crate is the physics substrate for the DAC'17 liquid-cooling-network
+//! reproduction: it provides
+//!
+//! * light-weight unit newtypes ([`Kelvin`], [`Pascal`], [`Watt`], ...) used at
+//!   public API boundaries so that callers cannot confuse, say, a pressure
+//!   with a power ([C-NEWTYPE]);
+//! * solid [`Material`] properties (silicon, silicon dioxide, copper);
+//! * [`Coolant`] properties (water at ~300 K by default);
+//! * the laminar-flow Nusselt-number correlations of Shah & London for
+//!   rectangular ducts ([`nusselt`]);
+//! * rectangular micro-[`channel`] geometry helpers (hydraulic diameter,
+//!   fluid conductance of Eq. (1) of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use coolnet_units::{Coolant, channel::ChannelGeometry};
+//!
+//! let water = Coolant::water();
+//! let geom = ChannelGeometry::new(100e-6, 200e-6, 100e-6);
+//! // Fluid conductance between two neighboring liquid cells, Eq. (1):
+//! let g = geom.fluid_conductance(&water, geom.pitch());
+//! assert!(g > 0.0);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+pub mod channel;
+pub mod coolant;
+pub mod material;
+pub mod nusselt;
+pub mod quantity;
+
+pub use channel::ChannelGeometry;
+pub use coolant::Coolant;
+pub use material::Material;
+pub use quantity::{CubicMetersPerSecond, Kelvin, Meters, Pascal, Watt};
+
+/// The inlet coolant temperature used throughout the ICCAD 2015 benchmarks.
+///
+/// The paper fixes `T_in = 300 K` for every test case (§6).
+pub const T_INLET_DEFAULT: Kelvin = Kelvin(300.0);

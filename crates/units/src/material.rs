@@ -1,0 +1,124 @@
+//! Solid material properties for the thermal models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Thermophysical properties of a solid material.
+///
+/// Only three properties matter to the compact models of the paper: thermal
+/// conductivity `k_solid` (Eq. (4)), and — for the transient extension —
+/// density and specific heat capacity.
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_units::Material;
+/// let si = Material::silicon();
+/// assert!(si.thermal_conductivity > 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Material {
+    /// Human-readable material name.
+    pub name: String,
+    /// Thermal conductivity `k` in W/(m·K).
+    pub thermal_conductivity: f64,
+    /// Density `ρ` in kg/m³.
+    pub density: f64,
+    /// Specific heat capacity `c_p` in J/(kg·K).
+    pub specific_heat: f64,
+}
+
+impl Material {
+    /// Bulk silicon near 300 K, the die and channel-wall material.
+    pub fn silicon() -> Self {
+        Self {
+            name: "silicon".to_owned(),
+            thermal_conductivity: 130.0,
+            density: 2330.0,
+            specific_heat: 700.0,
+        }
+    }
+
+    /// Silicon dioxide, used for bonding/BEOL interface layers.
+    pub fn silicon_dioxide() -> Self {
+        Self {
+            name: "silicon dioxide".to_owned(),
+            thermal_conductivity: 1.4,
+            density: 2220.0,
+            specific_heat: 745.0,
+        }
+    }
+
+    /// Copper, for TSV fills or heat spreaders in extended stacks.
+    pub fn copper() -> Self {
+        Self {
+            name: "copper".to_owned(),
+            thermal_conductivity: 400.0,
+            density: 8960.0,
+            specific_heat: 385.0,
+        }
+    }
+
+    /// Volumetric heat capacity `ρ·c_p` in J/(m³·K), used by the transient
+    /// model for solid thermal cells.
+    pub fn volumetric_heat_capacity(&self) -> f64 {
+        self.density * self.specific_heat
+    }
+}
+
+impl Default for Material {
+    /// Defaults to [`Material::silicon`], the paper's stack material.
+    fn default() -> Self {
+        Self::silicon()
+    }
+}
+
+impl fmt::Display for Material {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (k = {} W/m·K)",
+            self.name, self.thermal_conductivity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silicon_properties_in_expected_range() {
+        let si = Material::silicon();
+        assert!(si.thermal_conductivity > 100.0 && si.thermal_conductivity < 160.0);
+        assert!(si.density > 2000.0 && si.density < 2500.0);
+    }
+
+    #[test]
+    fn volumetric_heat_capacity_is_product() {
+        let si = Material::silicon();
+        assert!((si.volumetric_heat_capacity() - 2330.0 * 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_silicon() {
+        assert_eq!(Material::default(), Material::silicon());
+    }
+
+    #[test]
+    fn conductivity_ordering_copper_si_oxide() {
+        assert!(
+            Material::copper().thermal_conductivity
+                > Material::silicon().thermal_conductivity
+        );
+        assert!(
+            Material::silicon().thermal_conductivity
+                > Material::silicon_dioxide().thermal_conductivity
+        );
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        assert!(Material::silicon().to_string().contains("silicon"));
+    }
+}

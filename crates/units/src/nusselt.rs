@@ -1,0 +1,132 @@
+//! Laminar-flow Nusselt-number correlations for rectangular ducts.
+//!
+//! The solid–liquid wall conductance of Eq. (5) needs a Nusselt number
+//! `Nu`; the paper cites Shah & London, *Laminar Flow Forced Convection in
+//! Ducts* (1978). For fully developed laminar flow in a rectangular duct the
+//! classical fits are fifth-order polynomials in the duct aspect ratio
+//! `α = min(w, h) / max(w, h)`:
+//!
+//! * `Nu_H1` — constant axial heat flux, circumferentially constant wall
+//!   temperature (the boundary condition used by 3D-ICE);
+//! * `Nu_T` — constant wall temperature.
+
+use serde::{Deserialize, Serialize};
+
+/// Wall thermal boundary condition selecting which Shah–London fit is used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WallCondition {
+    /// Constant axial heat flux (H1). Default; matches 3D-ICE.
+    #[default]
+    ConstantHeatFlux,
+    /// Constant wall temperature (T).
+    ConstantTemperature,
+}
+
+/// Returns the duct aspect ratio `α = min(w, h) / max(w, h)` in `(0, 1]`.
+///
+/// # Panics
+///
+/// Panics if either dimension is not strictly positive.
+pub fn aspect_ratio(width: f64, height: f64) -> f64 {
+    assert!(
+        width > 0.0 && height > 0.0,
+        "duct dimensions must be positive, got {width} x {height}"
+    );
+    if width < height {
+        width / height
+    } else {
+        height / width
+    }
+}
+
+/// Fully developed laminar Nusselt number for a rectangular duct.
+///
+/// `alpha` is the aspect ratio in `(0, 1]` (see [`aspect_ratio`]).
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_units::nusselt::{nusselt_number, WallCondition};
+/// // Square duct, H1 condition: Nu ≈ 3.61.
+/// let nu = nusselt_number(1.0, WallCondition::ConstantHeatFlux);
+/// assert!((nu - 3.61).abs() < 0.05);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1]`.
+pub fn nusselt_number(alpha: f64, condition: WallCondition) -> f64 {
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "aspect ratio must be in (0, 1], got {alpha}"
+    );
+    let a = alpha;
+    match condition {
+        WallCondition::ConstantHeatFlux => {
+            8.235
+                * (1.0 - 2.0421 * a + 3.0853 * a.powi(2) - 2.4765 * a.powi(3)
+                    + 1.0578 * a.powi(4)
+                    - 0.1861 * a.powi(5))
+        }
+        WallCondition::ConstantTemperature => {
+            7.541
+                * (1.0 - 2.610 * a + 4.970 * a.powi(2) - 5.119 * a.powi(3)
+                    + 2.702 * a.powi(4)
+                    - 0.548 * a.powi(5))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_plate_limits() {
+        // α → 0 is the parallel-plate limit: Nu_H1 → 8.235, Nu_T → 7.541.
+        let nu_h1 = nusselt_number(1e-9, WallCondition::ConstantHeatFlux);
+        let nu_t = nusselt_number(1e-9, WallCondition::ConstantTemperature);
+        assert!((nu_h1 - 8.235).abs() < 1e-3);
+        assert!((nu_t - 7.541).abs() < 1e-3);
+    }
+
+    #[test]
+    fn square_duct_values_match_tables() {
+        // Shah & London tabulate Nu_H1 = 3.608, Nu_T = 2.976 for a square duct.
+        let nu_h1 = nusselt_number(1.0, WallCondition::ConstantHeatFlux);
+        let nu_t = nusselt_number(1.0, WallCondition::ConstantTemperature);
+        assert!((nu_h1 - 3.608).abs() < 0.05, "Nu_H1 = {nu_h1}");
+        assert!((nu_t - 2.976).abs() < 0.05, "Nu_T = {nu_t}");
+    }
+
+    #[test]
+    fn h1_exceeds_t_for_all_aspect_ratios() {
+        for i in 1..=100 {
+            let a = i as f64 / 100.0;
+            assert!(
+                nusselt_number(a, WallCondition::ConstantHeatFlux)
+                    > nusselt_number(a, WallCondition::ConstantTemperature),
+                "H1 < T at alpha = {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn aspect_ratio_is_symmetric_and_bounded() {
+        assert_eq!(aspect_ratio(2.0, 4.0), aspect_ratio(4.0, 2.0));
+        assert_eq!(aspect_ratio(3.0, 3.0), 1.0);
+        assert!((aspect_ratio(100e-6, 200e-6) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn aspect_ratio_rejects_zero() {
+        aspect_ratio(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aspect ratio")]
+    fn nusselt_rejects_out_of_range() {
+        nusselt_number(1.5, WallCondition::ConstantHeatFlux);
+    }
+}

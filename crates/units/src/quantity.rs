@@ -1,0 +1,286 @@
+//! Unit newtypes for the handful of physical quantities that cross public
+//! API boundaries.
+//!
+//! These are deliberately thin: each wraps an `f64` in SI units and exposes
+//! the raw value via [`value`](Kelvin::value). Internal numerical kernels
+//! work on plain `f64` for speed; the newtypes exist so that *callers*
+//! cannot mix up a pressure with a power or a temperature.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Creates the quantity from a raw SI value.
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw SI value.
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `true` if the underlying value is finite.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(value: $name) -> f64 {
+                value.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Absolute temperature in kelvin.
+    ///
+    /// ```
+    /// use coolnet_units::Kelvin;
+    /// let t = Kelvin::new(300.0) + Kelvin::new(15.0);
+    /// assert_eq!(t.value(), 315.0);
+    /// ```
+    Kelvin,
+    "K"
+);
+
+quantity!(
+    /// Pressure (or pressure drop) in pascal.
+    ///
+    /// The system pressure drop `P_sys` of the paper is a [`Pascal`] value.
+    Pascal,
+    "Pa"
+);
+
+quantity!(
+    /// Power in watt. Used both for die power and pumping power `W_pump`.
+    Watt,
+    "W"
+);
+
+quantity!(
+    /// Length in meters. Basic-cell pitch, channel width/height, etc.
+    Meters,
+    "m"
+);
+
+quantity!(
+    /// Volumetric flow rate in cubic meters per second.
+    CubicMetersPerSecond,
+    "m^3/s"
+);
+
+impl Mul<CubicMetersPerSecond> for Pascal {
+    type Output = Watt;
+
+    /// Pumping power: `W = P · Q` (Bernoulli, §3 of the paper, with the
+    /// external efficiency term `η` dropped as the paper does).
+    fn mul(self, rhs: CubicMetersPerSecond) -> Watt {
+        Watt(self.0 * rhs.0)
+    }
+}
+
+impl Kelvin {
+    /// Converts degrees Celsius to kelvin.
+    ///
+    /// ```
+    /// use coolnet_units::Kelvin;
+    /// assert_eq!(Kelvin::from_celsius(25.0).value(), 298.15);
+    /// ```
+    pub fn from_celsius(celsius: f64) -> Self {
+        Self(celsius + 273.15)
+    }
+
+    /// Converts this temperature to degrees Celsius.
+    pub fn to_celsius(self) -> f64 {
+        self.0 - 273.15
+    }
+}
+
+impl Meters {
+    /// Creates a length from a value in micrometers, the natural unit for
+    /// basic cells and channel dimensions.
+    ///
+    /// ```
+    /// use coolnet_units::Meters;
+    /// assert!((Meters::from_micrometers(100.0).value() - 100.0e-6).abs() < 1e-18);
+    /// ```
+    pub fn from_micrometers(um: f64) -> Self {
+        Self(um * 1e-6)
+    }
+
+    /// Converts this length to micrometers.
+    pub fn to_micrometers(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Watt {
+    /// Creates a power from milliwatts (Tables 3 and 4 report `W_pump` in mW).
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+
+    /// Converts this power to milliwatts.
+    pub fn to_milliwatts(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Pascal {
+    /// Creates a pressure from kilopascals (Tables 3 and 4 report `P_sys` in kPa).
+    pub fn from_kilopascals(kpa: f64) -> Self {
+        Self(kpa * 1e3)
+    }
+
+    /// Converts this pressure to kilopascals.
+    pub fn to_kilopascals(self) -> f64 {
+        self.0 * 1e-3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = Pascal::new(10.0);
+        let b = Pascal::new(4.0);
+        assert_eq!((a + b).value(), 14.0);
+        assert_eq!((a - b).value(), 6.0);
+        assert_eq!((-a).value(), -10.0);
+        assert_eq!((a * 2.0).value(), 20.0);
+        assert_eq!((a / 2.0).value(), 5.0);
+        assert_eq!(a / b, 2.5);
+    }
+
+    #[test]
+    fn pumping_power_is_pressure_times_flow() {
+        let p = Pascal::new(1000.0);
+        let q = CubicMetersPerSecond::new(1e-6);
+        let w: Watt = p * q;
+        assert!((w.value() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn celsius_round_trip() {
+        let t = Kelvin::from_celsius(85.0);
+        assert!((t.to_celsius() - 85.0).abs() < 1e-12);
+        assert!((t.value() - 358.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micrometer_round_trip() {
+        let l = Meters::from_micrometers(400.0);
+        assert!((l.to_micrometers() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_display_includes_unit() {
+        assert_eq!(Kelvin::new(300.0).to_string(), "300 K");
+        assert_eq!(Pascal::new(5.0).to_string(), "5 Pa");
+    }
+
+    #[test]
+    fn milliwatt_and_kilopascal_helpers() {
+        assert!((Watt::from_milliwatts(10.41).value() - 0.01041).abs() < 1e-12);
+        assert!((Pascal::from_kilopascals(12.98).value() - 12980.0).abs() < 1e-9);
+        assert!((Watt::new(0.00166).to_milliwatts() - 1.66).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Kelvin::new(-3.0);
+        assert_eq!(a.abs().value(), 3.0);
+        assert_eq!(a.max(Kelvin::new(1.0)).value(), 1.0);
+        assert_eq!(a.min(Kelvin::new(1.0)).value(), -3.0);
+        assert!(a.is_finite());
+        assert!(!Kelvin::new(f64::NAN).is_finite());
+    }
+}

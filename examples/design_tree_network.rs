@@ -1,0 +1,55 @@
+//! Design a hierarchical tree-like cooling network with the staged SA
+//! search and compare it against the straight-channel baseline — a
+//! miniature of the paper's Table 3 experiment.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example design_tree_network
+//! ```
+
+use coolnet::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = Benchmark::iccad_scaled(1, GridDims::new(31, 31));
+    let psearch = PressureSearchOptions::default();
+
+    // Baseline: the best straight-channel network over all 8 global flow
+    // directions, exactly as §6 constructs it.
+    println!("evaluating straight-channel baselines...");
+    let baseline = baseline::best_straight(
+        &bench,
+        Problem::PumpingPower,
+        &psearch,
+        ModelChoice::fast(),
+    )
+    .ok_or("no feasible straight baseline")?;
+    println!("  {}", baseline.table_row());
+
+    // Manual gallery (the contest-first-place stand-in).
+    if let Some(m) = baseline::best_manual(
+        &bench,
+        Problem::PumpingPower,
+        &psearch,
+        ModelChoice::fast(),
+    ) {
+        println!("  {}", m.table_row());
+    }
+
+    // Tree-like SA search (reduced schedule; use
+    // `TreeSearchOptions::paper_problem1` for the full Table 1 schedule).
+    println!("running tree-like SA search...");
+    let mut opts = TreeSearchOptions::quick(42);
+    opts.flows = vec![GlobalFlow::WestToEast, GlobalFlow::SouthToNorth];
+    let tree = TreeSearch::new(&bench, opts)
+        .run(Problem::PumpingPower)
+        .ok_or("no feasible tree-like network")?;
+    println!("  {}", tree.table_row());
+
+    let saving = 100.0 * (1.0 - tree.w_pump.value() / baseline.w_pump.value());
+    println!("\npumping power saving vs baseline: {saving:.1}%");
+
+    println!("\ndesigned network ({}):", tree.label);
+    print!("{}", render::ascii(&tree.network));
+    Ok(())
+}

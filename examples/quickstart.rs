@@ -1,0 +1,75 @@
+//! Quickstart: simulate a straight-channel cooling system on benchmark
+//! case 1 and inspect the thermal profile at a few operating pressures.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use coolnet::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A scaled-down case 1 keeps this example fast; swap in
+    // `Benchmark::iccad(1)` for the full 10.1 mm x 10.1 mm die.
+    let bench = Benchmark::iccad_scaled(1, GridDims::new(31, 31));
+    println!(
+        "case {}: {} dies, {:.1} W total, dT* = {} K, T*_max = {} K",
+        bench.id,
+        bench.num_dies,
+        bench.total_power(),
+        bench.delta_t_limit.value(),
+        bench.t_max_limit.value(),
+    );
+
+    // The classic layout: a straight channel on every even row, coolant
+    // flowing west to east.
+    let network = straight::build(
+        bench.dims,
+        &bench.tsv,
+        Dir::East,
+        &StraightParams::default(),
+    )?;
+    println!(
+        "network: {} liquid cells, {} ports",
+        network.num_liquid_cells(),
+        network.ports().len()
+    );
+
+    // Evaluate with the fast 2RM model at several pressures. Higher
+    // pressure always lowers T_max (h is monotone, §4.1), but watch dT:
+    // it may *rise* again once upstream regions saturate at T_in.
+    let evaluator = Evaluator::new(&bench, &network, ModelChoice::fast())?;
+    println!("\n  P_sys (kPa)   W_pump (mW)    T_max (K)    dT (K)");
+    for kpa in [2.0, 5.0, 10.0, 20.0, 40.0] {
+        let p = Pascal::from_kilopascals(kpa);
+        let profile = evaluator.profile(p)?;
+        println!(
+            "  {:>9.1}   {:>11.3}   {:>10.2}   {:>7.2}",
+            kpa,
+            evaluator.w_pump(p).to_milliwatts(),
+            profile.t_max.value(),
+            profile.delta_t.value(),
+        );
+    }
+
+    // Algorithm 2: the lowest feasible pumping power for this network
+    // under the case constraints.
+    let score = evaluate_problem1(
+        &evaluator,
+        bench.delta_t_limit,
+        bench.t_max_limit,
+        &PressureSearchOptions::default(),
+    )?;
+    match score {
+        NetworkScore::Feasible {
+            p_sys, objective, ..
+        } => println!(
+            "\nlowest feasible pumping power: {:.3} mW at P_sys = {:.2} kPa",
+            objective * 1e3,
+            p_sys.to_kilopascals()
+        ),
+        NetworkScore::Infeasible => println!("\nno feasible operating point"),
+    }
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Failure-injection integration tests: every layer of the pipeline must
+//! reject broken inputs with a descriptive error instead of producing
+//! garbage.
+
+use coolnet::prelude::*;
+
+fn dims() -> GridDims {
+    GridDims::new(11, 11)
+}
+
+fn valid_net() -> CoolingNetwork {
+    straight::build(
+        dims(),
+        &tsv::alternating(dims()),
+        Dir::East,
+        &StraightParams::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn every_legality_rule_fires() {
+    let d = dims();
+    // TSV collision.
+    let mut b = CoolingNetwork::builder(d);
+    b.tsv(tsv::alternating(d));
+    b.segment(Cell::new(0, 1), Dir::East, d.width());
+    b.port(PortKind::Inlet, Side::West, 1, 1);
+    b.port(PortKind::Outlet, Side::East, 1, 1);
+    assert!(matches!(b.build(), Err(LegalityError::LiquidOnTsv { .. })));
+
+    // No liquid at all.
+    let b = CoolingNetwork::builder(d);
+    assert!(matches!(b.build(), Err(LegalityError::NoLiquidCells)));
+
+    // Two inlets on one side.
+    let mut b = CoolingNetwork::builder(d);
+    b.segment(Cell::new(0, 0), Dir::East, d.width());
+    b.segment(Cell::new(0, 2), Dir::East, d.width());
+    b.port(PortKind::Inlet, Side::West, 0, 0);
+    b.port(PortKind::Inlet, Side::West, 2, 2);
+    b.port(PortKind::Outlet, Side::East, 0, 2);
+    assert!(matches!(
+        b.build(),
+        Err(LegalityError::DuplicatePortOnSide { .. })
+    ));
+
+    // Stranded liquid island.
+    let mut b = CoolingNetwork::builder(d);
+    b.segment(Cell::new(0, 0), Dir::East, d.width());
+    b.liquid(Cell::new(4, 6));
+    b.port(PortKind::Inlet, Side::West, 0, 0);
+    b.port(PortKind::Outlet, Side::East, 0, 0);
+    assert!(matches!(
+        b.build(),
+        Err(LegalityError::DisconnectedComponent { .. })
+    ));
+}
+
+#[test]
+fn zero_pressure_thermal_analysis_is_rejected() {
+    let bench = Benchmark::iccad_scaled(1, dims());
+    let ev = Evaluator::new(&bench, &valid_net(), ModelChoice::fast()).unwrap();
+    assert!(matches!(
+        ev.profile(Pascal::new(0.0)),
+        Err(ThermalError::ZeroFlow)
+    ));
+    assert!(matches!(
+        ev.profile(Pascal::new(-5.0)),
+        Err(ThermalError::ZeroFlow)
+    ));
+}
+
+#[test]
+fn malformed_stacks_are_rejected() {
+    let bench = Benchmark::iccad_scaled(1, dims());
+    // Wrong-size network.
+    let other = GridDims::new(15, 15);
+    let wrong = straight::build(
+        other,
+        &tsv::alternating(other),
+        Dir::East,
+        &StraightParams::default(),
+    )
+    .unwrap();
+    assert!(matches!(
+        bench.stack_with(&[wrong]),
+        Err(ThermalError::BadStack { .. })
+    ));
+    // Wrong network count (2 dies, 3 networks).
+    let net = valid_net();
+    assert!(matches!(
+        bench.stack_with(&[net.clone(), net.clone(), net]),
+        Err(ThermalError::BadStack { .. })
+    ));
+}
+
+#[test]
+fn tree_generator_rejects_degenerate_parameters() {
+    let bench = Benchmark::iccad_scaled(1, dims());
+    use coolnet::network::builders::tree::{build, BranchStyle, TreeConfig};
+    // b1 == b2.
+    let bad = TreeConfig::uniform(GlobalFlow::WestToEast, BranchStyle::Binary, 1, 4, 4);
+    assert!(build(bench.dims, &bench.tsv, &bench.restricted, &bad).is_err());
+    // Zero trees.
+    let none = TreeConfig {
+        flow: GlobalFlow::WestToEast,
+        style: BranchStyle::Binary,
+        trees: vec![],
+    };
+    assert!(build(bench.dims, &bench.tsv, &bench.restricted, &none).is_err());
+}
+
+#[test]
+fn evaluation_reports_infeasible_instead_of_lying() {
+    let bench = Benchmark::iccad_scaled(1, dims());
+    let ev = Evaluator::new(&bench, &valid_net(), ModelChoice::fast()).unwrap();
+    // Impossible constraints: gradient below a microkelvin.
+    let score = evaluate_problem1(
+        &ev,
+        Kelvin::new(1e-6),
+        bench.t_max_limit,
+        &PressureSearchOptions::default(),
+    )
+    .unwrap();
+    assert!(!score.is_feasible());
+    // Impossible peak limit (below inlet temperature).
+    let score = evaluate_problem1(
+        &ev,
+        bench.delta_t_limit,
+        Kelvin::new(299.0),
+        &PressureSearchOptions::default(),
+    )
+    .unwrap();
+    assert!(!score.is_feasible());
+}
+
+#[test]
+fn deserialized_garbage_network_fails_validation() {
+    let net = valid_net();
+    let mut json: serde_json::Value = serde_json::to_value(&net).unwrap();
+    // Corrupt the ports list: drop all ports.
+    json["ports"] = serde_json::Value::Array(vec![]);
+    let corrupted: CoolingNetwork = serde_json::from_value(json).unwrap();
+    assert!(matches!(
+        corrupted.validate(),
+        Err(LegalityError::NoInlet)
+    ));
+}
