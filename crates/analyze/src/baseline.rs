@@ -1,0 +1,110 @@
+//! Ratchet baseline I/O.
+//!
+//! The baseline (`analyze_baseline.toml` at the workspace root) records,
+//! per lint and per crate, how many violations are currently tolerated.
+//! The analyzer fails when a count *exceeds* its baseline entry and nags
+//! when it falls below (run `--update-baseline` to tighten the ratchet).
+//! The file is a small TOML subset — sections and integer assignments —
+//! parsed by hand so the analyzer stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// `lint name -> crate path -> tolerated violation count`.
+pub type Baseline = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Parses the baseline file format.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut baseline = Baseline::new();
+    let mut section: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = name.trim().trim_matches('"');
+            section = Some(name.to_string());
+            baseline.entry(name.to_string()).or_default();
+            continue;
+        }
+        let Some(current) = section.as_ref() else {
+            return Err(format!("line {}: entry before any [section]", idx + 1));
+        };
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {}: expected `\"crate\" = count`", idx + 1));
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let count: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: `{}` is not a count", idx + 1, value.trim()))?;
+        baseline
+            .entry(current.clone())
+            .or_default()
+            .insert(key, count);
+    }
+    Ok(baseline)
+}
+
+/// Renders a baseline in the stable on-disk format (sorted sections and
+/// keys, zero-count entries omitted).
+pub fn render(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "# Ratchet baseline for `coolnet-analyze` (see DESIGN.md, \"Static\n\
+         # analysis layer\"). Counts may only go down; regenerate with\n\
+         #     cargo run -p coolnet-analyze -- --update-baseline\n",
+    );
+    for (lint, crates) in baseline {
+        let nonzero: Vec<_> = crates.iter().filter(|(_, n)| **n > 0).collect();
+        if nonzero.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "\n[{lint}]\n");
+        for (krate, count) in nonzero {
+            let _ = writeln!(out, "\"{krate}\" = {count}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let mut b = Baseline::new();
+        b.entry("panic-free-solvers".into())
+            .or_default()
+            .insert("crates/opt".into(), 7);
+        b.entry("doc-coverage".into())
+            .or_default()
+            .insert("crates/units".into(), 2);
+        let text = render(&b);
+        let back = parse(&text).expect("rendered baseline parses");
+        assert_eq!(back["panic-free-solvers"]["crates/opt"], 7);
+        assert_eq!(back["doc-coverage"]["crates/units"], 2);
+    }
+
+    #[test]
+    fn zero_entries_are_dropped_on_render() {
+        let mut b = Baseline::new();
+        b.entry("finite-guard".into())
+            .or_default()
+            .insert("crates/flow".into(), 0);
+        assert!(!render(&b).contains("finite-guard"));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_numbers() {
+        let err = parse("\"crates/opt\" = 3\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let err = parse("[x]\nnot an entry\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

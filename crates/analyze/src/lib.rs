@@ -1,0 +1,107 @@
+//! `coolnet-analyze` — workspace-native static analysis.
+//!
+//! The paper's pipeline chains a hydraulic solver, compact thermal models
+//! and a simulated-annealing search; a stray panic or an unguarded NaN in
+//! any of them silently corrupts whole optimization runs. This crate scans
+//! the workspace's own sources for four repo-specific hazards
+//! (see [`rules`]) and holds the counts to a committed ratchet baseline
+//! ([`baseline`]): violation counts may only go down over time.
+//!
+//! The crate is deliberately std-only so it builds offline and can never
+//! be broken by the dependency graph it polices. It is wired into tier-1
+//! through `tests/workspace_selfcheck.rs`, and exposed as the
+//! `coolnet-analyze` binary for CI and local runs.
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use rules::Violation;
+use scan::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Name of the committed ratchet file at the workspace root.
+pub const BASELINE_FILE: &str = "analyze_baseline.toml";
+
+/// Scans every `crates/*/src/**/*.rs` file under `root` and returns all
+/// lint violations, sorted by path and line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walks and file reads.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let Some(name) = crate_dir.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let text = std::fs::read_to_string(&file)?;
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let scanned = SourceFile::parse(&rel, &text);
+            rules::check_file(name, &scanned, &mut violations);
+        }
+    }
+    violations.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Ok(violations)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: walks up from `start` looking for the
+/// committed baseline file next to a `Cargo.toml`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join(BASELINE_FILE).is_file() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_root_walks_up_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_root(here).expect("workspace root with baseline exists");
+        assert!(root.join("crates/analyze").is_dir());
+    }
+}

@@ -1,0 +1,109 @@
+//! `coolnet-analyze` binary: scan the workspace, compare against the
+//! ratchet baseline, exit non-zero on regression.
+//!
+//! ```text
+//! cargo run -p coolnet-analyze                      # check
+//! cargo run -p coolnet-analyze -- --update-baseline # tighten the ratchet
+//! cargo run -p coolnet-analyze -- --root <dir>      # explicit workspace
+//! ```
+
+#![forbid(unsafe_code)]
+
+use coolnet_analyze::report::{self, Outcome};
+use coolnet_analyze::{analyze_workspace, baseline, find_root, BASELINE_FILE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut update = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update-baseline" => update = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: coolnet-analyze [--update-baseline] [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("coolnet-analyze: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = match root.or_else(default_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("coolnet-analyze: could not locate the workspace root ({BASELINE_FILE})");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let violations = match analyze_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("coolnet-analyze: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let baseline_path = root.join(BASELINE_FILE);
+    if update {
+        let counts = report::count(&violations);
+        let rendered = baseline::render(&report::to_baseline(&counts));
+        if let Err(e) = std::fs::write(&baseline_path, rendered) {
+            eprintln!(
+                "coolnet-analyze: cannot write {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "coolnet-analyze: wrote {} ({} violation(s) across {} bucket(s))",
+            baseline_path.display(),
+            violations.len(),
+            counts.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!(
+                "coolnet-analyze: cannot read {}: {e}\nrun with --update-baseline to create it",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let parsed = match baseline::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "coolnet-analyze: malformed {}: {e}",
+                baseline_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = report::compare(&violations, &parsed);
+    print!("{}", report.text);
+    match report.outcome {
+        Outcome::Regressed => ExitCode::FAILURE,
+        Outcome::Clean | Outcome::Improved => ExitCode::SUCCESS,
+    }
+}
+
+/// Default root: the workspace containing this crate when run via
+/// `cargo run`, else walk up from the current directory.
+fn default_root() -> Option<PathBuf> {
+    let compiled_in = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if compiled_in.join(BASELINE_FILE).is_file() {
+        return compiled_in.canonicalize().ok();
+    }
+    find_root(&std::env::current_dir().ok()?)
+}

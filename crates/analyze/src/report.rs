@@ -1,0 +1,159 @@
+//! Comparing a scan against the ratchet baseline and rendering the result.
+
+use crate::baseline::Baseline;
+use crate::rules::{Violation, ALL_LINTS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Violation counts keyed `(lint, crate path)`.
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Buckets raw violations into per-`(lint, crate)` counts. The crate key is
+/// the leading `crates/<name>` component of each violation path.
+pub fn count(violations: &[Violation]) -> Counts {
+    let mut counts = Counts::new();
+    for v in violations {
+        let krate = v.path.split('/').take(2).collect::<Vec<_>>().join("/");
+        *counts.entry((v.lint.to_string(), krate)).or_default() += 1;
+    }
+    counts
+}
+
+/// Converts counts into the nested [`Baseline`] shape for writing.
+pub fn to_baseline(counts: &Counts) -> Baseline {
+    let mut baseline = Baseline::new();
+    for ((lint, krate), n) in counts {
+        baseline
+            .entry(lint.clone())
+            .or_default()
+            .insert(krate.clone(), *n);
+    }
+    baseline
+}
+
+/// Outcome of a baseline comparison.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every count is at its baseline value.
+    Clean,
+    /// Some counts dropped below baseline — ratchet can be tightened.
+    Improved,
+    /// At least one count exceeds its baseline.
+    Regressed,
+}
+
+/// The comparison result plus a rendered human-readable report.
+#[derive(Debug)]
+pub struct Report {
+    /// Overall verdict.
+    pub outcome: Outcome,
+    /// Full text to print (diagnostics, then a summary table).
+    pub text: String,
+}
+
+/// Compares a scan against the baseline. Regressed `(lint, crate)` buckets
+/// list every violation as a `file:line` diagnostic so the offending edit
+/// is one click away; improved buckets get a one-line nudge.
+pub fn compare(violations: &[Violation], baseline: &Baseline) -> Report {
+    let counts = count(violations);
+    let mut text = String::new();
+    let mut outcome = Outcome::Clean;
+
+    // All buckets present in either the scan or the baseline.
+    let mut buckets: Vec<(String, String)> = counts.keys().cloned().collect();
+    for (lint, crates) in baseline {
+        for krate in crates.keys() {
+            buckets.push((lint.clone(), krate.clone()));
+        }
+    }
+    buckets.sort();
+    buckets.dedup();
+
+    for (lint, krate) in &buckets {
+        let found = counts
+            .get(&(lint.clone(), krate.clone()))
+            .copied()
+            .unwrap_or(0);
+        let allowed = baseline
+            .get(lint)
+            .and_then(|c| c.get(krate))
+            .copied()
+            .unwrap_or(0);
+        if found > allowed {
+            outcome = Outcome::Regressed;
+            let _ = writeln!(
+                text,
+                "error[{lint}]: {krate} has {found} violation(s), baseline allows {allowed}:"
+            );
+            for v in violations
+                .iter()
+                .filter(|v| v.lint == *lint && v.path.starts_with(krate.as_str()))
+            {
+                let _ = writeln!(text, "  {v}");
+            }
+        } else if found < allowed && outcome != Outcome::Regressed {
+            outcome = Outcome::Improved;
+        }
+    }
+
+    let _ = writeln!(
+        text,
+        "coolnet-analyze: {} lint(s) over the workspace",
+        ALL_LINTS.len()
+    );
+    for (lint, krate) in &buckets {
+        let found = counts
+            .get(&(lint.clone(), krate.clone()))
+            .copied()
+            .unwrap_or(0);
+        let allowed = baseline
+            .get(lint)
+            .and_then(|c| c.get(krate))
+            .copied()
+            .unwrap_or(0);
+        let verdict = match found.cmp(&allowed) {
+            std::cmp::Ordering::Greater => "REGRESSED",
+            std::cmp::Ordering::Less => "improved — run --update-baseline",
+            std::cmp::Ordering::Equal => "at baseline",
+        };
+        let _ = writeln!(
+            text,
+            "  {lint:>20} {krate:<16} {found:>3} / {allowed:<3} {verdict}"
+        );
+    }
+    Report { outcome, text }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::PANIC_FREE;
+
+    fn violation(path: &str) -> Violation {
+        Violation {
+            lint: PANIC_FREE,
+            path: path.to_string(),
+            line: 3,
+            message: "test".to_string(),
+        }
+    }
+
+    #[test]
+    fn regression_is_detected_and_lists_diagnostics() {
+        let v = vec![violation("crates/sparse/src/solve.rs")];
+        let report = compare(&v, &Baseline::new());
+        assert_eq!(report.outcome, Outcome::Regressed);
+        assert!(report.text.contains("crates/sparse/src/solve.rs:3"));
+    }
+
+    #[test]
+    fn matching_baseline_is_clean_and_lower_is_improved() {
+        let v = vec![violation("crates/opt/src/sa.rs")];
+        let mut b = Baseline::new();
+        b.entry(PANIC_FREE.into())
+            .or_default()
+            .insert("crates/opt".into(), 1);
+        assert_eq!(compare(&v, &b).outcome, Outcome::Clean);
+        assert_eq!(compare(&[], &b).outcome, Outcome::Improved);
+    }
+}

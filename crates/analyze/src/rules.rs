@@ -1,0 +1,534 @@
+//! The four repo-specific lint rules.
+//!
+//! Each rule takes a scanned [`SourceFile`] and appends [`Violation`]s.
+//! Rules are scoped to crate subsets (see [`lint_scope`]) chosen to match
+//! where the failure mode bites: panics in solver hot paths, raw `f64`s in
+//! physical interfaces, unguarded numerics at solver entry points, and
+//! undocumented public API in the foundation crates.
+
+use crate::scan::SourceFile;
+
+/// Lint: no `unwrap`/`expect`/`panic!`/`unreachable!` in solver crates.
+pub const PANIC_FREE: &str = "panic-free-solvers";
+/// Lint: physical quantities must use `coolnet-units` newtypes, not `f64`.
+pub const UNIT_DISCIPLINE: &str = "unit-discipline";
+/// Lint: solver/assembly entry points must guard against non-finite input.
+pub const FINITE_GUARD: &str = "finite-guard";
+/// Lint: public items in foundation crates must carry doc comments.
+pub const DOC_COVERAGE: &str = "doc-coverage";
+
+/// All lints, in reporting order.
+pub const ALL_LINTS: [&str; 4] = [PANIC_FREE, UNIT_DISCIPLINE, FINITE_GUARD, DOC_COVERAGE];
+
+/// One finding, pointing at a workspace-relative `path:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which lint fired (one of [`ALL_LINTS`]).
+    pub lint: &'static str,
+    /// Workspace-relative source path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// The crate directory names (under `crates/`) a lint applies to.
+pub fn lint_scope(lint: &str) -> &'static [&'static str] {
+    match lint {
+        PANIC_FREE => &["sparse", "flow", "thermal", "opt"],
+        UNIT_DISCIPLINE => &["flow", "thermal", "network"],
+        FINITE_GUARD => &["sparse", "flow", "thermal", "opt"],
+        DOC_COVERAGE => &["units", "sparse", "core"],
+        _ => &[],
+    }
+}
+
+/// Runs every lint whose scope covers `crate_dir` (e.g. `"thermal"`) over
+/// one scanned file, appending findings to `out`.
+pub fn check_file(crate_dir: &str, file: &SourceFile, out: &mut Vec<Violation>) {
+    if lint_scope(PANIC_FREE).contains(&crate_dir) {
+        panic_free(file, out);
+    }
+    if lint_scope(UNIT_DISCIPLINE).contains(&crate_dir) {
+        unit_discipline(file, out);
+    }
+    if lint_scope(FINITE_GUARD).contains(&crate_dir) {
+        finite_guard(file, out);
+    }
+    if lint_scope(DOC_COVERAGE).contains(&crate_dir) {
+        doc_coverage(file, out);
+    }
+}
+
+/// Panic-prone tokens and the message each one earns.
+const PANIC_TOKENS: [(&str, &str); 4] = [
+    (
+        ".unwrap()",
+        "`.unwrap()` in solver code; propagate an error instead",
+    ),
+    (
+        ".expect(",
+        "`.expect(...)` in solver code; propagate an error instead",
+    ),
+    ("panic!", "`panic!` in solver code; return an error instead"),
+    (
+        "unreachable!",
+        "`unreachable!` in solver code; make the invariant a typed error",
+    ),
+];
+
+/// `panic-free-solvers`: flags panic-prone tokens outside `#[cfg(test)]`.
+pub fn panic_free(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let line_no = idx + 1;
+        for (token, message) in PANIC_TOKENS {
+            if contains_token(&line.code, token) && !file.allows(line_no, PANIC_FREE) {
+                out.push(Violation {
+                    lint: PANIC_FREE,
+                    path: file.path.clone(),
+                    line: line_no,
+                    message: message.to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Parameter-name fragments that denote physical quantities.
+const QUANTITY_WORDS: [&str; 7] = [
+    "pressure",
+    "temperature",
+    "temp",
+    "width",
+    "flow",
+    "power",
+    "head",
+];
+
+/// `unit-discipline`: flags `pub fn` parameters typed bare `f64` whose
+/// names denote physical quantities that `coolnet-units` wraps.
+pub fn unit_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, sig) in signatures(file) {
+        let Some(params) = param_list(&sig) else {
+            continue;
+        };
+        for param in split_top_level(&params) {
+            let Some((name, ty)) = param.split_once(':') else {
+                continue;
+            };
+            let name = name.trim().trim_start_matches("mut ").trim();
+            let ty = ty.trim();
+            if ty != "f64" {
+                continue;
+            }
+            let named_quantity = name
+                .split('_')
+                .any(|seg| QUANTITY_WORDS.contains(&seg.to_ascii_lowercase().as_str()));
+            if named_quantity && !file.allows(idx + 1, UNIT_DISCIPLINE) {
+                out.push(Violation {
+                    lint: UNIT_DISCIPLINE,
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    message: format!(
+                        "public parameter `{name}: f64` names a physical quantity; \
+                         use the coolnet-units newtype"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Substrings accepted as evidence of a finite/validity guard in a body.
+const GUARD_HINTS: [&str; 6] = [
+    "is_finite",
+    "is_nan",
+    "assert",
+    "valid",
+    "check_",
+    "ensure_",
+];
+
+/// `finite-guard`: `pub fn solve*` / `pub fn assemble*` must contain a
+/// finiteness or validity check (directly or by calling a validator).
+pub fn finite_guard(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, sig) in signatures(file) {
+        let Some(name) = fn_name(&sig) else {
+            continue;
+        };
+        if !(name.starts_with("solve") || name.starts_with("assemble")) {
+            continue;
+        }
+        let Some(body) = body_lines(file, idx) else {
+            continue; // bodiless trait method
+        };
+        let guarded = body
+            .iter()
+            .any(|l| GUARD_HINTS.iter().any(|h| l.contains(h)));
+        if !guarded && !file.allows(idx + 1, FINITE_GUARD) {
+            out.push(Violation {
+                lint: FINITE_GUARD,
+                path: file.path.clone(),
+                line: idx + 1,
+                message: format!(
+                    "entry point `{name}` has no finiteness/validity guard; \
+                     assert inputs are finite or call a validator"
+                ),
+            });
+        }
+    }
+}
+
+/// Item keywords that `doc-coverage` cares about after `pub `.
+const DOC_ITEMS: [&str; 8] = [
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod",
+];
+
+/// `doc-coverage`: public items must be preceded by a doc comment
+/// (attributes in between are skipped).
+pub fn doc_coverage(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub ") else {
+            continue;
+        };
+        let Some(keyword) = rest.split_whitespace().next() else {
+            continue;
+        };
+        // `pub async fn` / `pub unsafe fn` — look one word further.
+        let keyword = if keyword == "async" || keyword == "unsafe" {
+            rest.split_whitespace().nth(1).unwrap_or(keyword)
+        } else {
+            keyword
+        };
+        if !DOC_ITEMS.contains(&keyword) {
+            continue;
+        }
+        if !has_doc_above(file, idx) && !file.allows(idx + 1, DOC_COVERAGE) {
+            out.push(Violation {
+                lint: DOC_COVERAGE,
+                path: file.path.clone(),
+                line: idx + 1,
+                message: format!("public {keyword} is missing a doc comment"),
+            });
+        }
+    }
+}
+
+/// Walks upward over attribute lines; true if a `///` or `#[doc` precedes.
+fn has_doc_above(file: &SourceFile, item_idx: usize) -> bool {
+    let mut i = item_idx;
+    while i > 0 {
+        i -= 1;
+        let line = &file.lines[i];
+        let raw = line.raw.trim_start();
+        if raw.starts_with("///") || raw.starts_with("#[doc") {
+            return true;
+        }
+        let code = line.code.trim();
+        // Skip attributes (possibly multi-line: continuation lines end in
+        // `]` or are fully bracketed expressions inside the attribute).
+        if code.starts_with("#[") || code.ends_with(")]") || code.ends_with("]") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Yields `(line_index, signature_text)` for every non-test `pub fn`,
+/// joining lines until the parameter list closes.
+fn signatures(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut sigs = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let is_pub_fn = trimmed.starts_with("pub fn ")
+            || trimmed.starts_with("pub async fn ")
+            || trimmed.starts_with("pub unsafe fn ");
+        if !is_pub_fn {
+            continue;
+        }
+        let mut sig = String::new();
+        let mut depth = 0i32;
+        let mut opened = false;
+        'join: for l in &file.lines[idx..idx + 24.min(file.lines.len() - idx)] {
+            for c in l.code.chars() {
+                sig.push(c);
+                match c {
+                    '(' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    ')' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            // Keep the rest of this line (return type, `{`).
+                        }
+                    }
+                    '{' | ';' if opened && depth == 0 => break 'join,
+                    _ => {}
+                }
+            }
+            sig.push(' ');
+            if opened && depth == 0 && (sig.contains('{') || sig.contains(';')) {
+                break;
+            }
+        }
+        sigs.push((idx, sig));
+    }
+    sigs
+}
+
+/// Extracts a function's name from its signature text.
+fn fn_name(sig: &str) -> Option<String> {
+    let after = sig.split("fn ").nth(1)?;
+    let name: String = after
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Extracts the parenthesized parameter list from a signature.
+fn param_list(sig: &str) -> Option<String> {
+    let open = sig.find('(')?;
+    let mut depth = 0i32;
+    for (i, c) in sig[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(sig[open + 1..open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits `params` on commas not nested inside `<>`, `()`, or `[]`.
+fn split_top_level(params: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in params.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Returns the code lines of the function body starting at `fn_idx`, or
+/// `None` for bodiless declarations.
+fn body_lines(file: &SourceFile, fn_idx: usize) -> Option<Vec<String>> {
+    let mut depth = 0i32;
+    let mut opened = false;
+    let mut body = Vec::new();
+    for line in &file.lines[fn_idx..] {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                ';' if !opened && depth == 0 => return None,
+                _ => {}
+            }
+        }
+        if opened {
+            body.push(line.code.clone());
+        }
+        if opened && depth <= 0 {
+            return Some(body);
+        }
+    }
+    Some(body)
+}
+
+/// Substring search requiring the match to start at a token boundary.
+/// Tokens starting with `.` need no boundary (the receiver precedes them);
+/// word-like tokens must not be the tail of a longer identifier.
+fn contains_token(code: &str, token: &str) -> bool {
+    if token.starts_with('.') {
+        return code.contains(token);
+    }
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let abs = start + pos;
+        let boundary = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        start = abs + token.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> SourceFile {
+        SourceFile::parse("fixture.rs", src)
+    }
+
+    fn run(rule: fn(&SourceFile, &mut Vec<Violation>), src: &str) -> Vec<Violation> {
+        let file = scan(src);
+        let mut out = Vec::new();
+        rule(&file, &mut out);
+        out
+    }
+
+    // -- panic-free-solvers ------------------------------------------------
+
+    #[test]
+    fn panic_free_flags_unwrap_outside_tests() {
+        let v = run(panic_free, "pub fn f() { x.unwrap(); }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[0].lint, PANIC_FREE);
+    }
+
+    #[test]
+    fn panic_free_ignores_tests_comments_and_unwrap_or() {
+        let src = "\
+// a panic! in a comment\n\
+let s = \"panic!\";\n\
+let x = y.unwrap_or(0);\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { z.unwrap(); panic!(); }\n\
+}\n";
+        assert!(run(panic_free, src).is_empty());
+    }
+
+    #[test]
+    fn panic_free_honors_allow_escape() {
+        let src = "x.unwrap(); // analyze:allow(panic-free-solvers)\n\
+                   // analyze:allow(panic-free-solvers)\n\
+                   y.expect(\"msg\");\n";
+        assert!(run(panic_free, src).is_empty());
+    }
+
+    // -- unit-discipline ---------------------------------------------------
+
+    #[test]
+    fn unit_discipline_flags_bare_f64_quantities() {
+        let v = run(
+            unit_discipline,
+            "pub fn set(pressure_drop: f64, n: usize) {}",
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("pressure_drop"));
+    }
+
+    #[test]
+    fn unit_discipline_accepts_newtypes_and_neutral_names() {
+        let src = "pub fn set(pressure: Pascal, ratio: f64, widths: &WidthMap) {}\n\
+                   fn private(width: f64) {}\n";
+        assert!(run(unit_discipline, src).is_empty());
+    }
+
+    #[test]
+    fn unit_discipline_honors_allow_escape() {
+        let src = "// analyze:allow(unit-discipline)\n\
+                   pub fn raw(temperature: f64) {}\n";
+        assert!(run(unit_discipline, src).is_empty());
+    }
+
+    #[test]
+    fn unit_discipline_handles_multiline_signatures() {
+        let src = "pub fn set(\n    flow_rate: f64,\n) {}\n";
+        let v = run(unit_discipline, src);
+        assert_eq!(v.len(), 1);
+    }
+
+    // -- finite-guard ------------------------------------------------------
+
+    #[test]
+    fn finite_guard_flags_unguarded_solver() {
+        let v = run(
+            finite_guard,
+            "pub fn solve_fast(b: &[f64]) -> Vec<f64> {\n    b.to_vec()\n}\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("solve_fast"));
+    }
+
+    #[test]
+    fn finite_guard_accepts_guarded_and_non_entry_fns() {
+        let src = "pub fn solve(b: &[f64]) {\n    assert!(b.iter().all(|x| x.is_finite()));\n}\n\
+                   pub fn assemble_matrix(&self) {\n    self.validate();\n}\n\
+                   pub fn helper() {}\n";
+        assert!(run(finite_guard, src).is_empty());
+    }
+
+    #[test]
+    fn finite_guard_honors_allow_escape() {
+        let src = "// analyze:allow(finite-guard)\n\
+                   pub fn solve_raw(b: &[f64]) {\n    drop(b);\n}\n";
+        assert!(run(finite_guard, src).is_empty());
+    }
+
+    // -- doc-coverage ------------------------------------------------------
+
+    #[test]
+    fn doc_coverage_flags_undocumented_pub_items() {
+        let v = run(doc_coverage, "pub struct Bare;\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("struct"));
+    }
+
+    #[test]
+    fn doc_coverage_accepts_documented_and_private_items() {
+        let src = "/// Documented.\npub struct Ok;\n\
+                   /// Documented too.\n#[derive(Debug)]\npub enum E { A }\n\
+                   struct Private;\n\
+                   pub(crate) fn internal() {}\n";
+        assert!(run(doc_coverage, src).is_empty());
+    }
+
+    #[test]
+    fn doc_coverage_honors_allow_escape() {
+        let src = "// analyze:allow(doc-coverage)\npub fn undocumented() {}\n";
+        assert!(run(doc_coverage, src).is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! Lightweight lexical scanner for Rust sources.
+//!
+//! The lint rules in [`crate::rules`] do not need a full parse tree — they
+//! match tokens and signatures line by line. What they *do* need is for
+//! comments and string literals to never produce false positives (a doc
+//! comment mentioning `panic!` is not a panic), and for `#[cfg(test)]`
+//! regions and `// analyze:allow(...)` escapes to be visible. This module
+//! provides exactly that: each source line is split into a *code* view
+//! (comments and literal contents blanked out, byte-for-byte aligned with
+//! the original) and a *comment* view (used only to find allow markers).
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The original line text.
+    pub raw: String,
+    /// The line with comments and string/char literal contents replaced by
+    /// spaces. Same length as `raw`, so columns line up.
+    pub code: String,
+    /// Concatenated comment text appearing on this line.
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A scanned source file ready for lint rules.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Display path used in diagnostics (workspace-relative).
+    pub path: String,
+    /// Scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+/// Lexer state while sweeping the file.
+enum State {
+    Code,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string with the given number of `#` marks.
+    RawStr(u32),
+    CharLit,
+}
+
+impl SourceFile {
+    /// Scans `text`, producing aligned code/comment views per line and
+    /// marking `#[cfg(test)]` regions.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let mut lines = Vec::new();
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut state = State::Code;
+
+        for raw in text.lines() {
+            code.clear();
+            comment.clear();
+            let chars: Vec<char> = raw.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                let c = chars[i];
+                let next = chars.get(i + 1).copied();
+                match state {
+                    State::Code => match c {
+                        '/' if next == Some('/') => {
+                            comment.extend(&chars[i..]);
+                            while code.len() < raw.len() {
+                                code.push(' ');
+                            }
+                            i = chars.len();
+                            continue;
+                        }
+                        '/' if next == Some('*') => {
+                            state = State::BlockComment(1);
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        '"' => {
+                            state = State::Str;
+                            code.push('"');
+                        }
+                        'r' | 'b' if is_raw_string_start(&chars, i) => {
+                            let (hashes, consumed) = raw_string_open(&chars, i);
+                            state = State::RawStr(hashes);
+                            for _ in 0..consumed {
+                                code.push(' ');
+                            }
+                            i += consumed;
+                            continue;
+                        }
+                        '\'' if is_char_literal(&chars, i) => {
+                            state = State::CharLit;
+                            code.push(' ');
+                        }
+                        _ => code.push(c),
+                    },
+                    State::BlockComment(depth) => {
+                        if c == '*' && next == Some('/') {
+                            comment.push(' ');
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            state = if depth > 1 {
+                                State::BlockComment(depth - 1)
+                            } else {
+                                State::Code
+                            };
+                            continue;
+                        }
+                        if c == '/' && next == Some('*') {
+                            state = State::BlockComment(depth + 1);
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        comment.push(c);
+                        code.push(' ');
+                    }
+                    State::Str => match c {
+                        '\\' => {
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        '"' => {
+                            state = State::Code;
+                            code.push('"');
+                        }
+                        _ => code.push(' '),
+                    },
+                    State::RawStr(hashes) => {
+                        if c == '"' && closes_raw_string(&chars, i, hashes) {
+                            state = State::Code;
+                            code.push('"');
+                            for _ in 0..hashes {
+                                code.push(' ');
+                            }
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                        code.push(' ');
+                    }
+                    State::CharLit => match c {
+                        '\\' => {
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        '\'' => {
+                            state = State::Code;
+                            code.push(' ');
+                        }
+                        _ => code.push(' '),
+                    },
+                }
+                i += 1;
+            }
+            // Strings may not span lines in this scanner's model (the
+            // workspace has none); line comments always end here.
+            if matches!(state, State::Str | State::CharLit) {
+                state = State::Code;
+            }
+            lines.push(Line {
+                raw: raw.to_string(),
+                code: code.clone(),
+                comment: comment.clone(),
+                in_test: false,
+            });
+        }
+
+        mark_test_regions(&mut lines);
+        SourceFile {
+            path: path.to_string(),
+            lines,
+        }
+    }
+
+    /// Whether an `// analyze:allow(<lint>)` escape covers 1-based line
+    /// `line_no` for `lint`: either on the line itself or on an immediately
+    /// preceding comment-only line.
+    pub fn allows(&self, line_no: usize, lint: &str) -> bool {
+        let marker = format!("analyze:allow({lint})");
+        let idx = line_no.saturating_sub(1);
+        if let Some(line) = self.lines.get(idx) {
+            if line.comment.contains(&marker) {
+                return true;
+            }
+        }
+        if idx > 0 {
+            if let Some(prev) = self.lines.get(idx - 1) {
+                if prev.code.trim().is_empty() && prev.comment.contains(&marker) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Detects `r"`, `r#"`, `br"`, `br#"`, ... at `chars[i]`.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier like `attr` or `ptr`.
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Returns (number of hashes, chars consumed through the opening quote).
+fn raw_string_open(chars: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (hashes, j - i)
+}
+
+/// Whether the quote at `chars[i]` closes a raw string with `hashes` marks.
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal from a lifetime at `chars[i] == '\''`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item as test code by
+/// walking from the attribute to the end of the braced item (or to the
+/// first `;` for bodiless items).
+fn mark_test_regions(lines: &mut [Line]) {
+    let starts: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            let squeezed: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+            squeezed.contains("#[cfg(test)]")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    for start in starts {
+        let mut depth = 0i32;
+        let mut opened = false;
+        for line in lines.iter_mut().skip(start) {
+            let mut ends_without_body = false;
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !opened && depth == 0 => {
+                        // `#[cfg(test)] use ...;` — ends without a body.
+                        ends_without_body = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            line.in_test = true;
+            if ends_without_body || (opened && depth <= 0) {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked_from_code() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let s = \"panic!\"; // panic!\nlet c = '\\n'; /* unwrap() */ foo();",
+        );
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].comment.contains("panic!"));
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[1].code.contains("foo()"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = SourceFile::parse("x.rs", "let s = r#\"has .unwrap() inside\"#; bar();");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("bar()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::parse("x.rs", "fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(f.lines[0].code.contains("str"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}";
+        let f = SourceFile::parse("x.rs", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, [false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn allow_markers_cover_same_and_next_line() {
+        let src = "// analyze:allow(panic-free-solvers)\nx.unwrap();\ny.unwrap(); // analyze:allow(panic-free-solvers)\nz.unwrap();";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allows(2, "panic-free-solvers"));
+        assert!(f.allows(3, "panic-free-solvers"));
+        assert!(!f.allows(4, "panic-free-solvers"));
+        assert!(!f.allows(2, "doc-coverage"));
+    }
+}

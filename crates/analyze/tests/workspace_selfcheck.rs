@@ -1,0 +1,48 @@
+//! Tier-1 self-check: `cargo test` runs the analyzer against the repo's
+//! own sources and fails if any lint regressed past its ratchet baseline.
+
+use coolnet_analyze::report::{compare, Outcome};
+use coolnet_analyze::{analyze_workspace, baseline, BASELINE_FILE};
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+#[test]
+fn workspace_respects_the_ratchet_baseline() {
+    let root = workspace_root();
+    let violations = analyze_workspace(&root).expect("scan succeeds");
+    let text = std::fs::read_to_string(root.join(BASELINE_FILE))
+        .expect("committed analyze_baseline.toml exists at the workspace root");
+    let parsed = baseline::parse(&text).expect("baseline parses");
+    let report = compare(&violations, &parsed);
+    assert_ne!(
+        report.outcome,
+        Outcome::Regressed,
+        "static-analysis ratchet regressed:\n{}",
+        report.text
+    );
+}
+
+#[test]
+fn analyzer_actually_sees_the_solver_crates() {
+    // Guard against the scan silently going blind (e.g. a moved source
+    // tree): the four scoped crates must all contribute scanned files.
+    let root = workspace_root();
+    for krate in [
+        "sparse", "flow", "thermal", "opt", "units", "core", "network",
+    ] {
+        assert!(
+            root.join("crates").join(krate).join("src/lib.rs").is_file(),
+            "expected crates/{krate}/src/lib.rs"
+        );
+    }
+    // And the scan must produce deterministic, sorted output.
+    let a = analyze_workspace(&root).expect("scan");
+    let b = analyze_workspace(&root).expect("scan");
+    assert_eq!(a, b);
+}

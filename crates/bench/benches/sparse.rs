@@ -54,9 +54,7 @@ fn bench_spd_solvers(c: &mut Criterion) {
         let a = poisson2d(n);
         let b = vec![1.0; n * n];
         group.bench_with_input(BenchmarkId::new("cg_jacobi", n), &n, |bench, _| {
-            bench.iter(|| {
-                solve::cg(&a, &b, &Jacobi::new(&a), &SolverOptions::default()).unwrap()
-            });
+            bench.iter(|| solve::cg(&a, &b, &Jacobi::new(&a), &SolverOptions::default()).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("bicgstab_ilu0", n), &n, |bench, _| {
             bench.iter(|| {
@@ -87,8 +85,7 @@ fn bench_nonsymmetric_solvers(c: &mut Criterion) {
             &peclet,
             |bench, _| {
                 bench.iter(|| {
-                    solve::gmres(&a, &b, &Ilu0::new(&a), 50, &SolverOptions::default())
-                        .unwrap()
+                    solve::gmres(&a, &b, &Ilu0::new(&a), 50, &SolverOptions::default()).unwrap()
                 });
             },
         );
@@ -97,8 +94,7 @@ fn bench_nonsymmetric_solvers(c: &mut Criterion) {
             &peclet,
             |bench, _| {
                 bench.iter(|| {
-                    solve::bicgstab(&a, &b, &Jacobi::new(&a), &SolverOptions::default())
-                        .unwrap()
+                    solve::bicgstab(&a, &b, &Jacobi::new(&a), &SolverOptions::default()).unwrap()
                 });
             },
         );

@@ -10,6 +10,8 @@
 //! cargo run --release -p coolnet-bench --bin ablations
 //! ```
 
+#![forbid(unsafe_code)]
+
 use coolnet::prelude::*;
 use coolnet_bench::HarnessOpts;
 use std::time::Instant;
@@ -161,7 +163,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         let flow = Evaluator::flow_config_for(&bench);
         let p = Pascal::from_kilopascals(5.0);
-        for (name, fill) in [("silicon walls", None), ("copper TSV fill", Some(Material::copper()))] {
+        for (name, fill) in [
+            ("silicon walls", None),
+            ("copper TSV fill", Some(Material::copper())),
+        ] {
             let mut layers = vec![Layer::solid(Material::silicon(), 200e-6)];
             for pm in &bench.power_maps {
                 layers.push(Layer::source(Material::silicon(), pm.clone(), 100e-6));

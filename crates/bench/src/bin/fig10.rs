@@ -8,6 +8,8 @@
 //! cargo run --release -p coolnet-bench --bin fig10
 //! ```
 
+#![forbid(unsafe_code)]
+
 use coolnet::prelude::*;
 use coolnet_bench::{ascii_heatmap, read_json, write_csv, HarnessOpts};
 
@@ -17,7 +19,10 @@ fn obtain(opts: &HarnessOpts, problem: Problem, file: &str) -> Option<DesignResu
         println!("using saved design {}", path.display());
         return Some(read_json(&path));
     }
-    println!("no saved design at {}; running a quick search", path.display());
+    println!(
+        "no saved design at {}; running a quick search",
+        path.display()
+    );
     let bench = opts.benchmark(1);
     let mut tree_opts = opts.tree_options(problem);
     tree_opts.seed = opts.seed;

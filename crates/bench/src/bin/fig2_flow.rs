@@ -5,6 +5,8 @@
 //! cargo run --release -p coolnet-bench --bin fig2_flow
 //! ```
 
+#![forbid(unsafe_code)]
+
 use coolnet::prelude::*;
 use coolnet_bench::{svg_flow, HarnessOpts};
 

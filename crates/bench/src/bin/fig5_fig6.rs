@@ -9,6 +9,8 @@
 //! cargo run --release -p coolnet-bench --bin fig5_fig6
 //! ```
 
+#![forbid(unsafe_code)]
+
 use coolnet::prelude::*;
 use coolnet_bench::{write_csv, HarnessOpts};
 
@@ -19,12 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Network A: straight channels (uni-modal ΔT is typical here — the
     // upstream saturates at T_in while hotspots downstream stay warm).
-    let straight_net = straight::build(
-        dims,
-        &bench.tsv,
-        Dir::East,
-        &StraightParams::default(),
-    )?;
+    let straight_net = straight::build(dims, &bench.tsv, Dir::East, &StraightParams::default())?;
     // Network B: a tree-like network (densifying channels downstream
     // flattens the profile; ΔT tends to keep falling).
     let along = dims.width() as i32;
@@ -35,12 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ((along / 3) & !1) as u16,
         ((2 * along / 3) & !1) as u16,
     );
-    let tree_net = coolnet::network::builders::tree::build(
-        dims,
-        &bench.tsv,
-        &bench.restricted,
-        &tree_cfg,
-    )?;
+    let tree_net =
+        coolnet::network::builders::tree::build(dims, &bench.tsv, &bench.restricted, &tree_cfg)?;
 
     let ev_straight = Evaluator::new(&bench, &straight_net, ModelChoice::fast())?;
     let ev_tree = Evaluator::new(&bench, &tree_net, ModelChoice::fast())?;
@@ -108,10 +101,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if i == fig6_rows.len() - 1 {
             "monotonically decreasing".to_owned()
         } else {
-            format!(
-                "uni-modal (minimum at {:.1} kPa)",
-                fig6_rows[i][0] / 1e3
-            )
+            format!("uni-modal (minimum at {:.1} kPa)", fig6_rows[i][0] / 1e3)
         }
     };
     println!("\nstraight-channel f(P): {}", shape(i_straight));

@@ -8,6 +8,8 @@
 //! cargo run --release -p coolnet-bench --bin fig9 [-- accuracy|speedup|both] [-- --full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use coolnet::prelude::*;
 use coolnet_bench::{write_csv, HarnessOpts};
 use std::collections::BTreeMap;
@@ -92,7 +94,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     } else {
         vec![2.0e3, 8.0e3, 32.0e3]
     };
-    let cases: Vec<usize> = if opts.full { (1..=5).collect() } else { vec![1, 4] };
+    let cases: Vec<usize> = if opts.full {
+        (1..=5).collect()
+    } else {
+        vec![1, 4]
+    };
 
     // error[(family, m)] -> accumulated (sum, count); time[(m)] similar.
     let mut errors: BTreeMap<(Family, u16), (f64, usize)> = BTreeMap::new();
@@ -186,14 +192,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         write_csv(
             &opts.out_path("fig9a_accuracy.csv"),
-            &["cell_um", "all_pct", "straight_pct", "tree_pct", "manual_pct"],
+            &[
+                "cell_um",
+                "all_pct",
+                "straight_pct",
+                "tree_pct",
+                "manual_pct",
+            ],
             &rows,
         );
     }
 
     if run_speedup {
         let per_four = time_four.0 / time_four.1 as f64;
-        println!("\nFig. 9(b): 2RM speed-up over 4RM (per steady simulation, incl. assembly share)");
+        println!(
+            "\nFig. 9(b): 2RM speed-up over 4RM (per steady simulation, incl. assembly share)"
+        );
         println!(
             "4RM reference: {:.3} s per simulation on this machine",
             per_four

@@ -9,6 +9,8 @@
 //! cargo run --release -p coolnet-bench --bin sweep [-- --grid N]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use coolnet::prelude::*;
 use coolnet_bench::{write_csv, HarnessOpts};
 

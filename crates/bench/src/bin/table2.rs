@@ -4,11 +4,16 @@
 //! cargo run --release -p coolnet-bench --bin table2 [-- --full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use coolnet_bench::HarnessOpts;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    println!("Table 2: ICCAD 2015 Benchmark Statistics ({})", scale(&opts));
+    println!(
+        "Table 2: ICCAD 2015 Benchmark Statistics ({})",
+        scale(&opts)
+    );
     println!(
         "{:>2} {:>8} {:>10} {:>12} {:>8} {:>10}  Other Constraint",
         "#", "Die Num", "h_c (um)", "Die Power(W)", "dT* (K)", "T*max (K)"

@@ -9,6 +9,8 @@
 //! cargo run --release -p coolnet-bench --bin table3 [-- --full] [-- --show-schedule]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use coolnet::prelude::*;
 use coolnet_bench::{write_json, HarnessOpts};
 
@@ -26,7 +28,11 @@ fn main() {
         "Table 3: Pumping Power Minimization (Problem 1), {}x{} grid{}",
         opts.grid,
         opts.grid,
-        if opts.full { ", paper schedule" } else { ", reduced schedule" }
+        if opts.full {
+            ", paper schedule"
+        } else {
+            ", reduced schedule"
+        }
     );
 
     let psearch = opts.psearch();
@@ -76,7 +82,10 @@ fn main() {
     }
 
     println!("\nsummary (W_pump, mW):");
-    println!("{:>5} {:>12} {:>12} {:>12}", "case", "baseline", "manual", "ours");
+    println!(
+        "{:>5} {:>12} {:>12} {:>12}",
+        "case", "baseline", "manual", "ours"
+    );
     for (id, b, m, o) in summary {
         let fmt = |v: Option<f64>| v.map_or("N/A".to_owned(), |x| format!("{x:.3}"));
         println!("{:>5} {:>12} {:>12} {:>12}", id, fmt(b), fmt(m), fmt(o));

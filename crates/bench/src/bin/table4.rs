@@ -5,6 +5,8 @@
 //! cargo run --release -p coolnet-bench --bin table4 [-- --full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use coolnet::prelude::*;
 use coolnet_bench::{write_json, HarnessOpts};
 
@@ -19,7 +21,11 @@ fn main() {
         "Table 4: Thermal Gradient Minimization (Problem 2), {}x{} grid{}",
         opts.grid,
         opts.grid,
-        if opts.full { ", paper schedule" } else { ", reduced schedule" }
+        if opts.full {
+            ", paper schedule"
+        } else {
+            ", reduced schedule"
+        }
     );
 
     let psearch = opts.psearch();

@@ -12,6 +12,8 @@
 //! cargo run --release -p coolnet-bench --bin widthmod
 //! ```
 
+#![forbid(unsafe_code)]
+
 use coolnet::opt::widthmod::{self, WidthModLimits};
 use coolnet::prelude::*;
 use coolnet_bench::HarnessOpts;
@@ -41,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  chosen widths (um): {:?}",
-        design.widths.iter().map(|w| (w * 1e6) as i64).collect::<Vec<_>>()
+        design
+            .widths
+            .iter()
+            .map(|w| (w * 1e6) as i64)
+            .collect::<Vec<_>>()
     );
 
     // --- The paper's §1 criticism, quantified -----------------------------
@@ -86,11 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Width-modulated design measured at the pressure where it meets the
     // real constraints (re-tuned on the full model).
-    let ev = coolnet::opt::Evaluator::from_stack(
-        &stack,
-        &design.network(&bench)?,
-        ModelChoice::FourRm,
-    )?;
+    let ev = Evaluator::from_stack(&stack, &design.network(&bench)?, ModelChoice::FourRm)?;
     match evaluate_problem1(&ev, bench.delta_t_limit, bench.t_max_limit, &psearch)? {
         NetworkScore::Feasible {
             p_sys, objective, ..

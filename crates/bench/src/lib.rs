@@ -11,6 +11,8 @@
 //! * `--out DIR` — where result artifacts (JSON networks, CSV maps) are
 //!   written (default `target/experiments`).
 
+#![forbid(unsafe_code)]
+
 use coolnet::prelude::*;
 use std::path::{Path, PathBuf};
 
@@ -153,8 +155,8 @@ pub fn write_json<T: serde::Serialize>(path: &Path, value: &T) {
 ///
 /// Panics on I/O or deserialization errors.
 pub fn read_json<T: serde::de::DeserializeOwned>(path: &Path) -> T {
-    let data = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let data =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
     serde_json::from_str(&data).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
 }
 
@@ -258,8 +260,12 @@ pub fn svg_flow(
     // Flow arrows (line segments scaled by |Q|) on East/North links.
     for &cell in model.cells() {
         for d in [Dir::East, Dir::North] {
-            let Some(nb) = dims.neighbor(cell, d) else { continue };
-            let Some(q) = field.flow(cell, nb) else { continue };
+            let Some(nb) = dims.neighbor(cell, d) else {
+                continue;
+            };
+            let Some(q) = field.flow(cell, nb) else {
+                continue;
+            };
             let mag = q.value().abs() / q_max;
             if mag < 0.02 {
                 continue;

@@ -335,7 +335,8 @@ restrict 9 9 13 13
 
     #[test]
     fn out_of_range_block_is_rejected() {
-        let text = "grid 5 5\nchannel_height 2e-4\ndt_limit 10\ntmax_limit 350\ndie\nblock 0 0 9 9 1.0\n";
+        let text =
+            "grid 5 5\nchannel_height 2e-4\ndt_limit 10\ntmax_limit 350\ndie\nblock 0 0 9 9 1.0\n";
         let e = parse(text).unwrap_err();
         assert!(e.message.contains("out of range"));
     }

@@ -111,8 +111,7 @@ mod tests {
         let cv = |p: &PowerMap| {
             let vals = p.values();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var =
-                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             var.sqrt() / mean
         };
         let lo = synthetic(GridDims::new(41, 41), 10.0, 5, 0.2);

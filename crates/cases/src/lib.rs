@@ -19,6 +19,8 @@
 //! assert!((case1.total_power() - 42.038).abs() < 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod files;
 pub mod floorplan;
 
@@ -104,12 +106,7 @@ impl Benchmark {
         let per_die = total / num_dies as f64;
         let power_maps: Vec<PowerMap> = (0..num_dies)
             .map(|die| {
-                floorplan::synthetic(
-                    dims,
-                    per_die,
-                    (case * 31 + die) as u64,
-                    hotspot_fraction,
-                )
+                floorplan::synthetic(dims, per_die, (case * 31 + die) as u64, hotspot_fraction)
             })
             .collect();
 
@@ -316,8 +313,7 @@ mod tests {
         let cv = |p: &PowerMap| {
             let vals = p.values();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var =
-                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             var.sqrt() / mean
         };
         let c2 = Benchmark::iccad(2);

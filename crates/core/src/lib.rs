@@ -73,6 +73,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use coolnet_cases as cases;
 pub use coolnet_flow as flow;
 pub use coolnet_grid as grid;
@@ -96,8 +98,8 @@ pub mod prelude {
     pub use coolnet_opt::psearch::PressureSearchOptions;
     pub use coolnet_opt::treeopt::{Stage, StageMetric, TreeSearch, TreeSearchOptions};
     pub use coolnet_opt::{
-        evaluate_problem1, evaluate_problem2, DesignResult, Evaluator, ModelChoice,
-        NetworkScore, Problem, Profile,
+        evaluate_problem1, evaluate_problem2, DesignResult, Evaluator, ModelChoice, NetworkScore,
+        Problem, Profile,
     };
     pub use coolnet_thermal::{
         compare, AdvectionScheme, FourRm, PowerMap, Stack, ThermalConfig, ThermalError,

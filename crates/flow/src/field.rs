@@ -146,9 +146,7 @@ impl<'a> FlowField<'a> {
                     // worst case for the laminar assumption).
                     let w = self.model.width_of(i).min(self.model.width_of(j));
                     let geom = coolnet_units::ChannelGeometry::new(w, height, pitch);
-                    let re = rho * (q / geom.cross_section_area())
-                        * geom.hydraulic_diameter()
-                        / mu;
+                    let re = rho * (q / geom.cross_section_area()) * geom.hydraulic_diameter() / mu;
                     max_re = max_re.max(re);
                 }
             }

@@ -112,7 +112,11 @@ impl FlowModel {
                 if let Some(nb) = dims.neighbor(cell, dir) {
                     if net.is_liquid(nb) {
                         let j = index_of[dims.index(nb)];
-                        builder.add_conductance(i, j, series(half_conductance[i], half_conductance[j]));
+                        builder.add_conductance(
+                            i,
+                            j,
+                            series(half_conductance[i], half_conductance[j]),
+                        );
                     }
                 }
             }
@@ -259,10 +263,16 @@ impl FlowModel {
 
     /// Scales the unit solution to the given system pressure drop.
     pub fn solve(&self, p_sys: Pascal) -> FlowField<'_> {
+        debug_assert!(
+            p_sys.value().is_finite(),
+            "system pressure drop must be finite, got {p_sys}"
+        );
         FlowField::from_unit(self, p_sys)
     }
 
     /// CG iterations the unit pressure solve took (diagnostics).
+    // Not a solver entry point, just a counter getter sharing the prefix.
+    // analyze:allow(finite-guard)
     pub fn solve_iterations(&self) -> usize {
         self.solve_iterations
     }
@@ -290,8 +300,7 @@ mod tests {
         let net = channel(5);
         let config = FlowConfig::default();
         let model = FlowModel::new(&net, &config).unwrap();
-        let expected =
-            4.0 / config.cell_conductance() + 2.0 / config.port_conductance();
+        let expected = 4.0 / config.cell_conductance() + 2.0 / config.port_conductance();
         let r = model.system_resistance();
         assert!(
             (r - expected).abs() / expected < 1e-9,

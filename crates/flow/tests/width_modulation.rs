@@ -28,8 +28,7 @@ fn uniform_width_map_matches_plain_model() {
     )
     .unwrap();
     assert!(
-        (plain.system_resistance() - mapped.system_resistance()).abs()
-            / plain.system_resistance()
+        (plain.system_resistance() - mapped.system_resistance()).abs() / plain.system_resistance()
             < 1e-12
     );
 }
@@ -42,8 +41,14 @@ fn narrowing_one_channel_shifts_flow_to_the_other() {
     widths.set_row(0, 50e-6); // halve the bottom channel's width
     let model = FlowModel::with_widths(&net, &config, Some(&widths)).unwrap();
     let field = model.solve(Pascal::from_kilopascals(10.0));
-    let q_bottom = field.flow(Cell::new(3, 0), Cell::new(4, 0)).unwrap().value();
-    let q_top = field.flow(Cell::new(3, 2), Cell::new(4, 2)).unwrap().value();
+    let q_bottom = field
+        .flow(Cell::new(3, 0), Cell::new(4, 0))
+        .unwrap()
+        .value();
+    let q_top = field
+        .flow(Cell::new(3, 2), Cell::new(4, 2))
+        .unwrap()
+        .value();
     assert!(
         q_top > 3.0 * q_bottom,
         "narrow channel must carry much less: top {q_top}, bottom {q_bottom}"

@@ -27,6 +27,8 @@
 //! assert_eq!(dims.index(c), 50 * 101 + 50);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cell;
 pub mod coarse;
 pub mod dims;

@@ -120,10 +120,7 @@ impl CellMask {
     /// Panics if the two masks have different dimensions.
     pub fn intersects(&self, other: &CellMask) -> bool {
         assert_eq!(self.dims, other.dims, "mask dimension mismatch");
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .any(|(a, b)| a & b != 0)
+        self.bits.iter().zip(&other.bits).any(|(a, b)| a & b != 0)
     }
 
     /// Inserts every cell of a rectangle spanning `(x0..=x1, y0..=y1)`.

@@ -1,0 +1,185 @@
+//! A gallery of hand-designed flexible topologies.
+//!
+//! Plays the role of the ICCAD 2015 first-place (manual) entry in the
+//! paper's Table 3: a small set of human-drawn network styles —
+//! serpentines, sparse straights, a dense mesh and a coarse tree — that
+//! the evaluation harness scores and picks the best of (DESIGN.md §4).
+//!
+//! Designs that do not legalize on a particular benchmark (e.g. a
+//! serpentine severed by a restricted region) are silently dropped from
+//! the gallery, mirroring how a human designer would discard them.
+
+use super::tree::{BranchStyle, TreeConfig};
+use super::{straight, GlobalFlow};
+use crate::network::CoolingNetwork;
+use crate::port::PortKind;
+use coolnet_grid::{Cell, CellMask, GridDims};
+
+/// One named design from the gallery.
+#[derive(Debug, Clone)]
+pub struct ManualDesign {
+    /// Short human-readable style name.
+    pub name: &'static str,
+    /// The legalized network.
+    pub network: CoolingNetwork,
+}
+
+/// Builds the gallery for a chip, keeping only the designs that legalize
+/// on its TSV pattern and restricted regions.
+pub fn gallery(dims: GridDims, tsv: &CellMask, restricted: &CellMask) -> Vec<ManualDesign> {
+    let mut out = Vec::new();
+    let mut push = |name: &'static str, net: Result<CoolingNetwork, crate::LegalityError>| {
+        if let Ok(network) = net {
+            out.push(ManualDesign { name, network });
+        }
+    };
+
+    push("mesh", mesh(dims, tsv, restricted));
+    push("serpentine", serpentine(dims, tsv, restricted));
+    push(
+        "sparse-straight",
+        straight::build_flow(
+            dims,
+            tsv,
+            restricted,
+            GlobalFlow::WestToEast,
+            &straight::StraightParams {
+                spacing: 4,
+                offset: 2,
+            },
+        ),
+    );
+    push("coarse-tree", coarse_tree(dims, tsv, restricted));
+    out
+}
+
+/// A dense mesh: liquid on every even row *and* every even column. The
+/// highest-area, lowest-resistance member of the gallery.
+fn mesh(
+    dims: GridDims,
+    tsv: &CellMask,
+    restricted: &CellMask,
+) -> Result<CoolingNetwork, crate::LegalityError> {
+    let mut b = CoolingNetwork::builder(dims);
+    b.tsv(tsv.clone()).restricted(restricted.clone());
+    for cell in dims.iter() {
+        if (cell.x % 2 == 0 || cell.y % 2 == 0) && !restricted.contains(cell) && !tsv.contains(cell)
+        {
+            b.liquid(cell);
+        }
+    }
+    b.port(
+        PortKind::Inlet,
+        coolnet_grid::Side::West,
+        0,
+        dims.height() - 1,
+    );
+    b.port(
+        PortKind::Outlet,
+        coolnet_grid::Side::East,
+        0,
+        dims.height() - 1,
+    );
+    b.build()
+}
+
+/// A single serpentine channel sweeping the die: east along each even row,
+/// with turnarounds on the outermost (even) columns.
+fn serpentine(
+    dims: GridDims,
+    tsv: &CellMask,
+    restricted: &CellMask,
+) -> Result<CoolingNetwork, crate::LegalityError> {
+    let mut b = CoolingNetwork::builder(dims);
+    b.tsv(tsv.clone()).restricted(restricted.clone());
+    let rows: Vec<u16> = (0..dims.height()).step_by(2).collect();
+    for (i, &y) in rows.iter().enumerate() {
+        for x in 0..dims.width() {
+            let cell = Cell::new(x, y);
+            if !restricted.contains(cell) {
+                b.liquid(cell);
+            }
+        }
+        // Turnaround linking this row to the next, alternating ends.
+        if let Some(&next) = rows.get(i + 1) {
+            let x = if i % 2 == 0 { dims.width() - 1 } else { 0 };
+            for y in y..=next {
+                let cell = Cell::new(x, y);
+                if !restricted.contains(cell) {
+                    b.liquid(cell);
+                }
+            }
+        }
+    }
+    if !restricted.is_empty() {
+        super::ring_restricted_regions(&mut b);
+    }
+    let last = *rows.last().expect("grids are nonzero");
+    let end_west = (rows.len() - 1) % 2 == 1;
+    b.port(PortKind::Inlet, coolnet_grid::Side::West, 0, 0);
+    if end_west {
+        b.port(PortKind::Outlet, coolnet_grid::Side::West, last, last);
+    } else {
+        b.port(PortKind::Outlet, coolnet_grid::Side::East, last, last);
+    }
+    b.build()
+}
+
+/// A single coarse binary tree across the whole die.
+fn coarse_tree(
+    dims: GridDims,
+    tsv: &CellMask,
+    restricted: &CellMask,
+) -> Result<CoolingNetwork, crate::LegalityError> {
+    let along = dims.width() as i32;
+    let b1 = (((along / 3) & !1) as u16).max(2);
+    let b2 = ((2 * along / 3) & !1) as u16;
+    let cfg = TreeConfig::uniform(
+        GlobalFlow::WestToEast,
+        BranchStyle::Binary,
+        TreeConfig::max_trees(dims, GlobalFlow::WestToEast, BranchStyle::Binary).max(1),
+        b1,
+        b2,
+    );
+    super::tree::build(dims, tsv, restricted, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolnet_grid::tsv;
+
+    #[test]
+    fn gallery_is_nonempty_and_legal_on_a_plain_die() {
+        let dims = GridDims::new(21, 21);
+        let designs = gallery(dims, &tsv::alternating(dims), &CellMask::new(dims));
+        assert!(designs.len() >= 3, "got {} designs", designs.len());
+        for d in &designs {
+            assert!(d.network.validate().is_ok(), "{} is illegal", d.name);
+        }
+    }
+
+    #[test]
+    fn gallery_respects_restricted_regions() {
+        let dims = GridDims::new(21, 21);
+        let mut restricted = CellMask::new(dims);
+        restricted.insert_rect(9, 9, 11, 11);
+        let designs = gallery(dims, &tsv::alternating(dims), &restricted);
+        assert!(!designs.is_empty());
+        for d in &designs {
+            for cell in restricted.iter() {
+                assert!(!d.network.is_liquid(cell), "{} floods {cell}", d.name);
+            }
+        }
+    }
+
+    #[test]
+    fn serpentine_is_a_single_path() {
+        let dims = GridDims::new(11, 11);
+        let net = serpentine(dims, &tsv::alternating(dims), &CellMask::new(dims))
+            .expect("serpentine builds");
+        let s = crate::stats::compute(&net);
+        assert_eq!(s.junctions, 0, "{s:?}");
+        assert!(s.bends >= 2);
+    }
+}

@@ -1,0 +1,184 @@
+//! Topology generators: the network families of the paper.
+//!
+//! * [`straight`] — parallel straight channels on TSV-free even lines, the
+//!   baseline family of Tables 3–4 (§6);
+//! * [`tree`] — the hierarchical tree-like structure of §4.3 (Figs. 7–8)
+//!   whose channel density grows downstream;
+//! * [`manual`] — a gallery of hand-designed flexible topologies standing
+//!   in for the ICCAD 2015 first-place entry (DESIGN.md §4).
+//!
+//! All generators draw only on even rows and even columns. With the
+//! [`alternating`](coolnet_grid::tsv::alternating) TSV pattern (TSVs at
+//! odd-`x`, odd-`y` cells) this guarantees design rule 1 by construction.
+
+pub mod manual;
+pub mod straight;
+pub mod tree;
+
+use crate::network::NetworkBuilder;
+use coolnet_grid::{Cell, CellMask, Dir, Side};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The global direction coolant crosses the chip in: from the inlet side
+/// to the opposite outlet side (§4.4 tries all of them and keeps the best).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GlobalFlow {
+    /// Inlet on the west edge, outlet on the east edge.
+    WestToEast,
+    /// Inlet on the east edge, outlet on the west edge.
+    EastToWest,
+    /// Inlet on the south edge, outlet on the north edge.
+    SouthToNorth,
+    /// Inlet on the north edge, outlet on the south edge.
+    NorthToSouth,
+}
+
+impl GlobalFlow {
+    /// All four global flow directions, in a fixed order.
+    pub const ALL: [GlobalFlow; 4] = [
+        GlobalFlow::WestToEast,
+        GlobalFlow::EastToWest,
+        GlobalFlow::SouthToNorth,
+        GlobalFlow::NorthToSouth,
+    ];
+
+    /// The downstream direction of the flow.
+    pub fn axis(self) -> Dir {
+        match self {
+            GlobalFlow::WestToEast => Dir::East,
+            GlobalFlow::EastToWest => Dir::West,
+            GlobalFlow::SouthToNorth => Dir::North,
+            GlobalFlow::NorthToSouth => Dir::South,
+        }
+    }
+
+    /// The flow whose downstream direction is `dir` (inverse of
+    /// [`axis`](Self::axis)).
+    pub fn from_dir(dir: Dir) -> Self {
+        match dir {
+            Dir::East => GlobalFlow::WestToEast,
+            Dir::West => GlobalFlow::EastToWest,
+            Dir::North => GlobalFlow::SouthToNorth,
+            Dir::South => GlobalFlow::NorthToSouth,
+        }
+    }
+
+    /// The chip edge carrying the inlet manifold.
+    pub fn inlet_side(self) -> Side {
+        match self {
+            GlobalFlow::WestToEast => Side::West,
+            GlobalFlow::EastToWest => Side::East,
+            GlobalFlow::SouthToNorth => Side::South,
+            GlobalFlow::NorthToSouth => Side::North,
+        }
+    }
+
+    /// The chip edge carrying the outlet manifold.
+    pub fn outlet_side(self) -> Side {
+        self.inlet_side().opposite()
+    }
+}
+
+impl fmt::Display for GlobalFlow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GlobalFlow::WestToEast => "west-to-east",
+            GlobalFlow::EastToWest => "east-to-west",
+            GlobalFlow::SouthToNorth => "south-to-north",
+            GlobalFlow::NorthToSouth => "north-to-south",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Rings every restricted region with liquid so channels severed by the
+/// region reconnect around it.
+///
+/// Benchmarks place restricted blocks with *odd* bounds precisely so that
+/// the ring lands on even, TSV-free rows/columns (see
+/// `coolnet-cases`): for each connected component of the restricted mask
+/// the cells just outside its bounding box are flooded, skipping cells
+/// that are themselves restricted, TSV-reserved or outside the grid.
+pub(crate) fn ring_restricted_regions(b: &mut NetworkBuilder) {
+    let dims = b.dims();
+    let restricted = b.restricted_mask().clone();
+    let tsv = b.tsv_mask().clone();
+    let mut seen = CellMask::new(dims);
+    let mut ring: Vec<Cell> = Vec::new();
+    for seed in restricted.iter() {
+        if seen.contains(seed) {
+            continue;
+        }
+        // Flood-fill the component and track its bounding box.
+        let (mut x0, mut x1, mut y0, mut y1) = (seed.x, seed.x, seed.y, seed.y);
+        let mut queue = vec![seed];
+        seen.insert(seed);
+        while let Some(c) = queue.pop() {
+            x0 = x0.min(c.x);
+            x1 = x1.max(c.x);
+            y0 = y0.min(c.y);
+            y1 = y1.max(c.y);
+            for d in Dir::ALL {
+                if let Some(n) = dims.neighbor(c, d) {
+                    if restricted.contains(n) && seen.insert(n) {
+                        queue.push(n);
+                    }
+                }
+            }
+        }
+        // The ring one cell outside the bounding box (clipped to the grid).
+        let (lo_x, hi_x) = (x0 as i32 - 1, x1 as i32 + 1);
+        let (lo_y, hi_y) = (y0 as i32 - 1, y1 as i32 + 1);
+        for x in lo_x..=hi_x {
+            for y in [lo_y, hi_y] {
+                push_ring_cell(&mut ring, dims, x, y);
+            }
+        }
+        for y in lo_y..=hi_y {
+            for x in [lo_x, hi_x] {
+                push_ring_cell(&mut ring, dims, x, y);
+            }
+        }
+    }
+    for cell in ring {
+        if !restricted.contains(cell) && !tsv.contains(cell) {
+            b.liquid(cell);
+        }
+    }
+}
+
+fn push_ring_cell(ring: &mut Vec<Cell>, dims: coolnet_grid::GridDims, x: i32, y: i32) {
+    if x >= 0 && y >= 0 {
+        let cell = Cell::new(x as u16, y as u16);
+        if dims.contains(cell) {
+            ring.push(cell);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_axis_round_trips() {
+        for flow in GlobalFlow::ALL {
+            assert_eq!(GlobalFlow::from_dir(flow.axis()), flow);
+        }
+    }
+
+    #[test]
+    fn inlet_and_outlet_sides_are_opposite() {
+        for flow in GlobalFlow::ALL {
+            assert_eq!(flow.inlet_side().opposite(), flow.outlet_side());
+            assert_eq!(flow.outlet_side().outward(), flow.axis());
+        }
+    }
+
+    #[test]
+    fn display_names_are_kebab_case() {
+        assert_eq!(GlobalFlow::WestToEast.to_string(), "west-to-east");
+        assert_eq!(GlobalFlow::NorthToSouth.to_string(), "north-to-south");
+    }
+}

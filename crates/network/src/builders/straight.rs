@@ -1,0 +1,208 @@
+//! Parallel straight channels — the baseline family of Tables 3–4.
+//!
+//! Channels run the full length of the die along the global flow axis, one
+//! per even grid line (or every `spacing`-th even line), with full-side
+//! inlet/outlet manifolds on the two edges perpendicular to the flow.
+//! Restricted regions are carved out of the channels and ringed with
+//! liquid so the severed runs reconnect around them.
+
+use super::GlobalFlow;
+use crate::error::LegalityError;
+use crate::network::CoolingNetwork;
+use crate::port::PortKind;
+use coolnet_grid::{Cell, CellMask, Dir, GridDims};
+
+/// Parameters of the straight-channel generator.
+///
+/// Both fields must be even so channels stay on TSV-free lines under the
+/// alternating TSV pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct StraightParams {
+    /// Distance between neighboring channel lines in basic cells (`2`
+    /// places a channel on every even line, the densest legal layout).
+    pub spacing: u16,
+    /// Cross-axis position of the first channel line.
+    pub offset: u16,
+}
+
+impl Default for StraightParams {
+    /// A channel on every even line: the classic microchannel layout.
+    fn default() -> Self {
+        Self {
+            spacing: 2,
+            offset: 0,
+        }
+    }
+}
+
+/// Builds straight channels carrying coolant towards `dir`, with no
+/// restricted regions.
+///
+/// Convenience wrapper over [`build_flow`] for the common case.
+///
+/// # Errors
+///
+/// See [`build_flow`].
+pub fn build(
+    dims: GridDims,
+    tsv: &CellMask,
+    dir: Dir,
+    params: &StraightParams,
+) -> Result<CoolingNetwork, LegalityError> {
+    build_flow(
+        dims,
+        tsv,
+        &CellMask::new(dims),
+        GlobalFlow::from_dir(dir),
+        params,
+    )
+}
+
+/// Builds straight channels for a global flow direction, carving and
+/// ringing `restricted` regions.
+///
+/// # Errors
+///
+/// Returns [`LegalityError::InvalidParameter`] if `spacing` is zero or
+/// either parameter is odd (channels would collide with TSVs), and any
+/// legality error surfaced by validation of the finished drawing.
+pub fn build_flow(
+    dims: GridDims,
+    tsv: &CellMask,
+    restricted: &CellMask,
+    flow: GlobalFlow,
+    params: &StraightParams,
+) -> Result<CoolingNetwork, LegalityError> {
+    if params.spacing == 0 || !params.spacing.is_multiple_of(2) {
+        return Err(LegalityError::InvalidParameter {
+            reason: format!(
+                "channel spacing must be even and nonzero, got {}",
+                params.spacing
+            ),
+        });
+    }
+    if !params.offset.is_multiple_of(2) {
+        return Err(LegalityError::InvalidParameter {
+            reason: format!("channel offset must be even, got {}", params.offset),
+        });
+    }
+    let horizontal = flow.axis().is_horizontal();
+    let (along_len, cross_len) = if horizontal {
+        (dims.width(), dims.height())
+    } else {
+        (dims.height(), dims.width())
+    };
+
+    let mut b = CoolingNetwork::builder(dims);
+    b.tsv(tsv.clone()).restricted(restricted.clone());
+
+    let mut line = params.offset;
+    while line < cross_len {
+        for a in 0..along_len {
+            let cell = if horizontal {
+                Cell::new(a, line)
+            } else {
+                Cell::new(line, a)
+            };
+            if !restricted.contains(cell) {
+                b.liquid(cell);
+            }
+        }
+        line += params.spacing;
+    }
+
+    if !restricted.is_empty() {
+        super::ring_restricted_regions(&mut b);
+    }
+
+    let inlet = flow.inlet_side();
+    let outlet = flow.outlet_side();
+    b.port(PortKind::Inlet, inlet, 0, dims.side_len(inlet) - 1);
+    b.port(PortKind::Outlet, outlet, 0, dims.side_len(outlet) - 1);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolnet_grid::tsv;
+
+    #[test]
+    fn default_layout_fills_every_even_line() {
+        let dims = GridDims::new(21, 21);
+        let net = build(
+            dims,
+            &tsv::alternating(dims),
+            Dir::East,
+            &StraightParams::default(),
+        )
+        .expect("default straight network builds");
+        // 11 even rows, each spanning the full 21-cell width.
+        assert_eq!(net.num_liquid_cells(), 11 * 21);
+        for y in (0..21).step_by(2) {
+            assert!(net.is_liquid(Cell::new(0, y as u16)));
+            assert!(net.is_liquid(Cell::new(20, y as u16)));
+        }
+    }
+
+    #[test]
+    fn vertical_flow_uses_even_columns() {
+        let dims = GridDims::new(21, 21);
+        let net = build(
+            dims,
+            &tsv::alternating(dims),
+            Dir::North,
+            &StraightParams::default(),
+        )
+        .expect("vertical straight network builds");
+        assert!(net.is_liquid(Cell::new(0, 7)));
+        assert!(!net.is_liquid(Cell::new(1, 7)));
+    }
+
+    #[test]
+    fn odd_parameters_are_rejected() {
+        let dims = GridDims::new(21, 21);
+        let t = tsv::alternating(dims);
+        for params in [
+            StraightParams {
+                spacing: 3,
+                offset: 0,
+            },
+            StraightParams {
+                spacing: 2,
+                offset: 1,
+            },
+            StraightParams {
+                spacing: 0,
+                offset: 0,
+            },
+        ] {
+            assert!(matches!(
+                build(dims, &t, Dir::East, &params),
+                Err(LegalityError::InvalidParameter { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn restricted_block_is_carved_and_ringed() {
+        let dims = GridDims::new(21, 21);
+        let mut restricted = CellMask::new(dims);
+        restricted.insert_rect(9, 9, 11, 11);
+        let net = build_flow(
+            dims,
+            &tsv::alternating(dims),
+            &restricted,
+            GlobalFlow::WestToEast,
+            &StraightParams::default(),
+        )
+        .expect("ringed network builds");
+        for cell in restricted.iter() {
+            assert!(!net.is_liquid(cell));
+        }
+        // The ring sits on the even lines just outside the block.
+        assert!(net.is_liquid(Cell::new(8, 10)));
+        assert!(net.is_liquid(Cell::new(12, 10)));
+        assert!(net.validate().is_ok());
+    }
+}

@@ -1,0 +1,383 @@
+//! Hierarchical tree-like networks (§4.3, Figs. 7–8).
+//!
+//! Each *tree* occupies one strip of the die across the flow axis. A
+//! single trunk channel enters from the inlet edge, splits into `k1`
+//! branches at the along-axis position `b1`, and each branch splits again
+//! at `b2`, yielding `k2` leaf channels that run to the outlet edge. The
+//! channel density — and with it the channel/wall contact area — therefore
+//! *grows downstream*, which is exactly the factor-3 compensation the
+//! paper designs for: downstream coolant is warmer, so it gets more wall
+//! area to keep the junction-temperature profile flat.
+//!
+//! All channel runs sit on even grid lines and both branch positions must
+//! be even, so the drawing avoids the alternating TSV pattern by
+//! construction.
+
+use super::GlobalFlow;
+use crate::error::LegalityError;
+use crate::network::{CoolingNetwork, NetworkBuilder};
+use crate::port::PortKind;
+use coolnet_grid::{Cell, CellMask, GridDims};
+use serde::{Deserialize, Serialize};
+
+/// How a trunk fans out into leaf channels: `(k1, k2)` branch counts at
+/// the two split positions (§6 picks the style "manually to fit the chip
+/// size" — wider styles need wider strips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchStyle {
+    /// `1 → 2 → 4`: binary splits at both levels (Fig. 7).
+    Binary,
+    /// `1 → 3 → 6`: a three-way first split.
+    Trident,
+    /// `1 → 4 → 8`: a four-way first split for large dies.
+    Quad,
+}
+
+impl BranchStyle {
+    /// All three branch styles, in a fixed order.
+    pub const ALL: [BranchStyle; 3] =
+        [BranchStyle::Binary, BranchStyle::Trident, BranchStyle::Quad];
+
+    /// The branch counts `(k1, k2)` after the first and second split.
+    pub fn counts(self) -> (usize, usize) {
+        match self {
+            BranchStyle::Binary => (2, 4),
+            BranchStyle::Trident => (3, 6),
+            BranchStyle::Quad => (4, 8),
+        }
+    }
+
+    /// Cross-axis cells spanned by the `k2` leaf channels (2-cell pitch).
+    fn leaf_span(self) -> u16 {
+        let (_, k2) = self.counts();
+        2 * (k2 as u16 - 1) + 1
+    }
+
+    /// Minimum strip width for one tree of this style (leaf span plus a
+    /// separating solid line).
+    fn min_strip(self) -> u16 {
+        self.leaf_span() + 1
+    }
+}
+
+/// Per-tree parameters: the two branch positions along the flow axis,
+/// measured in basic cells from the inlet edge. Both must be even.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Along-axis position of the first split (trunk → `k1` branches).
+    pub b1: u16,
+    /// Along-axis position of the second split (branches → `k2` leaves).
+    pub b2: u16,
+}
+
+/// A full tree-network configuration: the global flow direction, the
+/// branch style, and one [`TreeParams`] per tree (trees stack side by side
+/// across the flow axis).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Global coolant direction; trunks start on its inlet side.
+    pub flow: GlobalFlow,
+    /// Branch style shared by all trees.
+    pub style: BranchStyle,
+    /// Per-tree branch positions, one entry per tree.
+    pub trees: Vec<TreeParams>,
+}
+
+impl TreeConfig {
+    /// A configuration of `num_trees` identical trees with branch
+    /// positions `(b1, b2)` — the SA search's starting point (§4.4).
+    pub fn uniform(
+        flow: GlobalFlow,
+        style: BranchStyle,
+        num_trees: usize,
+        b1: u16,
+        b2: u16,
+    ) -> Self {
+        Self {
+            flow,
+            style,
+            trees: vec![TreeParams { b1, b2 }; num_trees],
+        }
+    }
+
+    /// The largest number of `style` trees that fit side by side on `dims`
+    /// for the given flow direction.
+    pub fn max_trees(dims: GridDims, flow: GlobalFlow, style: BranchStyle) -> usize {
+        let cross = if flow.axis().is_horizontal() {
+            dims.height()
+        } else {
+            dims.width()
+        };
+        (cross / style.min_strip()) as usize
+    }
+}
+
+/// Builds the tree-like network described by `config`.
+///
+/// # Errors
+///
+/// Returns [`LegalityError::InvalidParameter`] when the configuration
+/// cannot be realized on `dims`: no trees, odd or out-of-order branch
+/// positions, strips too narrow for the branch style, or channels that
+/// would enter a restricted region. Other legality errors surface from
+/// validation of the finished drawing.
+pub fn build(
+    dims: GridDims,
+    tsv: &CellMask,
+    restricted: &CellMask,
+    config: &TreeConfig,
+) -> Result<CoolingNetwork, LegalityError> {
+    let num_trees = config.trees.len();
+    if num_trees == 0 {
+        return Err(invalid("a tree network needs at least one tree"));
+    }
+    let geo = Geometry::new(dims, config.flow);
+    for (i, t) in config.trees.iter().enumerate() {
+        if t.b1 % 2 != 0 || t.b2 % 2 != 0 {
+            return Err(invalid(format!(
+                "tree {i}: branch positions must be even, got ({}, {})",
+                t.b1, t.b2
+            )));
+        }
+        if t.b1 < 2 || t.b2 < t.b1 + 2 || t.b2 + 3 > geo.along {
+            return Err(invalid(format!(
+                "tree {i}: need 2 <= b1 < b2 <= {} with a 2-cell gap, got ({}, {})",
+                geo.along - 3,
+                t.b1,
+                t.b2
+            )));
+        }
+    }
+
+    let mut b = CoolingNetwork::builder(dims);
+    b.tsv(tsv.clone()).restricted(restricted.clone());
+
+    // Partition the cross axis into one strip per tree.
+    let base = geo.cross / num_trees as u16;
+    let rem = (geo.cross % num_trees as u16) as usize;
+    let mut lo = 0u16;
+    for (i, t) in config.trees.iter().enumerate() {
+        let len = base + u16::from(i < rem);
+        draw_tree(&mut b, &geo, config.style, *t, i, lo, len, restricted)?;
+        lo += len;
+    }
+
+    let inlet = config.flow.inlet_side();
+    let outlet = config.flow.outlet_side();
+    b.port(PortKind::Inlet, inlet, 0, dims.side_len(inlet) - 1);
+    b.port(PortKind::Outlet, outlet, 0, dims.side_len(outlet) - 1);
+    b.build()
+}
+
+fn invalid(reason: impl Into<String>) -> LegalityError {
+    LegalityError::InvalidParameter {
+        reason: reason.into(),
+    }
+}
+
+/// Along/cross coordinate frame for one flow direction. `along` runs from
+/// the inlet edge (0) to the outlet edge; `cross` is the perpendicular.
+struct Geometry {
+    along: u16,
+    cross: u16,
+    horizontal: bool,
+    reversed: bool,
+}
+
+impl Geometry {
+    fn new(dims: GridDims, flow: GlobalFlow) -> Self {
+        let horizontal = flow.axis().is_horizontal();
+        let (along, cross) = if horizontal {
+            (dims.width(), dims.height())
+        } else {
+            (dims.height(), dims.width())
+        };
+        let reversed = matches!(flow, GlobalFlow::EastToWest | GlobalFlow::NorthToSouth);
+        Self {
+            along,
+            cross,
+            horizontal,
+            reversed,
+        }
+    }
+
+    /// Maps along/cross coordinates to a grid cell, mirroring the along
+    /// axis for reversed flows. Grids have odd extents, so the mirror of
+    /// an even along-position stays even (and TSV-safe).
+    fn at(&self, a: u16, c: u16) -> Cell {
+        let a = if self.reversed { self.along - 1 - a } else { a };
+        if self.horizontal {
+            Cell::new(a, c)
+        } else {
+            Cell::new(c, a)
+        }
+    }
+}
+
+/// Draws one tree into `[lo, lo + len)` of the cross axis.
+#[allow(clippy::too_many_arguments)]
+fn draw_tree(
+    b: &mut NetworkBuilder,
+    geo: &Geometry,
+    style: BranchStyle,
+    params: TreeParams,
+    index: usize,
+    lo: u16,
+    len: u16,
+    restricted: &CellMask,
+) -> Result<(), LegalityError> {
+    let (k1, k2) = style.counts();
+    let span = style.leaf_span();
+    if len < span {
+        return Err(invalid(format!(
+            "tree {index}: strip of {len} cells cannot host {k2} leaf channels (needs {span})"
+        )));
+    }
+    // Center the leaf comb in the strip, snapped down to an even line
+    // (snapping down can at worst share a line with the neighboring
+    // strip, which merely merges the two combs — still legal).
+    let mut s = lo + (len - span) / 2;
+    if !s.is_multiple_of(2) {
+        s -= 1;
+    }
+
+    // Leaf channels at 2-cell pitch; each level-1 branch feeds a group of
+    // `k2 / k1` consecutive leaves and sits on its group's lowest line.
+    let group = (k2 / k1) as u16;
+    let leaves: Vec<u16> = (0..k2 as u16).map(|j| s + 2 * j).collect();
+    let branches: Vec<u16> = (0..k1 as u16).map(|g| s + 2 * group * g).collect();
+    let trunk = {
+        // The even line nearest the comb center.
+        let mid = s + span / 2;
+        if mid.is_multiple_of(2) {
+            mid
+        } else {
+            mid - 1
+        }
+    };
+
+    let TreeParams { b1, b2 } = params;
+    let mut cells: Vec<Cell> = Vec::new();
+    // Trunk: inlet edge to the first split.
+    for a in 0..=b1 {
+        cells.push(geo.at(a, trunk));
+    }
+    // First manifold: connects the trunk to every level-1 branch.
+    let m1_lo = branches[0].min(trunk);
+    let m1_hi = branches[k1 - 1].max(trunk);
+    for c in m1_lo..=m1_hi {
+        cells.push(geo.at(b1, c));
+    }
+    // Level-1 branches: first to second split.
+    for &p in &branches {
+        for a in b1..=b2 {
+            cells.push(geo.at(a, p));
+        }
+    }
+    // Second manifolds: one short run per branch group (kept disjoint so
+    // the drawing stays a tree).
+    for (g, &p) in branches.iter().enumerate() {
+        let first = leaves[g * group as usize];
+        let last = leaves[(g + 1) * group as usize - 1];
+        for c in first.min(p)..=last.max(p) {
+            cells.push(geo.at(b2, c));
+        }
+    }
+    // Leaves: second split to the outlet edge.
+    for &l in &leaves {
+        for a in b2..geo.along {
+            cells.push(geo.at(a, l));
+        }
+    }
+
+    for cell in cells {
+        if restricted.contains(cell) {
+            return Err(invalid(format!(
+                "tree {index}: channel at {cell} would enter a restricted region"
+            )));
+        }
+        b.liquid(cell);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coolnet_grid::{tsv, Dir};
+
+    fn dims() -> GridDims {
+        GridDims::new(21, 21)
+    }
+
+    fn empty() -> CellMask {
+        CellMask::new(dims())
+    }
+
+    #[test]
+    fn binary_tree_builds_and_branches() {
+        let cfg = TreeConfig::uniform(GlobalFlow::SouthToNorth, BranchStyle::Binary, 2, 6, 14);
+        let net =
+            build(dims(), &tsv::alternating(dims()), &empty(), &cfg).expect("binary tree builds");
+        assert!(net.validate().is_ok());
+        // Leaves outnumber trunks: more liquid downstream than upstream.
+        let north: usize = (0..21).filter(|&x| net.is_liquid(Cell::new(x, 20))).count();
+        let south: usize = (0..21).filter(|&x| net.is_liquid(Cell::new(x, 0))).count();
+        assert!(north > south, "north {north} vs south {south}");
+    }
+
+    #[test]
+    fn all_styles_fit_their_declared_strips() {
+        for style in BranchStyle::ALL {
+            let (_, k2) = style.counts();
+            let side = 2 * style.min_strip() + 1; // room for two trees
+            let d = GridDims::new(side, side);
+            let n = TreeConfig::max_trees(d, GlobalFlow::WestToEast, style);
+            assert!(n >= 2, "{style:?}");
+            let along = side as i32;
+            let cfg = TreeConfig::uniform(
+                GlobalFlow::WestToEast,
+                style,
+                n,
+                (((along / 3) & !1) as u16).max(2),
+                ((2 * along / 3) & !1) as u16,
+            );
+            let net = build(d, &tsv::alternating(d), &CellMask::new(d), &cfg)
+                .unwrap_or_else(|e| panic!("{style:?}: {e}"));
+            assert!(net.num_liquid_cells() >= n * (k2 + 1));
+        }
+    }
+
+    #[test]
+    fn reversed_flows_mirror_the_trunk() {
+        let cfg = TreeConfig::uniform(GlobalFlow::EastToWest, BranchStyle::Binary, 1, 6, 14);
+        let net =
+            build(dims(), &tsv::alternating(dims()), &empty(), &cfg).expect("mirrored tree builds");
+        // The trunk must touch the east (inlet) edge.
+        let east: usize = (0..21).filter(|&y| net.is_liquid(Cell::new(20, y))).count();
+        let west: usize = (0..21).filter(|&y| net.is_liquid(Cell::new(0, y))).count();
+        assert!(west > east, "west {west} vs east {east}");
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        let t = tsv::alternating(dims());
+        for (n, b1, b2) in [(1, 4, 4), (1, 0, 10), (1, 3, 9), (1, 4, 20), (0, 6, 14)] {
+            let cfg = TreeConfig::uniform(GlobalFlow::WestToEast, BranchStyle::Binary, n, b1, b2);
+            assert!(
+                matches!(
+                    build(dims(), &t, &empty(), &cfg),
+                    Err(LegalityError::InvalidParameter { .. })
+                ),
+                "({n}, {b1}, {b2}) should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn from_dir_flows_match_straight_builder_axes() {
+        // Sanity: the tree and straight builders agree on the meaning of
+        // the flow axis.
+        assert_eq!(GlobalFlow::from_dir(Dir::North).axis(), Dir::North);
+    }
+}

@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builders;
 pub mod error;
 pub mod network;

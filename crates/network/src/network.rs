@@ -215,7 +215,13 @@ impl NetworkBuilder {
     }
 
     /// Adds a port manifold.
-    pub fn port(&mut self, kind: PortKind, side: coolnet_grid::Side, start: u16, end: u16) -> &mut Self {
+    pub fn port(
+        &mut self,
+        kind: PortKind,
+        side: coolnet_grid::Side,
+        start: u16,
+        end: u16,
+    ) -> &mut Self {
         self.ports.push(Port::new(kind, side, start, end));
         self
     }
@@ -415,10 +421,7 @@ mod tests {
         b.segment(Cell::new(0, 1), Dir::East, 5); // row 1 hits TSVs at x=1,3
         b.port(PortKind::Inlet, Side::West, 1, 1);
         b.port(PortKind::Outlet, Side::East, 1, 1);
-        assert!(matches!(
-            b.build(),
-            Err(LegalityError::LiquidOnTsv { .. })
-        ));
+        assert!(matches!(b.build(), Err(LegalityError::LiquidOnTsv { .. })));
     }
 
     #[test]
@@ -523,10 +526,7 @@ mod tests {
         b.segment(Cell::new(4, 0), Dir::North, 1);
         b.port(PortKind::Outlet, Side::East, 0, 0);
         let err = b.build().unwrap_err();
-        assert!(matches!(
-            err,
-            LegalityError::DisconnectedComponent { .. }
-        ));
+        assert!(matches!(err, LegalityError::DisconnectedComponent { .. }));
     }
 
     #[test]

@@ -74,10 +74,9 @@ pub fn compute(net: &CoolingNetwork) -> NetworkStats {
         }
         match liquid_dirs.len() {
             1 => endpoints += 1,
-            2
-                if liquid_dirs[0] != liquid_dirs[1].opposite() => {
-                    bends += 1;
-                }
+            2 if liquid_dirs[0] != liquid_dirs[1].opposite() => {
+                bends += 1;
+            }
             n if n >= 3 => junctions += 1,
             _ => {}
         }

@@ -27,10 +27,7 @@ pub fn best_straight(
     let mut candidates: Vec<(String, CoolingNetwork)> = Vec::new();
     for flow in GlobalFlow::ALL {
         for spacing in [2u16, 4] {
-            let params = StraightParams {
-                spacing,
-                offset: 0,
-            };
+            let params = StraightParams { spacing, offset: 0 };
             if let Ok(net) =
                 straight::build_flow(bench.dims, &bench.tsv, &bench.restricted, flow, &params)
             {

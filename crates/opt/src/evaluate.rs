@@ -141,6 +141,12 @@ impl Evaluator {
     ///
     /// Propagates [`ThermalError`] from the solve.
     pub fn solve(&self, p_sys: Pascal) -> Result<ThermalSolution, ThermalError> {
+        // Non-positive pressure is an expected error path (ZeroFlow below);
+        // only a non-finite value is a caller bug.
+        debug_assert!(
+            p_sys.value().is_finite(),
+            "system pressure drop must be finite, got {p_sys}"
+        );
         let guess = self.last.borrow();
         match (&self.sim, guess.as_ref()) {
             (Sim::Two(s), Some(g)) => s.simulate_with_guess(p_sys, g),

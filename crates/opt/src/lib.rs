@@ -36,15 +36,17 @@
 //! assert!(result.is_some());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 pub mod evaluate;
 pub mod netscore;
 pub mod psearch;
 pub mod result;
 pub mod runtime;
-pub mod widthmod;
 pub mod sa;
 pub mod treeopt;
+pub mod widthmod;
 
 pub use evaluate::{Evaluator, ModelChoice, Profile};
 pub use netscore::{evaluate_problem1, evaluate_problem2, NetworkScore};

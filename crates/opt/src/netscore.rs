@@ -213,8 +213,7 @@ mod tests {
         let (bench, net) = setup(1);
         let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
         // A 1 mK gradient limit is physically impossible at this power.
-        let score =
-            evaluate_problem1(&ev, Kelvin::new(1e-3), bench.t_max_limit, &opts()).unwrap();
+        let score = evaluate_problem1(&ev, Kelvin::new(1e-3), bench.t_max_limit, &opts()).unwrap();
         assert!(!score.is_feasible());
         assert!(score.objective().is_infinite());
     }
@@ -239,8 +238,7 @@ mod tests {
         let (bench, net) = setup(1);
         let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
         // With a tiny pumping budget the chip cannot stay below 301 K.
-        let score =
-            evaluate_problem2(&ev, Watt::new(1e-9), Kelvin::new(301.0), &opts()).unwrap();
+        let score = evaluate_problem2(&ev, Watt::new(1e-9), Kelvin::new(301.0), &opts()).unwrap();
         assert!(!score.is_feasible());
     }
 

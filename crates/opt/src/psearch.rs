@@ -89,7 +89,7 @@ pub fn minimize_pressure_for_gradient(
         count: 0,
         budget: opts.max_probes,
     };
-    let done = |p: f64, ft: f64, probe: &Probe| PressureSearchResult {
+    let done = |p: f64, ft: f64, probe: &Probe<'_>| PressureSearchResult {
         p_sys: Pascal::new(p),
         delta_t: Kelvin::new(ft),
         feasible: ft <= limit * (1.0 + 1e-9),
@@ -140,8 +140,7 @@ pub fn minimize_pressure_for_gradient(
             let mut f2 = probe.eval(p2)?;
             // Passed the minimum (line 7): contract back.
             while f1 < f2 {
-                if (1.0 - p0 / p1).abs() < opts.rel_tol && (1.0 - p2 / p1).abs() < opts.rel_tol
-                {
+                if (1.0 - p0 / p1).abs() < opts.rel_tol && (1.0 - p2 / p1).abs() < opts.rel_tol {
                     // Converged on the minimum of f; infeasible if above
                     // the limit (line 8).
                     return Ok(done(p1, f1, &probe));
@@ -332,8 +331,7 @@ mod tests {
     fn monotone_f_finds_the_crossing() {
         // f(p) = 1e5/p = 10 at p = 1e4.
         let mut f = decreasing;
-        let r =
-            minimize_pressure_for_gradient(&mut f, Kelvin::new(10.0), &opts()).unwrap();
+        let r = minimize_pressure_for_gradient(&mut f, Kelvin::new(10.0), &opts()).unwrap();
         assert!(r.feasible);
         assert!((r.p_sys.value() - 1.0e4).abs() / 1.0e4 < 0.01, "{r:?}");
     }
@@ -343,8 +341,7 @@ mod tests {
         // Minimum of f is 2·√(10) ≈ 6.32 at ~3.16e4; limit 10 crosses the
         // falling side at p = 1e5/(10-1e-4 p) → p ≈ 11270.
         let mut f = unimodal;
-        let r =
-            minimize_pressure_for_gradient(&mut f, Kelvin::new(10.0), &opts()).unwrap();
+        let r = minimize_pressure_for_gradient(&mut f, Kelvin::new(10.0), &opts()).unwrap();
         assert!(r.feasible);
         let expected = {
             // Solve 1e5/p + 1e-4 p = 10 (smaller root).
@@ -378,8 +375,7 @@ mod tests {
         // Start feasible at p_init = 1e4 (f = 1); the search must still
         // return (approximately) the *lowest* feasible pressure.
         let mut f = |p: Pascal| Ok(1.0e4 / p.value());
-        let r =
-            minimize_pressure_for_gradient(&mut f, Kelvin::new(10.0), &opts()).unwrap();
+        let r = minimize_pressure_for_gradient(&mut f, Kelvin::new(10.0), &opts()).unwrap();
         assert!(r.feasible);
         assert!(
             (r.p_sys.value() - 1.0e3).abs() / 1.0e3 < 0.05,
@@ -417,9 +413,8 @@ mod tests {
     fn peak_search_detects_saturation() {
         // h saturates at 350 > 340: no feasible pressure.
         let mut h = |p: Pascal| Ok(350.0 + 1.0e3 / p.value());
-        let r =
-            min_pressure_for_peak(&mut h, Kelvin::new(340.0), Pascal::new(1000.0), &opts())
-                .unwrap();
+        let r = min_pressure_for_peak(&mut h, Kelvin::new(340.0), Pascal::new(1000.0), &opts())
+            .unwrap();
         assert!(r.is_none());
     }
 
@@ -436,15 +431,13 @@ mod tests {
     #[test]
     fn golden_finds_unimodal_minimum() {
         let mut f = unimodal;
-        let (p, v) = golden_min(
-            &mut f,
-            Pascal::new(1.0e3),
-            Pascal::new(1.0e6),
-            &opts(),
-        )
-        .unwrap();
+        let (p, v) = golden_min(&mut f, Pascal::new(1.0e3), Pascal::new(1.0e6), &opts()).unwrap();
         let p_min = (1.0e5f64 / 1.0e-4).sqrt();
-        assert!((p.value() - p_min).abs() / p_min < 0.01, "p = {}", p.value());
+        assert!(
+            (p.value() - p_min).abs() / p_min < 0.01,
+            "p = {}",
+            p.value()
+        );
         assert!((v - 2.0 * 10.0f64.sqrt()).abs() < 1e-2);
     }
 
@@ -452,13 +445,7 @@ mod tests {
     fn golden_respects_monotone_edge() {
         // Decreasing f on the interval: minimum at the right edge.
         let mut f = decreasing;
-        let (p, _) = golden_min(
-            &mut f,
-            Pascal::new(1.0e3),
-            Pascal::new(1.0e5),
-            &opts(),
-        )
-        .unwrap();
+        let (p, _) = golden_min(&mut f, Pascal::new(1.0e3), Pascal::new(1.0e5), &opts()).unwrap();
         assert!(p.value() > 0.95e5, "p = {}", p.value());
     }
 }

@@ -70,9 +70,7 @@ impl DesignResult {
             }
         };
         Ok(match score {
-            NetworkScore::Feasible {
-                p_sys, profile, ..
-            } => Some(Self {
+            NetworkScore::Feasible { p_sys, profile, .. } => Some(Self {
                 label: label.into(),
                 network: network.clone(),
                 p_sys,

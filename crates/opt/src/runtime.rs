@@ -162,8 +162,7 @@ pub fn simulate_adaptive_flow(
     let mut samples = Vec::new();
     let mut time = 0.0;
     let mut snapshot: Option<coolnet_thermal::ThermalSolution> = None;
-    let steps_total =
-        (trace.duration() / (opts.dt * opts.control_interval as f64)).ceil() as usize;
+    let steps_total = (trace.duration() / (opts.dt * opts.control_interval as f64)).ceil() as usize;
 
     for _ in 0..steps_total {
         let scale = trace.scale_at(time);

@@ -196,7 +196,7 @@ mod tests {
         let (_, cost) = anneal(
             16i64,
             toy_cost(&16),
-            |x, rng| x + rng.gen_range(-3..=3),
+            |x, rng| x + rng.gen_range(-3i64..=3),
             toy_cost,
             &opts,
         );
@@ -217,7 +217,13 @@ mod tests {
             5i64,
             toy_cost(&5),
             |_, _| 999,
-            |x| if *x == 999 { f64::INFINITY } else { toy_cost(x) },
+            |x| {
+                if *x == 999 {
+                    f64::INFINITY
+                } else {
+                    toy_cost(x)
+                }
+            },
             &opts,
         );
         assert_eq!(best, 5);
@@ -272,7 +278,7 @@ mod tests {
             anneal(
                 0i64,
                 toy_cost(&0),
-                |x, rng| x + rng.gen_range(-2..=2),
+                |x, rng| x + rng.gen_range(-2i64..=2),
                 toy_cost,
                 &opts,
             )

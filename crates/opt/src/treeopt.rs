@@ -315,7 +315,13 @@ impl<'a> TreeSearch<'a> {
     }
 
     fn build(&self, config: &TreeConfig) -> Option<CoolingNetwork> {
-        tree::build(self.bench.dims, &self.bench.tsv, &self.bench.restricted, config).ok()
+        tree::build(
+            self.bench.dims,
+            &self.bench.tsv,
+            &self.bench.restricted,
+            config,
+        )
+        .ok()
     }
 
     /// Scores a configuration. `fixed_p` selects the single-simulation
@@ -338,7 +344,9 @@ impl<'a> TreeSearch<'a> {
                 Ok(profile) => profile.delta_t.value(),
                 Err(_) => f64::INFINITY,
             },
-            None => self.full_score(problem, &ev).map_or(f64::INFINITY, |s| s.objective()),
+            None => self
+                .full_score(problem, &ev)
+                .map_or(f64::INFINITY, |s| s.objective()),
         }
     }
 
@@ -449,7 +457,11 @@ impl<'a> TreeSearch<'a> {
 
         // Final measurement with the last stage's model (paper: stage 4 is
         // 4RM, so the reported numbers come from the accurate model).
-        let final_model = self.opts.stages.last().map_or(ModelChoice::FourRm, |s| s.model);
+        let final_model = self
+            .opts
+            .stages
+            .last()
+            .map_or(ModelChoice::FourRm, |s| s.model);
         let net = self.build(&current)?;
         DesignResult::measure_with_model(
             self.bench,
@@ -498,16 +510,15 @@ impl<'a> TreeSearch<'a> {
         for it in 0..stage.iterations {
             // Problem-2 grouping: refresh the frozen pressure from a full
             // evaluation of the incumbent at each group boundary.
-            if stage.metric == StageMetric::Full && stage.group > 1
-                && it % stage.group == 0 {
-                    let (cost, p) = self.full_eval(problem, stage.model, &current);
-                    current_cost = cost;
-                    fixed_p = p;
-                    if cost < best_cost {
-                        best = current.clone();
-                        best_cost = cost;
-                    }
+            if stage.metric == StageMetric::Full && stage.group > 1 && it % stage.group == 0 {
+                let (cost, p) = self.full_eval(problem, stage.model, &current);
+                current_cost = cost;
+                fixed_p = p;
+                if cost < best_cost {
+                    best = current.clone();
+                    best_cost = cost;
                 }
+            }
             let use_fixed = match stage.metric {
                 StageMetric::FixedPressureGradient => fixed_p,
                 StageMetric::Full if stage.group > 1 && it % stage.group != 0 => fixed_p,

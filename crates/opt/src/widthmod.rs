@@ -204,7 +204,10 @@ impl WidthModDesign {
     /// # Errors
     ///
     /// Propagates network legality errors.
-    pub fn network(&self, bench: &Benchmark) -> Result<CoolingNetwork, coolnet_network::LegalityError> {
+    pub fn network(
+        &self,
+        bench: &Benchmark,
+    ) -> Result<CoolingNetwork, coolnet_network::LegalityError> {
         straight::build(
             bench.dims,
             &bench.tsv,
@@ -423,7 +426,10 @@ mod tests {
             model.w_pump(&full, full_design).value()
         };
         let w_mod = model.w_pump(&design.widths, design.p_sys).value();
-        assert!(w_mod <= w_full * 1.001, "modulated {w_mod} vs full {w_full}");
+        assert!(
+            w_mod <= w_full * 1.001,
+            "modulated {w_mod} vs full {w_full}"
+        );
     }
 
     /// Pressure for the all-full-width reference under the same tuner.

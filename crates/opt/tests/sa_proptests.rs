@@ -24,7 +24,7 @@ proptest! {
         let (best, best_cost) = anneal(
             0i64,
             cost(&0),
-            |x, rng| x + rng.gen_range(-5..=5),
+            |x, rng| x + rng.gen_range(-5i64..=5),
             cost,
             &opts,
         );
@@ -52,7 +52,7 @@ proptest! {
         let (_, best_cost) = anneal(
             init,
             cost(&init),
-            |x, rng| x + rng.gen_range(-3..=3),
+            |x, rng| x + rng.gen_range(-3i64..=3),
             cost,
             &opts,
         );
@@ -74,7 +74,7 @@ proptest! {
             anneal(
                 0i64,
                 cost(&0),
-                |x, rng| x + rng.gen_range(-4..=4),
+                |x, rng| x + rng.gen_range(-4i64..=4),
                 cost,
                 &opts,
             )

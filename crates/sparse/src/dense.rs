@@ -97,6 +97,10 @@ impl DenseMatrix {
     /// [`SolveError::DimensionMismatch`] if the matrix is not square or `b`
     /// has the wrong length.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        debug_assert!(
+            b.iter().all(|v| v.is_finite()),
+            "right-hand side contains a non-finite entry"
+        );
         if self.rows != self.cols {
             return Err(SolveError::DimensionMismatch {
                 expected: self.rows,

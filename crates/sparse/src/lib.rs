@@ -39,11 +39,19 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
+/// Triplet (COO) accumulation for building matrices.
 pub mod coo;
+/// Compressed sparse row storage.
 pub mod csr;
+/// Small dense LU solves (reference and fallback path).
 pub mod dense;
+/// Matrix-vector products and related kernels.
 pub mod ops;
+/// ILU(0) and Jacobi preconditioners.
 pub mod precond;
+/// CG and BiCGSTAB iterative solvers.
 pub mod solve;
 
 pub use coo::TripletBuilder;

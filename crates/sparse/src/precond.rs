@@ -124,10 +124,11 @@ impl Ilu0 {
             if !has_diag {
                 // Insert zero diagonal keeping the row sorted.
                 let lo = row_ptr[r];
-                let insert_at = lo + col_idx[lo..]
-                    .iter()
-                    .position(|&c| c as usize > r)
-                    .unwrap_or(col_idx.len() - lo);
+                let insert_at = lo
+                    + col_idx[lo..]
+                        .iter()
+                        .position(|&c| c as usize > r)
+                        .unwrap_or(col_idx.len() - lo);
                 col_idx.insert(insert_at, r as u32);
                 values.insert(insert_at, 0.0);
             }
@@ -138,9 +139,10 @@ impl Ilu0 {
         for r in 0..n {
             let lo = row_ptr[r];
             let hi = row_ptr[r + 1];
-            diag_pos[r] = lo + col_idx[lo..hi]
-                .binary_search(&(r as u32))
-                .expect("diagonal entry must exist after insertion");
+            diag_pos[r] = lo
+                + col_idx[lo..hi]
+                    .binary_search(&(r as u32))
+                    .expect("diagonal entry must exist after insertion");
         }
 
         // IKJ-variant ILU(0) with a scatter workspace mapping column -> slot.

@@ -53,7 +53,10 @@ impl fmt::Display for SolveError {
                 "no convergence after {iterations} iterations (relative residual {residual:.3e})"
             ),
             SolveError::Breakdown { iterations } => {
-                write!(f, "krylov recurrence broke down after {iterations} iterations")
+                write!(
+                    f,
+                    "krylov recurrence broke down after {iterations} iterations"
+                )
             }
         }
     }
@@ -616,7 +619,7 @@ mod tests {
         let x_true: Vec<f64> = (0..60).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
         let b = a.mul_vec(&x_true);
         let sol = bicgstab(&a, &b, &Ilu0::new(&a), &SolverOptions::default()).unwrap();
-        assert!(a.residual_norm(&sol.solution, &b) / crate::ops::norm2(&b) < 1e-8);
+        assert!(a.residual_norm(&sol.solution, &b) / norm2(&b) < 1e-8);
     }
 
     #[test]
@@ -630,8 +633,7 @@ mod tests {
     #[test]
     fn bicgstab_zero_rhs_returns_zero() {
         let a = advection(5, 1.0);
-        let sol =
-            bicgstab(&a, &[0.0; 5], &Identity::new(5), &SolverOptions::default()).unwrap();
+        let sol = bicgstab(&a, &[0.0; 5], &Identity::new(5), &SolverOptions::default()).unwrap();
         assert_eq!(sol.solution, vec![0.0; 5]);
     }
 
@@ -652,7 +654,7 @@ mod tests {
         let x_true: Vec<f64> = (0..60).map(|i| ((i * 5 % 17) as f64) - 8.0).collect();
         let b = a.mul_vec(&x_true);
         let sol = gmres(&a, &b, &Ilu0::new(&a), 20, &SolverOptions::default()).unwrap();
-        assert!(a.residual_norm(&sol.solution, &b) / crate::ops::norm2(&b) < 1e-8);
+        assert!(a.residual_norm(&sol.solution, &b) / norm2(&b) < 1e-8);
     }
 
     #[test]
@@ -666,8 +668,14 @@ mod tests {
     #[test]
     fn gmres_zero_rhs_and_default_restart() {
         let a = advection(10, 1.0);
-        let sol = gmres(&a, &[0.0; 10], &Identity::new(10), 0, &SolverOptions::default())
-            .unwrap();
+        let sol = gmres(
+            &a,
+            &[0.0; 10],
+            &Identity::new(10),
+            0,
+            &SolverOptions::default(),
+        )
+        .unwrap();
         assert_eq!(sol.solution, vec![0.0; 10]);
     }
 
@@ -676,8 +684,14 @@ mod tests {
         let a = advection(15, 4.0);
         let b: Vec<f64> = (0..15).map(|i| (i as f64 * 0.9).sin()).collect();
         let dense = a.to_dense().solve(&b).unwrap();
-        let sol = gmres(&a, &b, &Ilu0::new(&a), 0, &SolverOptions::with_tolerance(1e-12))
-            .unwrap();
+        let sol = gmres(
+            &a,
+            &b,
+            &Ilu0::new(&a),
+            0,
+            &SolverOptions::with_tolerance(1e-12),
+        )
+        .unwrap();
         for (s, d) in sol.solution.iter().zip(&dense) {
             assert!((s - d).abs() < 1e-8);
         }
@@ -687,7 +701,12 @@ mod tests {
     fn non_square_rejected() {
         let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
         assert!(matches!(
-            cg(&a, &[1.0, 1.0], &Identity::new(2), &SolverOptions::default()),
+            cg(
+                &a,
+                &[1.0, 1.0],
+                &Identity::new(2),
+                &SolverOptions::default()
+            ),
             Err(SolveError::DimensionMismatch { .. })
         ));
     }
@@ -700,6 +719,8 @@ mod tests {
         };
         let msg = e.to_string();
         assert!(msg.contains('7') && msg.contains("convergence"));
-        assert!(SolveError::Singular { pivot: 3 }.to_string().contains("singular"));
+        assert!(SolveError::Singular { pivot: 3 }
+            .to_string()
+            .contains("singular"));
     }
 }

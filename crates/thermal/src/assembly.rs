@@ -49,7 +49,8 @@ impl Assembled {
     /// Builds the full system matrix and RHS at the given pressure.
     pub fn system(&self, p_sys: Pascal, t_inlet: f64) -> (CsrMatrix, Vec<f64>) {
         let p = p_sys.value();
-        let mut b = TripletBuilder::with_capacity(self.n, self.n, self.cond.len() + self.adv_unit.len());
+        let mut b =
+            TripletBuilder::with_capacity(self.n, self.n, self.cond.len() + self.adv_unit.len());
         for &(r, c, v) in &self.cond {
             b.add(r as usize, c as usize, v);
         }
@@ -108,11 +109,7 @@ impl Assembled {
     }
 
     /// Packages raw node temperatures into a [`ThermalSolution`].
-    pub fn extract(
-        &self,
-        temps: Vec<f64>,
-        stats: coolnet_sparse::SolveStats,
-    ) -> ThermalSolution {
+    pub fn extract(&self, temps: Vec<f64>, stats: coolnet_sparse::SolveStats) -> ThermalSolution {
         let layers = self
             .source_meta
             .iter()
@@ -262,8 +259,7 @@ mod tests {
     }
 
     #[test]
-    fn pure_advection_chain_transports_inlet_temperature()
-    {
+    fn pure_advection_chain_transports_inlet_temperature() {
         // Inlet -> node0 -> node1 -> outlet at flow q: with no conduction
         // and central differencing, both nodes sit at T_in in steady state.
         let mut a = empty(2);

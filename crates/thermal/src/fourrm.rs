@@ -162,15 +162,15 @@ impl FourRm {
                         // convective film (the 4RM side registers). The film
                         // coefficient belongs to the liquid cell.
                         _ => {
-                            let h = if li { h_conv_at(l, cell) } else { h_conv_at(l, nb) };
+                            let h = if li {
+                                h_conv_at(l, cell)
+                            } else {
+                                h_conv_at(l, nb)
+                            };
                             series(g_ss_half, h * a_face)
                         }
                     };
-                    asm.add_conductance(
-                        node(l, dims.index(cell)),
-                        node(l, dims.index(nb)),
-                        g,
-                    );
+                    asm.add_conductance(node(l, dims.index(cell)), node(l, dims.index(nb)), g);
                 }
             }
         }
@@ -179,7 +179,10 @@ impl FourRm {
         for l in 0..nl.saturating_sub(1) {
             let u = l + 1;
             let (t_l, t_u) = (layers[l].thickness, layers[u].thickness);
-            let (k_l, k_u) = (layers[l].solid_conductivity(), layers[u].solid_conductivity());
+            let (k_l, k_u) = (
+                layers[l].solid_conductivity(),
+                layers[u].solid_conductivity(),
+            );
             let a_full = pitch * pitch;
             for cell in dims.iter() {
                 let idx = dims.index(cell);
@@ -326,9 +329,7 @@ mod tests {
         let sol = sim.simulate(p_sys).unwrap();
 
         // Recompute outlet enthalpy from the solution.
-        let crate::stack::LayerKind::Channel { network, flow, .. } =
-            &s.layers()[2].kind
-        else {
+        let LayerKind::Channel { network, flow, .. } = &s.layers()[2].kind else {
             panic!("layer 2 must be the channel layer");
         };
         let model = FlowModel::new(network, flow).unwrap();
@@ -417,7 +418,10 @@ mod tests {
         // Linearity: 4x power => 4x temperature rise.
         let rise_lo = t_lo.value() - 300.0;
         let rise_hi = t_hi.value() - 300.0;
-        assert!((rise_hi / rise_lo - 4.0).abs() < 1e-3, "{rise_hi} vs {rise_lo}");
+        assert!(
+            (rise_hi / rise_lo - 4.0).abs() < 1e-3,
+            "{rise_hi} vs {rise_lo}"
+        );
     }
 
     #[test]
@@ -450,14 +454,8 @@ mod tests {
         let dims = GridDims::new(11, 11);
         let mut power = PowerMap::zeros(dims);
         power.add_block(7, 7, 9, 9, 5.0); // concentrated hotspot, downstream
-        let s = Stack::interlayer(
-            dims,
-            100e-6,
-            vec![power],
-            &[straight_net(dims)],
-            200e-6,
-        )
-        .unwrap();
+        let s =
+            Stack::interlayer(dims, 100e-6, vec![power], &[straight_net(dims)], 200e-6).unwrap();
         let sim = FourRm::new(&s, &ThermalConfig::default()).unwrap();
         let sol = sim.simulate(Pascal::from_kilopascals(5.0)).unwrap();
         let layer = &sol.source_layers()[0];
@@ -475,27 +473,24 @@ mod tests {
         let dims = GridDims::new(11, 11);
         // The network must carry the TSV mask for the fill to apply.
         let net = {
-            let mut b = coolnet_network::CoolingNetwork::builder(dims);
+            let mut b = CoolingNetwork::builder(dims);
             b.tsv(coolnet_grid::tsv::alternating(dims));
             let mut y = 0;
             while y < dims.height() {
                 b.segment(Cell::new(0, y), Dir::East, dims.width());
                 y += 2;
             }
-            b.port(coolnet_network::PortKind::Inlet, coolnet_grid::Side::West, 0, 10);
-            b.port(coolnet_network::PortKind::Outlet, coolnet_grid::Side::East, 0, 10);
+            b.port(PortKind::Inlet, Side::West, 0, 10);
+            b.port(PortKind::Outlet, Side::East, 0, 10);
             b.build().unwrap()
         };
         let power = PowerMap::uniform(dims, 4.0);
         let flow = coolnet_flow::FlowConfig::default();
         let build = |fill: Option<Material>| {
             let channel = match fill {
-                Some(f) => Layer::channel_with_tsv_fill(
-                    net.clone(),
-                    flow.clone(),
-                    Material::silicon(),
-                    f,
-                ),
+                Some(f) => {
+                    Layer::channel_with_tsv_fill(net.clone(), flow.clone(), Material::silicon(), f)
+                }
                 None => Layer::channel(net.clone(), flow.clone(), Material::silicon()),
             };
             Stack::new(
@@ -523,10 +518,7 @@ mod tests {
             .unwrap()
             .max_temperature()
             .value();
-        assert!(
-            filled < plain,
-            "copper fill must help: {filled} !< {plain}"
-        );
+        assert!(filled < plain, "copper fill must help: {filled} !< {plain}");
         // The effect is a perturbation, not a regime change.
         assert!(plain - filled < 0.2 * (plain - 300.0));
     }

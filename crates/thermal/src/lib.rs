@@ -62,6 +62,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod assembly;
 
 pub mod compare;

@@ -71,10 +71,7 @@ impl Layer {
     /// A heat-dissipating die layer.
     pub fn source(material: Material, power: PowerMap, thickness: f64) -> Self {
         Self {
-            kind: LayerKind::Source {
-                material,
-                power,
-            },
+            kind: LayerKind::Source { material, power },
             thickness,
         }
     }
@@ -269,10 +266,7 @@ impl Stack {
         }
         if networks.len() != 1 && networks.len() != num_dies {
             return Err(ThermalError::BadStack {
-                reason: format!(
-                    "need 1 or {num_dies} networks, got {}",
-                    networks.len()
-                ),
+                reason: format!("need 1 or {num_dies} networks, got {}", networks.len()),
             });
         }
         let si = Material::silicon;
@@ -383,8 +377,7 @@ mod tests {
         let dims = GridDims::new(5, 5);
         let p = PowerMap::uniform(dims, 10.0);
         let nets = [small_network(dims), small_network(dims)];
-        let stack =
-            Stack::interlayer(dims, 100e-6, vec![p.clone(), p], &nets, 200e-6).unwrap();
+        let stack = Stack::interlayer(dims, 100e-6, vec![p.clone(), p], &nets, 200e-6).unwrap();
         assert_eq!(stack.channel_layer_indices().len(), 2);
     }
 

@@ -245,7 +245,9 @@ mod tests {
         let dims = GridDims::new(9, 9);
         let s = stack(dims, 3.0);
         let sim = TwoRm::new(&s, 3, &ThermalConfig::default()).unwrap();
-        let mut tr = sim.transient(Pascal::from_kilopascals(5.0), 1e-3, None).unwrap();
+        let mut tr = sim
+            .transient(Pascal::from_kilopascals(5.0), 1e-3, None)
+            .unwrap();
         let mut last = 300.0;
         for _ in 0..10 {
             tr.step().unwrap();

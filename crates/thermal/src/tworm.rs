@@ -161,8 +161,7 @@ impl TwoRm {
                 (LayerKind::Solid { material }, LayerNodes::Bulk(ids)) => {
                     for (cx, cy) in coarsening.iter() {
                         let cc = cy as usize * cw + cx as usize;
-                        let vol =
-                            coarsening.extent(cx, cy).num_cells() as f64 * pitch * pitch * t;
+                        let vol = coarsening.extent(cx, cy).num_cells() as f64 * pitch * pitch * t;
                         asm.capacitance[ids[cc]] = material.volumetric_heat_capacity() * vol;
                     }
                 }
@@ -182,9 +181,7 @@ impl TwoRm {
                     });
                 }
                 (
-                    LayerKind::Channel {
-                        flow, material, ..
-                    },
+                    LayerKind::Channel { flow, material, .. },
                     LayerNodes::Channel { solid, liquid },
                 ) => {
                     for cc in 0..ncc {
@@ -194,12 +191,15 @@ impl TwoRm {
                         }
                         if let Some(id) = liquid[cc] {
                             let vol = stats[l][cc].width_sum * pitch * t;
-                            asm.capacitance[id] =
-                                flow.coolant.volumetric_heat_capacity() * vol;
+                            asm.capacitance[id] = flow.coolant.volumetric_heat_capacity() * vol;
                         }
                     }
                 }
-                _ => unreachable!("node bank kind matches layer kind"),
+                _ => {
+                    return Err(ThermalError::BadStack {
+                        reason: format!("layer {l}: node bank kind does not match layer kind"),
+                    })
+                }
             }
         }
 
@@ -219,7 +219,17 @@ impl TwoRm {
                     let horizontal = dx == 1;
                     match &nodes[l] {
                         LayerNodes::Bulk(ids) => {
-                            let g = bulk_inplane_g(&coarsening, cx, cy, nx, ny, horizontal, k, t, pitch);
+                            let g = bulk_inplane_g(
+                                &coarsening,
+                                cx,
+                                cy,
+                                nx,
+                                ny,
+                                horizontal,
+                                k,
+                                t,
+                                pitch,
+                            );
                             asm.add_conductance(ids[cc], ids[nc], g);
                         }
                         LayerNodes::Channel { solid, .. } => {
@@ -227,7 +237,11 @@ impl TwoRm {
                                 continue;
                             };
                             let LayerKind::Channel { network, .. } = &layer.kind else {
-                                unreachable!()
+                                return Err(ThermalError::BadStack {
+                                    reason: format!(
+                                        "layer {l}: channel node bank on a non-channel layer"
+                                    ),
+                                });
                             };
                             let g = channel_inplane_g(
                                 &coarsening,
@@ -252,7 +266,10 @@ impl TwoRm {
         for l in 0..layers.len().saturating_sub(1) {
             let u = l + 1;
             let (t_l, t_u) = (layers[l].thickness, layers[u].thickness);
-            let (k_l, k_u) = (layers[l].solid_conductivity(), layers[u].solid_conductivity());
+            let (k_l, k_u) = (
+                layers[l].solid_conductivity(),
+                layers[u].solid_conductivity(),
+            );
             for (cx, cy) in coarsening.iter() {
                 let cc = cy as usize * cw + cx as usize;
                 let e = coarsening.extent(cx, cy);
@@ -300,12 +317,10 @@ impl TwoRm {
                         // Stacked channel layers: conduct through the solid
                         // fraction only; liquid banks do not couple.
                         if let (Some(a), Some(b)) = (s_lo[cc], s_up[cc]) {
-                            let frac = stats[l][cc]
-                                .solid_count
-                                .min(stats[u][cc].solid_count) as f64;
+                            let frac =
+                                stats[l][cc].solid_count.min(stats[u][cc].solid_count) as f64;
                             let a_v = frac * a_cell;
-                            let g =
-                                series(k_l * a_v / (t_l / 2.0), k_u * a_v / (t_u / 2.0));
+                            let g = series(k_l * a_v / (t_l / 2.0), k_u * a_v / (t_u / 2.0));
                             asm.add_conductance(a, b, g);
                         }
                     }
@@ -325,7 +340,9 @@ impl TwoRm {
                 continue;
             };
             let LayerNodes::Channel { liquid, .. } = &nodes[l] else {
-                unreachable!()
+                return Err(ThermalError::BadStack {
+                    reason: format!("layer {l}: channel layer lost its liquid node bank"),
+                });
             };
             let model = FlowModel::with_widths(network, flow, widths.as_ref())?;
             let cv = flow.coolant.volumetric_heat_capacity();
@@ -350,10 +367,10 @@ impl TwoRm {
                         continue;
                     }
                     let q = model.link_conductance(i, j) * (p[i] - p[j]);
-                    match dir {
-                        Dir::East => net_flow_e[cc] += q,
-                        Dir::North => net_flow_n[cc] += q,
-                        _ => unreachable!(),
+                    if dir == Dir::East {
+                        net_flow_e[cc] += q;
+                    } else {
+                        net_flow_n[cc] += q;
                     }
                 }
                 let (g_in, g_out) = model.port_conductance_of(i);
@@ -462,10 +479,7 @@ fn bulk_inplane_g(
         )
     };
     let a_face = strips * pitch * t;
-    series(
-        k * a_face / (half_a * pitch),
-        k * a_face / (half_b * pitch),
-    )
+    series(k * a_face / (half_a * pitch), k * a_face / (half_b * pitch))
 }
 
 /// In-plane conductance between two channel-layer solid nodes using
@@ -498,12 +512,7 @@ fn channel_inplane_g(
                 cb += 1;
             }
         }
-        (
-            ca,
-            cb,
-            e_a.width() as f64 / 2.0,
-            e_b.width() as f64 / 2.0,
-        )
+        (ca, cb, e_a.width() as f64 / 2.0, e_b.width() as f64 / 2.0)
     } else {
         let mut ca = 0usize;
         let mut cb = 0usize;
@@ -515,12 +524,7 @@ fn channel_inplane_g(
                 cb += 1;
             }
         }
-        (
-            ca,
-            cb,
-            e_a.height() as f64 / 2.0,
-            e_b.height() as f64 / 2.0,
-        )
+        (ca, cb, e_a.height() as f64 / 2.0, e_b.height() as f64 / 2.0)
     };
     series(
         k * (count_a as f64 * pitch * t) / (half_a * pitch),
@@ -560,7 +564,11 @@ fn channel_vertical(
         // Eq. (8)), plus the folded side-wall share at the mean film
         // coefficient.
         let a_top = st.width_sum * pitch;
-        let h_mean = if a_top > 0.0 { st.conv_top_sum / a_top } else { 0.0 };
+        let h_mean = if a_top > 0.0 {
+            st.conv_top_sum / a_top
+        } else {
+            0.0
+        };
         let a_side = st.side_faces as f64 * t_ch * pitch;
         let g_film = st.conv_top_sum + h_mean * a_side / 2.0;
         let g = series(g_film, k_bulk * a_top.max(1e-300) / (t_bulk / 2.0));
@@ -611,12 +619,12 @@ mod tests {
         // All solid: every one of the 4 rows is a complete path on both
         // sides; g*_each = k * (4 rows * pitch * t) / (2 * pitch), series
         // of two equal halves = half of one.
-        let g_all = super::channel_inplane_g(&c, 0, 0, 1, 0, true, k, t, pitch, |_| true);
+        let g_all = channel_inplane_g(&c, 0, 0, 1, 0, true, k, t, pitch, |_| true);
         let g_star = k * (4.0 * pitch * t) / (2.0 * pitch);
         assert!((g_all - g_star / 2.0).abs() / g_all < 1e-12);
         // Block one row on the A side only (liquid at (3, 1)): A has 3
         // complete paths, B still 4.
-        let g_blocked = super::channel_inplane_g(&c, 0, 0, 1, 0, true, k, t, pitch, |cell| {
+        let g_blocked = channel_inplane_g(&c, 0, 0, 1, 0, true, k, t, pitch, |cell| {
             !(cell.x == 3 && cell.y == 1)
         });
         let ga = k * (3.0 * pitch * t) / (2.0 * pitch);
@@ -628,12 +636,12 @@ mod tests {
         );
         // A liquid cell outside the half-path region (column 0) changes
         // nothing: the path from center to interface is still complete.
-        let g_outside = super::channel_inplane_g(&c, 0, 0, 1, 0, true, k, t, pitch, |cell| {
+        let g_outside = channel_inplane_g(&c, 0, 0, 1, 0, true, k, t, pitch, |cell| {
             !(cell.x == 0 && cell.y == 1)
         });
         assert!((g_outside - g_all).abs() / g_all < 1e-12);
         // All liquid: no complete path, no coupling.
-        let g_none = super::channel_inplane_g(&c, 0, 0, 1, 0, true, k, t, pitch, |_| false);
+        let g_none = channel_inplane_g(&c, 0, 0, 1, 0, true, k, t, pitch, |_| false);
         assert_eq!(g_none, 0.0);
     }
 
@@ -642,12 +650,12 @@ mod tests {
         // Same check for vertical (north) transfer on stacked 3x3 cells.
         let c = Coarsening::new(GridDims::new(3, 6), 3);
         let (k, t, pitch) = (50.0, 1e-4, 1e-4);
-        let g_all = super::channel_inplane_g(&c, 0, 0, 0, 1, false, k, t, pitch, |_| true);
+        let g_all = channel_inplane_g(&c, 0, 0, 0, 1, false, k, t, pitch, |_| true);
         let g_star = k * (3.0 * pitch * t) / (1.5 * pitch);
         assert!((g_all - g_star / 2.0).abs() / g_all < 1e-12);
         // Block one column in A's upper half (y = 2 is in rows 1..=2 half
         // region? A's half region is rows y0 + h/2 ..= y1 = rows 1..=2).
-        let g_blocked = super::channel_inplane_g(&c, 0, 0, 0, 1, false, k, t, pitch, |cell| {
+        let g_blocked = channel_inplane_g(&c, 0, 0, 0, 1, false, k, t, pitch, |cell| {
             !(cell.x == 1 && cell.y == 2)
         });
         assert!(g_blocked < g_all);
@@ -721,7 +729,7 @@ mod tests {
         // implied by enthalpy + conduction.
         let t_max = sol.max_temperature().value();
         let rise_floor = watts
-            / (coolnet_flow::FlowModel::new(
+            / (FlowModel::new(
                 &straight_net(dims),
                 &coolnet_flow::FlowConfig {
                     geometry: coolnet_units::ChannelGeometry::new(100e-6, 200e-6, 100e-6),

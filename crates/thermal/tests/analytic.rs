@@ -23,7 +23,14 @@ fn single_channel_coolant_follows_enthalpy_balance() {
 
     let total_power = 0.5; // W
     let power = PowerMap::uniform(dims, total_power);
-    let stack = Stack::interlayer(dims, 100e-6, vec![power], std::slice::from_ref(&net), 200e-6).unwrap();
+    let stack = Stack::interlayer(
+        dims,
+        100e-6,
+        vec![power],
+        std::slice::from_ref(&net),
+        200e-6,
+    )
+    .unwrap();
     let config = ThermalConfig::default();
     let sim = FourRm::new(&stack, &config).unwrap();
     let p_sys = Pascal::from_kilopascals(20.0);

@@ -35,8 +35,14 @@ fn system() -> impl Strategy<Value = (Stack, CoolingNetwork)> {
                 let y = y.min(side - 3);
                 power.add_block(x, y, x + 2, y + 2, w);
             }
-            let stack = Stack::interlayer(dims, 100e-6, vec![power], std::slice::from_ref(&net), 200e-6)
-                .expect("stack");
+            let stack = Stack::interlayer(
+                dims,
+                100e-6,
+                vec![power],
+                std::slice::from_ref(&net),
+                200e-6,
+            )
+            .expect("stack");
             (stack, net)
         })
 }

@@ -28,10 +28,17 @@
 //!
 //! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
 
+#![forbid(unsafe_code)]
+
+/// Rectangular microchannel cross-section geometry.
 pub mod channel;
+/// Coolant fluid properties (water by default).
 pub mod coolant;
+/// Solid material properties (silicon, TIM, copper).
 pub mod material;
+/// Nusselt-number correlations for developed laminar flow.
 pub mod nusselt;
+/// SI quantity newtypes (`Kelvin`, `Pascal`, `Watt`, ...).
 pub mod quantity;
 
 pub use channel::ChannelGeometry;

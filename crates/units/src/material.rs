@@ -75,11 +75,7 @@ impl Default for Material {
 
 impl fmt::Display for Material {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} (k = {} W/m·K)",
-            self.name, self.thermal_conductivity
-        )
+        write!(f, "{} (k = {} W/m·K)", self.name, self.thermal_conductivity)
     }
 }
 
@@ -107,10 +103,7 @@ mod tests {
 
     #[test]
     fn conductivity_ordering_copper_si_oxide() {
-        assert!(
-            Material::copper().thermal_conductivity
-                > Material::silicon().thermal_conductivity
-        );
+        assert!(Material::copper().thermal_conductivity > Material::silicon().thermal_conductivity);
         assert!(
             Material::silicon().thermal_conductivity
                 > Material::silicon_dioxide().thermal_conductivity

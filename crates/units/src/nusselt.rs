@@ -64,14 +64,12 @@ pub fn nusselt_number(alpha: f64, condition: WallCondition) -> f64 {
     match condition {
         WallCondition::ConstantHeatFlux => {
             8.235
-                * (1.0 - 2.0421 * a + 3.0853 * a.powi(2) - 2.4765 * a.powi(3)
-                    + 1.0578 * a.powi(4)
+                * (1.0 - 2.0421 * a + 3.0853 * a.powi(2) - 2.4765 * a.powi(3) + 1.0578 * a.powi(4)
                     - 0.1861 * a.powi(5))
         }
         WallCondition::ConstantTemperature => {
             7.541
-                * (1.0 - 2.610 * a + 4.970 * a.powi(2) - 5.119 * a.powi(3)
-                    + 2.702 * a.powi(4)
+                * (1.0 - 2.610 * a + 4.970 * a.powi(2) - 5.119 * a.powi(3) + 2.702 * a.powi(4)
                     - 0.548 * a.powi(5))
         }
     }

@@ -38,13 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Baseline.
     let psearch = PressureSearchOptions::default();
-    let base = baseline::best_straight(
-        &bench,
-        Problem::PumpingPower,
-        &psearch,
-        ModelChoice::fast(),
-    )
-    .ok_or("no feasible straight baseline for this case")?;
+    let base =
+        baseline::best_straight(&bench, Problem::PumpingPower, &psearch, ModelChoice::fast())
+            .ok_or("no feasible straight baseline for this case")?;
     println!("baseline:  {}", base.table_row());
 
     // Tree search (quick schedule; the hotspot sits north-east, so give
@@ -69,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rendered = files::render(&bench);
     let reparsed = files::parse(&rendered)?;
     assert_eq!(reparsed.power_maps, bench.power_maps);
-    println!("\ncase file round-trips ({} bytes rendered)", rendered.len());
+    println!(
+        "\ncase file round-trips ({} bytes rendered)",
+        rendered.len()
+    );
     Ok(())
 }

@@ -17,22 +17,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Baseline: the best straight-channel network over all 8 global flow
     // directions, exactly as §6 constructs it.
     println!("evaluating straight-channel baselines...");
-    let baseline = baseline::best_straight(
-        &bench,
-        Problem::PumpingPower,
-        &psearch,
-        ModelChoice::fast(),
-    )
-    .ok_or("no feasible straight baseline")?;
+    let baseline =
+        baseline::best_straight(&bench, Problem::PumpingPower, &psearch, ModelChoice::fast())
+            .ok_or("no feasible straight baseline")?;
     println!("  {}", baseline.table_row());
 
     // Manual gallery (the contest-first-place stand-in).
-    if let Some(m) = baseline::best_manual(
-        &bench,
-        Problem::PumpingPower,
-        &psearch,
-        ModelChoice::fast(),
-    ) {
+    if let Some(m) =
+        baseline::best_manual(&bench, Problem::PumpingPower, &psearch, ModelChoice::fast())
+    {
         println!("  {}", m.table_row());
     }
 

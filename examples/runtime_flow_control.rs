@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let interval = opts.dt * opts.control_interval as f64;
 
-    println!("workload: {:?} s DVFS square trace, T_max target {target}", trace.duration());
+    println!(
+        "workload: {:?} s DVFS square trace, T_max target {target}",
+        trace.duration()
+    );
     for (name, ctrl) in [("fixed pressure", fixed), ("adaptive flow", adaptive)] {
         let samples = simulate_adaptive_flow(&bench, &network, &trace, &ctrl, &opts)?;
         let worst = samples

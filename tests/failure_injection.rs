@@ -142,8 +142,5 @@ fn deserialized_garbage_network_fails_validation() {
     // Corrupt the ports list: drop all ports.
     json["ports"] = serde_json::Value::Array(vec![]);
     let corrupted: CoolingNetwork = serde_json::from_value(json).unwrap();
-    assert!(matches!(
-        corrupted.validate(),
-        Err(LegalityError::NoInlet)
-    ));
+    assert!(matches!(corrupted.validate(), Err(LegalityError::NoInlet)));
 }

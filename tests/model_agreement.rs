@@ -12,10 +12,7 @@ fn reference_and_coarse(
     let stack = bench.stack_with(std::slice::from_ref(net)).unwrap();
     let config = ThermalConfig::default();
     let four = FourRm::new(&stack, &config).unwrap().simulate(p).unwrap();
-    let two = TwoRm::new(&stack, m, &config)
-        .unwrap()
-        .simulate(p)
-        .unwrap();
+    let two = TwoRm::new(&stack, m, &config).unwrap().simulate(p).unwrap();
     (four, two)
 }
 
@@ -29,8 +26,7 @@ fn straight_channels_agree_within_two_percent_at_m2() {
         &StraightParams::default(),
     )
     .unwrap();
-    let (four, two) =
-        reference_and_coarse(&bench, &net, 2, Pascal::from_kilopascals(8.0));
+    let (four, two) = reference_and_coarse(&bench, &net, 2, Pascal::from_kilopascals(8.0));
     let err = compare::mean_relative_error(&four, &two);
     assert!(err < 0.02, "mean relative error {err}");
 }
@@ -39,15 +35,10 @@ fn straight_channels_agree_within_two_percent_at_m2() {
 fn tree_network_agrees_within_three_percent_at_m2() {
     let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
     let config = TreeConfig::uniform(GlobalFlow::SouthToNorth, BranchStyle::Binary, 2, 6, 14);
-    let net = coolnet::network::builders::tree::build(
-        bench.dims,
-        &bench.tsv,
-        &bench.restricted,
-        &config,
-    )
-    .unwrap();
-    let (four, two) =
-        reference_and_coarse(&bench, &net, 2, Pascal::from_kilopascals(8.0));
+    let net =
+        coolnet::network::builders::tree::build(bench.dims, &bench.tsv, &bench.restricted, &config)
+            .unwrap();
+    let (four, two) = reference_and_coarse(&bench, &net, 2, Pascal::from_kilopascals(8.0));
     let err = compare::mean_relative_error(&four, &two);
     assert!(err < 0.03, "mean relative error {err}");
 }
@@ -107,10 +98,7 @@ fn metrics_agree_between_models() {
         "T_max rise: 4RM {rise4} vs 2RM {rise2}"
     );
     let (g4, g2) = (four.gradient().value(), two.gradient().value());
-    assert!(
-        (g4 - g2).abs() / g4 < 0.5,
-        "gradient: 4RM {g4} vs 2RM {g2}"
-    );
+    assert!((g4 - g2).abs() / g4 < 0.5, "gradient: 4RM {g4} vs 2RM {g2}");
 }
 
 #[test]

@@ -92,7 +92,10 @@ fn case3_restricted_region_is_respected_end_to_end() {
     )
     .expect("case 3 network with carved region");
     for cell in bench.restricted.iter() {
-        assert!(!net.is_liquid(cell), "liquid in restricted region at {cell}");
+        assert!(
+            !net.is_liquid(cell),
+            "liquid in restricted region at {cell}"
+        );
     }
     // The system still cools: simulate and check sanity.
     let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();

@@ -1,0 +1,69 @@
+//! Offline stand-in for the small slice of `crossbeam` this workspace uses:
+//! [`scope`] with [`Scope::spawn`], backed by [`std::thread::scope`].
+//!
+//! The container this repository builds in has no network access to
+//! crates.io, so the workspace vendors std-only shims for its external
+//! dependencies. Only the API surface actually exercised by the workspace
+//! is provided.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle mirroring `crossbeam::thread::Scope`.
+///
+/// Spawned closures receive a `&Scope` argument (unused by this workspace,
+/// which spawns with `move |_| ...`), matching the crossbeam signature.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped worker thread; it may borrow from the enclosing
+    /// stack frame exactly like `std::thread::scope` workers.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing worker threads can be spawned,
+/// joining them all before returning.
+///
+/// `std::thread::scope` propagates worker panics by resuming them on the
+/// calling thread rather than returning `Err`, so this shim always returns
+/// `Ok` on normal completion; callers' `.expect(...)` on the result is a
+/// no-op, which is the behavior the workspace relies on.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Scoped-thread module alias so `crossbeam::thread::scope` also resolves.
+pub mod thread_shim {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_and_mutate() {
+        let mut out = vec![0u64; 8];
+        super::scope(|scope| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = i as u64 + 1;
+                });
+            }
+        })
+        .expect("workers joined");
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+}

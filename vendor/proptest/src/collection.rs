@@ -1,0 +1,65 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::{Reject, Strategy};
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for [`vec`]: a fixed size or a size range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        Self { min: len, max: len }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty vec length range");
+        Self {
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty vec length range");
+        Self {
+            min: *range.start(),
+            max: *range.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements are drawn from `element` and whose
+/// length lies in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Reject> {
+        let span = self.size.max - self.size.min + 1;
+        let len = self.size.min + rng.index(span);
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

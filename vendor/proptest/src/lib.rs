@@ -1,0 +1,209 @@
+//! Offline stand-in for the slice of `proptest` this workspace uses.
+//!
+//! It keeps the property-based tests *running as property tests* — many
+//! random cases per property, deterministic seeding, `prop_assume`
+//! rejection — while dropping the parts that need the full crate:
+//! shrinking, persistence of regressions, and bit-level generator
+//! compatibility. Failures report the case number and the per-test seed
+//! so a failing case can be replayed by rerunning the test.
+//!
+//! Supported surface: `proptest! { #![proptest_config(...)] #[test] fn
+//! name(pat in strategy, ...) { ... } }`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`, range and tuple
+//! strategies, `Just`, `prop_map` / `prop_flat_map` / `prop_filter` /
+//! `prop_filter_map`, `collection::vec`, `sample::select`, and
+//! `bool::ANY`. The number of cases defaults to 64 and can be overridden
+//! per block with `ProptestConfig::with_cases` or globally with the
+//! `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// `bool` strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use crate::strategy::{Reject, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy type for uniform booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> Result<bool, Reject> {
+            Ok(rng.next_u64() & 1 == 1)
+        }
+    }
+}
+
+/// The prelude glob-imported by every property-test module.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Alias so `prop::collection::vec`, `prop::sample::select`, and
+    /// `prop::bool::ANY` resolve as they do with the real crate.
+    pub use crate as prop;
+}
+
+/// Declares a block of property tests.
+///
+/// Each `#[test] fn name(pat in strategy, ...) { body }` becomes a
+/// regular test that draws `cases` random inputs and runs the body on
+/// each. The body may use `prop_assert!`-family macros and
+/// `prop_assume!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let __cases = __config.effective_cases();
+            let __seed = $crate::test_runner::TestRng::seed_for(
+                module_path!(),
+                stringify!($name),
+            );
+            let mut __rng = $crate::test_runner::TestRng::from_seed(__seed);
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __cases {
+                assert!(
+                    __rejected <= 1024 + __cases.saturating_mul(16),
+                    "proptest shim: `{}` rejected too many cases ({} accepted so far); \
+                     loosen the strategy or the prop_assume! conditions",
+                    stringify!($name),
+                    __accepted,
+                );
+                let __drawn = (|| -> ::std::result::Result<_, $crate::strategy::Reject> {
+                    ::std::result::Result::Ok((
+                        $($crate::strategy::Strategy::new_value(&($strategy), &mut __rng)?,)*
+                    ))
+                })();
+                let ($($pat,)*) = match __drawn {
+                    ::std::result::Result::Ok(v) => v,
+                    ::std::result::Result::Err(_) => {
+                        __rejected += 1;
+                        continue;
+                    }
+                };
+                let __outcome: $crate::test_runner::TestCaseResult =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => __rejected += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__message),
+                    ) => panic!(
+                        "property `{}` failed on case {} (seed {:#018x}): {}",
+                        stringify!($name),
+                        __accepted,
+                        __seed,
+                        __message,
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property body, failing the case (not the
+/// whole process) so the runner can report case number and seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: {} == {} ({:?} vs {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r,
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: {} != {} (both {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current case (without failing) when an assumption about
+/// the drawn inputs does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

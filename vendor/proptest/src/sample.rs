@@ -1,0 +1,24 @@
+//! Sampling strategies, mirroring `proptest::sample`.
+
+use crate::strategy::{Reject, Strategy};
+use crate::test_runner::TestRng;
+
+/// Picks uniformly from a fixed list of options.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(self.options[rng.index(self.options.len())].clone())
+    }
+}

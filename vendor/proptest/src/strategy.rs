@@ -1,0 +1,280 @@
+//! The [`Strategy`] trait, primitive strategies, and combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Marker for a rejected draw (filter miss or empty sub-range); the
+/// runner retries a bounded number of times.
+#[derive(Debug, Clone, Copy)]
+pub struct Reject;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy simply draws a value from the RNG (or rejects the draw).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then draws from the strategy `f` builds from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keeps only values satisfying `predicate`; `whence` names the
+    /// filter in diagnostics.
+    fn prop_filter<F>(self, whence: &'static str, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            source: self,
+            _whence: whence,
+            predicate,
+        }
+    }
+
+    /// Maps values through `f`, rejecting draws where it returns `None`;
+    /// `whence` names the filter in diagnostics.
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            source: self,
+            _whence: whence,
+            f,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// How many times filtering strategies retry before rejecting the case.
+const FILTER_RETRIES: usize = 64;
+
+/// Always produces a clone of one value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, Reject> {
+        self.source.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<S2::Value, Reject> {
+        let inner = (self.f)(self.source.new_value(rng)?);
+        inner.new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    _whence: &'static str,
+    predicate: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Reject> {
+        for _ in 0..FILTER_RETRIES {
+            let candidate = self.source.new_value(rng)?;
+            if (self.predicate)(&candidate) {
+                return Ok(candidate);
+            }
+        }
+        Err(Reject)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    source: S,
+    _whence: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<O, Reject> {
+        for _ in 0..FILTER_RETRIES {
+            if let Some(mapped) = (self.f)(self.source.new_value(rng)?) {
+                return Ok(mapped);
+            }
+        }
+        Err(Reject)
+    }
+}
+
+/// A heap-allocated, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Reject> {
+        self.inner.new_value(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$ty, Reject> {
+                if self.start >= self.end {
+                    return Err(Reject);
+                }
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                Ok((self.start as i128 + offset) as $ty)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$ty, Reject> {
+                let (start, end) = (*self.start(), *self.end());
+                if start > end {
+                    return Err(Reject);
+                }
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                Ok((start as i128 + offset) as $ty)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$ty, Reject> {
+                // NaN-aware: `!(a < b)` also rejects NaN bounds, which
+                // `a >= b` would not.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(self.start < self.end) {
+                    return Err(Reject);
+                }
+                Ok(self.start + (rng.unit_f64() as $ty) * (self.end - self.start))
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<$ty, Reject> {
+                let (start, end) = (*self.start(), *self.end());
+                // NaN-aware: `!(a <= b)` also rejects NaN bounds.
+                #[allow(clippy::neg_cmp_op_on_partial_ord)]
+                if !(start <= end) {
+                    return Err(Reject);
+                }
+                Ok(start + (rng.unit_f64() as $ty) * (end - start))
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident . $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+        }
+    };
+}
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);

@@ -1,0 +1,115 @@
+//! Runner support types: configuration, the deterministic RNG, and the
+//! per-case error channel used by the `prop_assert!` family.
+
+/// Outcome of one drawn test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Why a drawn case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` (not a failure).
+    Reject(&'static str),
+    /// The case failed a `prop_assert!`.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Convenience constructor mirroring `TestCaseError::fail`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` environment
+    /// override (useful to crank coverage up or down without editing
+    /// every test block).
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(text) => text.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The shim's deterministic generator (xoshiro256++ seeded by SplitMix64).
+///
+/// Each property gets a seed derived from its module path and name, so
+/// runs are reproducible and independent of test execution order.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Derives the per-test seed from the test's identity.
+    pub fn seed_for(module: &str, name: &str) -> u64 {
+        // FNV-1a over "module::name".
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in module.bytes().chain("::".bytes()).chain(name.bytes()) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Builds the generator from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform index in `[0, bound)`; `bound` must be nonzero.
+    pub fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot draw an index from an empty collection");
+        (self.next_u64() % bound as u64) as usize
+    }
+}

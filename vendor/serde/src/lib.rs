@@ -1,0 +1,406 @@
+//! Offline stand-in for the slice of `serde` this workspace uses.
+//!
+//! Real serde abstracts over data formats with visitor-based
+//! `Serializer`/`Deserializer` traits; the only format this workspace ever
+//! touches is JSON through `serde_json`, so this shim collapses the data
+//! model to a single in-memory [`Value`] tree. [`Serialize`] converts a
+//! Rust value *to* a [`Value`]; [`Deserialize`] reconstructs it *from* one.
+//! The companion `serde_derive` proc-macro generates impls of exactly
+//! these traits, and the vendored `serde_json` prints/parses [`Value`]s.
+//!
+//! Supported attributes: `#[serde(transparent)]` (single-field structs
+//! serialize as their field) and `#[serde(default)]` (missing fields
+//! deserialize via `Default`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use value::{Map, Number, Value};
+
+/// Deserialization error: a human-readable message, optionally with the
+/// JSON path where the failure happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Prefixes the error with a field or index context.
+    pub fn in_context(self, context: &str) -> Self {
+        Self {
+            message: format!("{context}: {}", self.message),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted to the JSON data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`] tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization helpers, mirroring the `serde::de` module path.
+pub mod de {
+    pub use super::Error;
+
+    /// Owned deserialization marker, mirroring `serde::de::DeserializeOwned`.
+    ///
+    /// The shim has no borrowed deserialization, so every `Deserialize`
+    /// type qualifies.
+    pub trait DeserializeOwned: super::Deserialize {}
+
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialization helpers, mirroring the `serde::ser` module path.
+pub mod ser {
+    pub use super::Error;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected unsigned integer, found {}",
+                        value.kind()
+                    )))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected integer, found {}",
+                        value.kind()
+                    )))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, found {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::from_f64(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("length checked"))
+            }
+            other => Err(Error::custom(format!(
+                "expected single-character string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_value(item).map_err(|e| e.in_context(&format!("[{i}]"))))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:literal: $($name:ident . $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => Ok((
+                        $($name::from_value(&items[$idx])
+                            .map_err(|e| e.in_context(&format!("[{}]", $idx)))?,)+
+                    )),
+                    Value::Array(items) => Err(Error::custom(format!(
+                        "expected array of length {}, found {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => Err(Error::custom(format!(
+                        "expected array, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+impl_tuple!(1: A.0);
+impl_tuple!(2: A.0, B.1);
+impl_tuple!(3: A.0, B.1, C.2);
+impl_tuple!(4: A.0, B.1, C.2, D.3);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.clone(), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| {
+                    V::from_value(v)
+                        .map(|v| (k.clone(), v))
+                        .map_err(|e| e.in_context(k))
+                })
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<(&String, &V)> = self.iter().collect();
+        pairs.sort_by(|a, b| a.0.cmp(b.0));
+        let mut map = Map::new();
+        for (k, v) in pairs {
+            map.insert(k.clone(), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(map) => map
+                .iter()
+                .map(|(k, v)| {
+                    V::from_value(v)
+                        .map(|v| (k.clone(), v))
+                        .map_err(|e| e.in_context(k))
+                })
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}

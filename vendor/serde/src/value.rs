@@ -1,0 +1,346 @@
+//! The in-memory JSON data model shared by the vendored `serde` and
+//! `serde_json` shims. `serde_json` re-exports [`Value`], [`Map`], and
+//! [`Number`] under its own name, matching the paths workspace code uses.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object; insertion order is preserved.
+    Object(Map),
+}
+
+impl Value {
+    /// A short name for the value's JSON type, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value's elements if it is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's entries if it is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the entries if the value is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup that tolerates non-objects, like
+    /// `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|map| map.get(key))
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Member access; missing members and non-objects yield `Null`,
+    /// matching `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// Member access for writes; inserts `Null` for missing members.
+    /// Panics if the value is not an object, matching `serde_json`.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(map) => map.entry_or_null(key),
+            other => panic!("cannot index {} with a string key", other.kind()),
+        }
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, index: usize) -> &Value {
+        self.as_array()
+            .and_then(|items| items.get(index))
+            .unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<usize> for Value {
+    fn index_mut(&mut self, index: usize) -> &mut Value {
+        match self {
+            Value::Array(items) => &mut items[index],
+            other => panic!("cannot index {} with a usize", other.kind()),
+        }
+    }
+}
+
+/// A JSON number: integer-preserving like `serde_json::Number`, so that
+/// `42` round-trips as an integer rather than `42.0`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A negative integer.
+    NegInt(i64),
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A (finite) float.
+    Float(f64),
+}
+
+impl Number {
+    /// A number from an unsigned integer.
+    pub fn from_u64(n: u64) -> Self {
+        Number::PosInt(n)
+    }
+
+    /// A number from a signed integer.
+    pub fn from_i64(n: i64) -> Self {
+        if n >= 0 {
+            Number::PosInt(n as u64)
+        } else {
+            Number::NegInt(n)
+        }
+    }
+
+    /// A number from a float.
+    pub fn from_f64(n: f64) -> Self {
+        Number::Float(n)
+    }
+
+    /// This number as `u64`, if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            Number::NegInt(_) => None,
+            Number::Float(f) => {
+                // Accept integral floats so `1` and `1.0` interconvert.
+                if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 {
+                    Some(f as u64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// This number as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(f) => {
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                    Some(f as i64)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// This number as `f64` (always possible).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::PosInt(n) => write!(f, "{n}"),
+            Number::NegInt(n) => write!(f, "{n}"),
+            Number::Float(v) => {
+                if v.is_finite() {
+                    // `{}` on f64 prints the shortest decimal string that
+                    // round-trips, which is valid JSON; force a trailing
+                    // `.0` on integral floats so they stay floats.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        write!(f, "{v:.1}")
+                    } else {
+                        write!(f, "{v}")
+                    }
+                } else {
+                    // JSON has no NaN/Infinity; serialize as null like
+                    // serde_json's lossy modes. Parsing maps null back to
+                    // NaN only for explicit f64 targets.
+                    f.write_str("null")
+                }
+            }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map, mirroring `serde_json::Map`
+/// (with `preserve_order` semantics).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a key/value pair, replacing and returning any previous
+    /// value for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Looks up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Whether the map contains `key`.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Returns a mutable reference to `key`'s value, inserting `Null`
+    /// first if the key is absent.
+    pub fn entry_or_null(&mut self, key: &str) -> &mut Value {
+        if let Some(idx) = self.entries.iter().position(|(k, _)| k == key) {
+            return &mut self.entries[idx].1;
+        }
+        self.entries.push((key.to_string(), Value::Null));
+        &mut self.entries.last_mut().expect("entry just pushed").1
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}

@@ -1,0 +1,301 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Real serde_derive leans on `syn`/`quote`; neither is available offline,
+//! so this crate parses the derive input with the raw `proc_macro` token
+//! API and emits impl blocks as formatted source strings. It supports the
+//! shapes this workspace actually derives on:
+//!
+//! - structs with named fields (`#[serde(default)]` honored per field)
+//! - tuple structs (single-field ones serialize transparently, matching
+//!   serde's newtype rule; `#[serde(transparent)]` is accepted and implied)
+//! - fieldless enums (externally tagged as their variant-name string)
+//! - enums with single-field tuple variants and struct variants
+//!   (externally tagged objects)
+//!
+//! Anything else (generics, multi-field tuple variants, unions) produces a
+//! `compile_error!` naming the unsupported construct, so a future derive
+//! site fails loudly instead of serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Input, Kind, VariantKind};
+
+/// Derives `serde::Serialize` (shim data model) for supported shapes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize` (shim data model) for supported shapes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let parsed = match parse::parse(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("compile_error!({message:?});")
+                .parse()
+                .expect("compile_error tokens parse")
+        }
+    };
+    gen(&parsed).parse().expect("generated impl tokens parse")
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Array(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            if input.transparent && fields.len() == 1 {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                let mut code = String::from("let mut __map = ::serde::value::Map::new();\n");
+                for field in fields {
+                    code.push_str(&format!(
+                        "__map.insert(::std::string::String::from({n:?}), \
+                         ::serde::Serialize::to_value(&self.{n}));\n",
+                        n = field.name
+                    ));
+                }
+                code.push_str("::serde::value::Value::Object(__map)");
+                code
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::value::Value::String(\
+                         ::std::string::String::from({v:?})),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(__inner) => {{\
+                         let mut __map = ::serde::value::Map::new();\
+                         __map.insert(::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_value(__inner));\
+                         ::serde::value::Value::Object(__map) }},\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inserts = String::new();
+                        for f in fields {
+                            inserts.push_str(&format!(
+                                "__fields.insert(::std::string::String::from({n:?}), \
+                                 ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {bindings} }} => {{\
+                             let mut __fields = ::serde::value::Map::new();\n\
+                             {inserts}\
+                             let mut __map = ::serde::value::Map::new();\
+                             __map.insert(::std::string::String::from({v:?}), \
+                             ::serde::value::Value::Object(__fields));\
+                             ::serde::value::Value::Object(__map) }},\n",
+                            v = v.name,
+                            bindings = bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!(
+            "match __v {{\
+                 ::serde::value::Value::Null => ::std::result::Result::Ok({name}),\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"expected null for {name}, found {{}}\", __other.kind()))),\
+             }}"
+        ),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\
+                     ::serde::value::Value::Array(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({items})),\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected array of length {n} for {name}, found {{}}\", \
+                         __other.kind()))),\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            if input.transparent && fields.len() == 1 {
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: \
+                     ::serde::Deserialize::from_value(__v)? }})",
+                    f = fields[0].name
+                )
+            } else {
+                let mut inits = String::new();
+                for field in fields {
+                    let missing = if field.default {
+                        "::std::default::Default::default()".to_string()
+                    } else {
+                        format!(
+                            "return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"missing field `{n}` in {name}\"))",
+                            n = field.name
+                        )
+                    };
+                    inits.push_str(&format!(
+                        "{n}: match __map.get({n:?}) {{\
+                             ::std::option::Option::Some(__x) => \
+                                 ::serde::Deserialize::from_value(__x)\
+                                 .map_err(|__e| __e.in_context({n:?}))?,\
+                             ::std::option::Option::None => {missing},\
+                         }},\n",
+                        n = field.name
+                    ));
+                }
+                format!(
+                    "match __v {{\
+                         ::serde::value::Value::Object(__map) => \
+                             ::std::result::Result::Ok({name} {{\n{inits}}}),\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"expected object for {name}, found {{}}\", \
+                             __other.kind()))),\
+                     }}"
+                )
+            }
+        }
+        Kind::Enum(variants) => {
+            let mut string_arms = String::new();
+            let mut object_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => string_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => object_arms.push_str(&format!(
+                        "if let ::std::option::Option::Some(__x) = __map.get({v:?}) {{\
+                             return ::std::result::Result::Ok({name}::{v}(\
+                                 ::serde::Deserialize::from_value(__x)\
+                                 .map_err(|__e| __e.in_context({v:?}))?));\
+                         }}\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let missing = if f.default {
+                                "::std::default::Default::default()".to_string()
+                            } else {
+                                format!(
+                                    "return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"missing field `{n}` in {name}::{v}\"))",
+                                    n = f.name,
+                                    v = v.name
+                                )
+                            };
+                            inits.push_str(&format!(
+                                "{n}: match __fields.get({n:?}) {{\
+                                     ::std::option::Option::Some(__y) => \
+                                         ::serde::Deserialize::from_value(__y)\
+                                         .map_err(|__e| __e.in_context({n:?}))?,\
+                                     ::std::option::Option::None => {missing},\
+                                 }},\n",
+                                n = f.name
+                            ));
+                        }
+                        object_arms.push_str(&format!(
+                            "if let ::std::option::Option::Some(__x) = __map.get({v:?}) {{\
+                                 return match __x {{\
+                                     ::serde::value::Value::Object(__fields) => \
+                                         ::std::result::Result::Ok({name}::{v} {{\n{inits}}}),\
+                                     __other => ::std::result::Result::Err(\
+                                         ::serde::Error::custom(::std::format!(\
+                                         \"expected object for {name}::{v}, found {{}}\", \
+                                         __other.kind()))),\
+                                 }};\
+                             }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\
+                     ::serde::value::Value::String(__s) => match __s.as_str() {{\n\
+                         {string_arms}\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                     }},\
+                     ::serde::value::Value::Object(__map) => {{\n\
+                         {object_arms}\
+                         ::std::result::Result::Err(::serde::Error::custom(\
+                             \"unknown object variant of {name}\"))\
+                     }},\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected variant of {name}, found {{}}\", \
+                         __other.kind()))),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Splits a bracketed attribute body like `serde(default)` into the
+/// attribute name and the idents inside its parenthesized argument list.
+fn attr_parts(group: TokenStream) -> (Option<String>, Vec<String>) {
+    let mut iter = group.into_iter();
+    let Some(TokenTree::Ident(attr_name)) = iter.next() else {
+        return (None, Vec::new());
+    };
+    let mut args = Vec::new();
+    if let Some(TokenTree::Group(args_group)) = iter.next() {
+        if args_group.delimiter() == Delimiter::Parenthesis {
+            for token in args_group.stream() {
+                if let TokenTree::Ident(ident) = token {
+                    args.push(ident.to_string());
+                }
+            }
+        }
+    }
+    (Some(attr_name.to_string()), args)
+}

@@ -1,0 +1,319 @@
+//! Hand-rolled parser for the derive input shapes this workspace uses,
+//! built directly on `proc_macro` token trees (no `syn` offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed derive target.
+pub struct Input {
+    /// Type name.
+    pub name: String,
+    /// `#[serde(transparent)]` on the container.
+    pub transparent: bool,
+    /// Shape of the type.
+    pub kind: Kind,
+}
+
+/// The supported type shapes.
+pub enum Kind {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S(T, ...);` with the field count.
+    TupleStruct(usize),
+    /// `struct S { ... }`
+    NamedStruct(Vec<Field>),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+/// A named struct field.
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// `#[serde(default)]` present.
+    pub default: bool,
+}
+
+/// An enum variant.
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Variant payload shape.
+    pub kind: VariantKind,
+}
+
+/// Supported variant payloads.
+pub enum VariantKind {
+    /// No payload.
+    Unit,
+    /// Exactly one unnamed payload field.
+    Newtype,
+    /// Named payload fields (`#[serde(default)]` honored per field).
+    Struct(Vec<Field>),
+}
+
+/// Serde-relevant flags gathered from one attribute run.
+#[derive(Default)]
+struct AttrFlags {
+    transparent: bool,
+    default: bool,
+}
+
+/// Parses a derive input item into [`Input`], or a human-readable error.
+pub fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let container_attrs = take_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = take_ident(&tokens, &mut pos)
+        .ok_or_else(|| "serde shim derive: expected `struct` or `enum`".to_string())?;
+    let name = take_ident(&tokens, &mut pos)
+        .ok_or_else(|| "serde shim derive: expected a type name".to_string())?;
+
+    if matches!(peek_punct(&tokens, pos), Some('<')) {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported offline; \
+             write a manual impl or extend vendor/serde_derive"
+        ));
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => parse_struct_body(&tokens, &mut pos, &name)?,
+        "enum" => parse_enum_body(&tokens, &mut pos, &name)?,
+        other => {
+            return Err(format!(
+                "serde shim derive: `{other} {name}` is not supported (only structs and enums)"
+            ))
+        }
+    };
+
+    Ok(Input {
+        name,
+        transparent: container_attrs.transparent,
+        kind,
+    })
+}
+
+fn parse_struct_body(tokens: &[TokenTree], pos: &mut usize, name: &str) -> Result<Kind, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+            *pos += 1;
+            Ok(Kind::NamedStruct(parse_named_fields(group.stream())?))
+        }
+        Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+            *pos += 1;
+            let count = count_tuple_fields(group.stream());
+            if count == 0 {
+                Ok(Kind::UnitStruct)
+            } else {
+                Ok(Kind::TupleStruct(count))
+            }
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Kind::UnitStruct),
+        _ => Err(format!("serde shim derive: malformed struct `{name}`")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let Some(field_name) = take_ident(&tokens, &mut pos) else {
+            return Err("serde shim derive: expected a field name".to_string());
+        };
+        match peek_punct(&tokens, pos) {
+            Some(':') => pos += 1,
+            _ => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after `{field_name}`"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field {
+            name: field_name,
+            default: attrs.default,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_enum_body(tokens: &[TokenTree], pos: &mut usize, name: &str) -> Result<Kind, String> {
+    let Some(TokenTree::Group(group)) = tokens.get(*pos) else {
+        return Err(format!("serde shim derive: malformed enum `{name}`"));
+    };
+    if group.delimiter() != Delimiter::Brace {
+        return Err(format!("serde shim derive: malformed enum `{name}`"));
+    }
+    *pos += 1;
+
+    let body: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut vpos = 0;
+    let mut variants = Vec::new();
+    while vpos < body.len() {
+        take_attrs(&body, &mut vpos);
+        let Some(variant_name) = take_ident(&body, &mut vpos) else {
+            return Err(format!(
+                "serde shim derive: expected a variant name in `{name}`"
+            ));
+        };
+        let kind = match body.get(vpos) {
+            Some(TokenTree::Group(payload)) if payload.delimiter() == Delimiter::Parenthesis => {
+                vpos += 1;
+                match count_tuple_fields(payload.stream()) {
+                    1 => VariantKind::Newtype,
+                    n => {
+                        return Err(format!(
+                            "serde shim derive: variant `{name}::{variant_name}` has {n} \
+                             unnamed fields; only unit and single-field variants are supported"
+                        ))
+                    }
+                }
+            }
+            Some(TokenTree::Group(payload)) if payload.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(payload.stream())?;
+                vpos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while vpos < body.len() {
+            if let TokenTree::Punct(p) = &body[vpos] {
+                if p.as_char() == ',' {
+                    vpos += 1;
+                    break;
+                }
+            }
+            vpos += 1;
+        }
+        variants.push(Variant {
+            name: variant_name,
+            kind,
+        });
+    }
+    Ok(Kind::Enum(variants))
+}
+
+/// Consumes a run of `#[...]` attributes, returning serde-relevant flags.
+fn take_attrs(tokens: &[TokenTree], pos: &mut usize) -> AttrFlags {
+    let mut flags = AttrFlags::default();
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(group))) =
+        (tokens.get(*pos), tokens.get(*pos + 1))
+    {
+        if p.as_char() != '#' || group.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let (attr_name, args) = crate::attr_parts(group.stream());
+        if attr_name.as_deref() == Some("serde") {
+            for arg in args {
+                match arg.as_str() {
+                    "transparent" => flags.transparent = true,
+                    "default" => flags.default = true,
+                    _ => {}
+                }
+            }
+        }
+        *pos += 2;
+    }
+    flags
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(*pos) {
+        if ident.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(group)) = tokens.get(*pos) {
+                if group.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn take_ident(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(*pos) {
+        *pos += 1;
+        Some(ident.to_string())
+    } else {
+        None
+    }
+}
+
+fn peek_punct(tokens: &[TokenTree], pos: usize) -> Option<char> {
+    match tokens.get(pos) {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    }
+}
+
+/// Skips one type expression: everything up to the next top-level comma,
+/// tracking `<...>` nesting so commas inside generics don't split fields.
+/// `->` inside `fn(...)` types is recognized so its `>` is not miscounted.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    let mut prev_char: Option<char> = None;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                '<' => angle_depth += 1,
+                '>' if prev_char != Some('-') => angle_depth -= 1,
+                _ => {}
+            }
+            prev_char = Some(p.as_char());
+        } else {
+            prev_char = None;
+        }
+        *pos += 1;
+    }
+}
+
+/// Counts top-level comma-separated fields in a tuple-struct body,
+/// ignoring commas nested inside generic arguments.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth: i32 = 0;
+    let mut prev_char: Option<char> = None;
+    let mut trailing_comma = false;
+    for token in &tokens {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    trailing_comma = true;
+                }
+                '<' => {
+                    angle_depth += 1;
+                    trailing_comma = false;
+                }
+                '>' if prev_char != Some('-') => {
+                    angle_depth -= 1;
+                    trailing_comma = false;
+                }
+                _ => trailing_comma = false,
+            }
+            prev_char = Some(p.as_char());
+        } else {
+            prev_char = None;
+            trailing_comma = false;
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for the slice of `serde_json` this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`],
+//! [`from_value`], and the [`Value`] tree (re-exported from the vendored
+//! `serde` shim so both crates share one data model).
+//!
+//! Floats print via Rust's shortest-round-trip `Display`, which is what
+//! the real crate's `float_roundtrip` feature guarantees; that feature
+//! (and `preserve_order`) are therefore declared and always on.
+
+#![forbid(unsafe_code)]
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+mod read;
+mod write;
+
+/// The `Result` alias, mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T> {
+    T::from_value(&value)
+}
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write::compact(&value.to_value()))
+}
+
+/// Serializes a value to human-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(write::pretty(&value.to_value()))
+}
+
+/// Serializes a value to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses JSON text into a typed value.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T> {
+    let value = read::parse(text)?;
+    T::from_value(&value)
+}
+
+/// Parses JSON bytes into a typed value.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| Error::custom(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(text)
+}
+
+/// Builds a [`Value`] with JSON-ish literal syntax. Only the forms the
+/// workspace needs: `json!(null)`, scalars, arrays, and `{"k": v}` maps.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([$($item:tt),* $(,)?]) => {
+        $crate::Value::Array(vec![$($crate::json!($item)),*])
+    };
+    ({$($key:literal : $val:tt),* $(,)?}) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $(map.insert($key.to_string(), $crate::json!($val));)*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! literal serializes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_through_text() {
+        let v: f64 = from_str(&to_string(&1.5f64).unwrap()).unwrap();
+        assert_eq!(v, 1.5);
+        let v: u32 = from_str(&to_string(&42u32).unwrap()).unwrap();
+        assert_eq!(v, 42);
+        let v: i64 = from_str(&to_string(&-7i64).unwrap()).unwrap();
+        assert_eq!(v, -7);
+        let v: bool = from_str(&to_string(&true).unwrap()).unwrap();
+        assert!(v);
+        let v: String = from_str(&to_string("a \"quoted\" str\n").unwrap()).unwrap();
+        assert_eq!(v, "a \"quoted\" str\n");
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let text = to_string(&2.0f64).unwrap();
+        assert_eq!(text, "2.0");
+        let v: f64 = from_str(&text).unwrap();
+        assert_eq!(v, 2.0);
+    }
+
+    #[test]
+    fn float_display_round_trips_awkward_values() {
+        for &v in &[
+            0.1,
+            1e-300,
+            1.7976931348623157e308,
+            -2.2250738585072014e-308,
+        ] {
+            let back: f64 = from_str(&to_string(&v).unwrap()).unwrap();
+            assert_eq!(back, v, "round-trip failed for {v}");
+        }
+    }
+
+    #[test]
+    fn nested_collections_round_trip() {
+        let data: Vec<(u16, Option<f64>)> = vec![(1, Some(0.5)), (2, None)];
+        let back: Vec<(u16, Option<f64>)> = from_str(&to_string(&data).unwrap()).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn value_indexing_matches_serde_json_semantics() {
+        let mut v: Value = from_str(r#"{"ports": [1, 2], "name": "x"}"#).unwrap();
+        assert_eq!(v["name"].as_str(), Some("x"));
+        assert_eq!(v["missing"], Value::Null);
+        v["ports"] = Value::Array(vec![]);
+        assert_eq!(v["ports"], Value::Array(vec![]));
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Value = from_str(r#"{"a": [1, {"b": null}], "c": -1.25e-3}"#).unwrap();
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_errors_name_the_problem() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
