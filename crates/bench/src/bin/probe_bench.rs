@@ -1,0 +1,183 @@
+//! Probe-path benchmark: probes/sec and solver iterations for the three
+//! `steady()` configurations — cold rebuild, cached numeric reassembly,
+//! and cached reassembly with parallel sparse kernels.
+//!
+//! ```sh
+//! cargo run --release -p coolnet-bench --bin probe_bench
+//! cargo run --release -p coolnet-bench --bin probe_bench -- --quick
+//! ```
+//!
+//! Writes `BENCH_probe.json` into `--out` (default `target/experiments`).
+//! `--quick` shrinks the grid and ladder for the CI smoke step; the
+//! committed artifact at the repo root comes from a default-scale run.
+
+#![forbid(unsafe_code)]
+
+use coolnet::prelude::*;
+use coolnet_bench::{write_json, HarnessOpts};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured configuration of the probe path.
+#[derive(Debug, Serialize)]
+struct ConfigResult {
+    /// Configuration name (`cold`, `cached`, `cached_par4`).
+    name: String,
+    /// Threads handed to the sparse kernels (1 = serial).
+    solver_threads: usize,
+    /// Whether every probe rebuilt assembly and ILU(0) from scratch.
+    cold_rebuild: bool,
+    /// Total probes timed.
+    probes: usize,
+    /// Wall time for all probes, seconds.
+    elapsed_s: f64,
+    /// Throughput.
+    probes_per_sec: f64,
+    /// Mean BiCGSTAB/GMRES iterations per probe.
+    mean_iterations: f64,
+}
+
+/// The artifact: enough context to compare runs across commits.
+#[derive(Debug, Serialize)]
+struct ProbeBench {
+    /// ICCAD case id.
+    case: usize,
+    /// Grid side length.
+    grid: u16,
+    /// Dies in the stack (= channel layers).
+    dies: usize,
+    /// Unknowns in the 4RM system.
+    unknowns: usize,
+    /// Hardware threads on the measurement host (requested solver threads
+    /// are clamped to this by the kernels).
+    host_threads: usize,
+    /// Pressure ladder, kPa (each repeated `reps` times).
+    pressures_kpa: Vec<f64>,
+    /// Ladder repetitions per configuration.
+    reps: usize,
+    /// Per-configuration measurements.
+    configs: Vec<ConfigResult>,
+    /// probes/sec of `cached` over `cold`.
+    speedup_cached: f64,
+    /// probes/sec of `cached_par4` over `cold` (the acceptance number).
+    speedup_cached_par4: f64,
+}
+
+fn ladder(lo_kpa: f64, hi_kpa: f64, steps: usize) -> Vec<f64> {
+    (0..steps)
+        .map(|i| lo_kpa + (hi_kpa - lo_kpa) * i as f64 / (steps - 1) as f64)
+        .collect()
+}
+
+/// Runs `reps` warm-started sweeps of the ladder and times them.
+fn measure(
+    stack: &Stack,
+    config: &ThermalConfig,
+    name: &str,
+    pressures_kpa: &[f64],
+    reps: usize,
+) -> Result<ConfigResult, ThermalError> {
+    let sim = FourRm::new(stack, config)?;
+    // Untimed warm-up probe: first-touch cache construction and symbolic
+    // ILU(0) belong to `new()` conceptually, and every configuration pays
+    // the same first solve from a flat initial guess.
+    let mut prev = sim.simulate(Pascal::from_kilopascals(pressures_kpa[0]))?;
+
+    let mut iterations = 0usize;
+    let mut probes = 0usize;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for &kpa in pressures_kpa {
+            let sol = sim.simulate_with_guess(Pascal::from_kilopascals(kpa), &prev)?;
+            iterations += sol.stats().iterations;
+            probes += 1;
+            prev = sol;
+        }
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+    let result = ConfigResult {
+        name: name.to_owned(),
+        solver_threads: config.solver_threads,
+        cold_rebuild: config.cold_rebuild,
+        probes,
+        elapsed_s,
+        probes_per_sec: probes as f64 / elapsed_s,
+        mean_iterations: iterations as f64 / probes as f64,
+    };
+    println!(
+        "  {:12} {:7.2} probes/s   {:5.1} iters/probe   ({} probes, {:.2} s)",
+        result.name, result.probes_per_sec, result.mean_iterations, probes, elapsed_s
+    );
+    Ok(result)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut opts = HarnessOpts::from_args();
+    let quick = opts.rest.iter().any(|a| a == "--quick");
+    if quick && opts.grid == 41 {
+        opts.grid = 21;
+    }
+    let (steps, reps) = if quick { (6, 2) } else { (20, 5) };
+
+    let dies = 2;
+    let bench = Benchmark::iccad_scaled(2, opts.dims());
+    let net = straight::build(
+        bench.dims,
+        &bench.tsv,
+        Dir::East,
+        &StraightParams::default(),
+    )?;
+    let stack = bench.stack_with(&vec![net; dies])?;
+    // A narrow ladder around the paper's operating range: golden-section
+    // and gradient probes sample nearby pressures, so consecutive
+    // warm-started solves converge in a handful of iterations — the regime
+    // the cache is built for.
+    let pressures_kpa = ladder(8.0, 16.0, steps);
+
+    let unknowns = FourRm::new(&stack, &ThermalConfig::default())?
+        .simulate(Pascal::from_kilopascals(10.0))?
+        .all_temperatures()
+        .len();
+    println!(
+        "probe path, ICCAD case 2 at {0}x{0}, {dies} dies, {unknowns} unknowns:",
+        opts.grid
+    );
+
+    let base = ThermalConfig::default();
+    let cold = ThermalConfig {
+        cold_rebuild: true,
+        ..base.clone()
+    };
+    let cached = ThermalConfig {
+        solver_threads: 1,
+        ..base.clone()
+    };
+    let cached_par4 = ThermalConfig {
+        solver_threads: 4,
+        ..base
+    };
+
+    let configs = vec![
+        measure(&stack, &cold, "cold", &pressures_kpa, reps)?,
+        measure(&stack, &cached, "cached", &pressures_kpa, reps)?,
+        measure(&stack, &cached_par4, "cached_par4", &pressures_kpa, reps)?,
+    ];
+    let speedup_cached = configs[1].probes_per_sec / configs[0].probes_per_sec;
+    let speedup_cached_par4 = configs[2].probes_per_sec / configs[0].probes_per_sec;
+    println!("speedup: cached {speedup_cached:.2}x, cached_par4 {speedup_cached_par4:.2}x");
+
+    let artifact = ProbeBench {
+        case: 2,
+        grid: opts.grid,
+        dies,
+        unknowns,
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        pressures_kpa,
+        reps,
+        configs,
+        speedup_cached,
+        speedup_cached_par4,
+    };
+    write_json(&opts.out_path("BENCH_probe.json"), &artifact);
+    Ok(())
+}

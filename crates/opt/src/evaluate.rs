@@ -50,7 +50,11 @@ enum Sim {
 /// Eq. (10).
 pub struct Evaluator {
     sim: Sim,
-    flow: FlowModel,
+    /// One hydraulic model per channel layer, in stack order.
+    flows: Vec<FlowModel>,
+    /// Total unit flow `Σ 1/R_layer` over every channel layer: the layers
+    /// share the same system pressure drop, so pumping powers add.
+    total_unit_flow: f64,
     /// Previous solution, used to warm-start the next solve.
     last: RefCell<Option<ThermalSolution>>,
     probes: RefCell<usize>,
@@ -73,16 +77,18 @@ impl Evaluator {
         Self::from_stack(&stack, network, model)
     }
 
-    /// Builds an evaluator for an explicit [`Stack`] (the network is only
-    /// used for the pumping-power model and must be the stack's channel
-    /// network).
+    /// Builds an evaluator for an explicit [`Stack`]. The pumping-power
+    /// model is built from the stack's own channel layers — every layer
+    /// contributes, since the layers are hydraulically parallel across the
+    /// same system pressure drop. The `_network` argument is retained for
+    /// API compatibility and no longer consulted.
     ///
     /// # Errors
     ///
     /// Propagates hydraulic and assembly failures.
     pub fn from_stack(
         stack: &Stack,
-        network: &CoolingNetwork,
+        _network: &CoolingNetwork,
         model: ModelChoice,
     ) -> Result<Self, ThermalError> {
         let config = ThermalConfig::default();
@@ -90,22 +96,32 @@ impl Evaluator {
             ModelChoice::TwoRm { m } => Sim::Two(TwoRm::new(stack, m, &config)?),
             ModelChoice::FourRm => Sim::Four(FourRm::new(stack, &config)?),
         };
-        // Hydraulic model for W_pump: channel geometry of the stack.
-        let channel_layer = stack
-            .channel_layer_indices()
-            .first()
-            .copied()
-            .ok_or_else(|| ThermalError::BadStack {
+        // Hydraulic models for W_pump: one per channel layer. A multi-die
+        // stack has one channel layer per die; counting only the first
+        // undercounts W_pump N× and makes pressure_for_power convert the
+        // Problem-2 budget into a too-generous pressure cap.
+        let mut flows = Vec::new();
+        for &li in stack.channel_layer_indices().iter() {
+            if let coolnet_thermal::LayerKind::Channel {
+                network,
+                flow,
+                widths,
+                ..
+            } = &stack.layers()[li].kind
+            {
+                flows.push(FlowModel::with_widths(network, flow, widths.as_ref())?);
+            }
+        }
+        if flows.is_empty() {
+            return Err(ThermalError::BadStack {
                 reason: "no channel layer".into(),
-            })?;
-        let flow_config = match &stack.layers()[channel_layer].kind {
-            coolnet_thermal::LayerKind::Channel { flow, .. } => flow.clone(),
-            _ => unreachable!("channel index points at a channel layer"),
-        };
-        let flow = FlowModel::new(network, &flow_config)?;
+            });
+        }
+        let total_unit_flow = flows.iter().map(|f| 1.0 / f.system_resistance()).sum();
         Ok(Self {
             sim,
-            flow,
+            flows,
+            total_unit_flow,
             last: RefCell::new(None),
             probes: RefCell::new(0),
         })
@@ -156,19 +172,27 @@ impl Evaluator {
         }
     }
 
-    /// Pumping power at `p_sys` (Eq. (10)).
+    /// Pumping power at `p_sys`, summed over every channel layer
+    /// (Eq. (10): `W_pump = P_sys² · Σ 1/R_layer`).
     pub fn w_pump(&self, p_sys: Pascal) -> Watt {
-        self.flow.pumping_power(p_sys)
+        Watt::new(p_sys.value() * p_sys.value() * self.total_unit_flow)
     }
 
-    /// The pressure producing pumping power `w` (inverse of Eq. (10)).
+    /// The pressure producing total pumping power `w` across all channel
+    /// layers (inverse of Eq. (10)).
     pub fn pressure_for_power(&self, w: Watt) -> Pascal {
-        self.flow.pressure_for_power(w)
+        Pascal::new((w.value() / self.total_unit_flow).sqrt())
     }
 
-    /// System fluid resistance `R_sys`.
+    /// System fluid resistance `R_sys` of the whole stack (channel layers
+    /// in parallel).
     pub fn system_resistance(&self) -> f64 {
-        self.flow.system_resistance()
+        1.0 / self.total_unit_flow
+    }
+
+    /// The per-channel-layer hydraulic models, in stack order.
+    pub fn layer_flows(&self) -> &[FlowModel] {
+        &self.flows
     }
 
     /// Number of thermal solves performed so far (diagnostics; the paper's
@@ -229,6 +253,59 @@ mod tests {
         let p = Pascal::from_kilopascals(7.0);
         let w = ev.w_pump(p);
         assert!((ev.pressure_for_power(w).value() - p.value()).abs() / p.value() < 1e-9);
+    }
+
+    #[test]
+    fn multi_layer_w_pump_sums_all_channel_layers() {
+        // A 2-die stack has two channel layers sharing P_sys; W_pump must
+        // be the sum of per-layer pumping powers, not just the first
+        // layer's (the pre-fix behavior, which undercounts by 2×).
+        let dims = GridDims::new(21, 21);
+        let bench = Benchmark::iccad_scaled(2, dims);
+        let net = straight::build(
+            dims,
+            &tsv::alternating(dims),
+            Dir::East,
+            &StraightParams::default(),
+        )
+        .unwrap();
+        let stack = bench.stack_with(&[net.clone(), net.clone()]).unwrap();
+        assert_eq!(stack.channel_layer_indices().len(), 2);
+        let ev = Evaluator::from_stack(&stack, &net, ModelChoice::fast()).unwrap();
+        let p = Pascal::from_kilopascals(10.0);
+
+        let mut expected = 0.0;
+        let mut first_layer_only = None;
+        for &li in stack.channel_layer_indices().iter() {
+            if let coolnet_thermal::LayerKind::Channel {
+                network,
+                flow,
+                widths,
+                ..
+            } = &stack.layers()[li].kind
+            {
+                let w = FlowModel::with_widths(network, flow, widths.as_ref())
+                    .unwrap()
+                    .pumping_power(p)
+                    .value();
+                first_layer_only.get_or_insert(w);
+                expected += w;
+            }
+        }
+        let got = ev.w_pump(p).value();
+        assert!(
+            (got - expected).abs() / expected < 1e-12,
+            "W_pump {got} != per-layer sum {expected}"
+        );
+        // Guard against the single-layer regression explicitly.
+        let single = first_layer_only.unwrap();
+        assert!(
+            (got - single).abs() / expected > 0.4,
+            "W_pump {got} counts only one layer ({single})"
+        );
+        // The inverse conversion must round-trip through the summed model.
+        let back = ev.pressure_for_power(ev.w_pump(p)).value();
+        assert!((back - p.value()).abs() / p.value() < 1e-9);
     }
 
     #[test]

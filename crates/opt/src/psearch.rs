@@ -155,8 +155,11 @@ pub fn minimize_pressure_for_gradient(
                 s = p2 - p1;
             }
             // Plateau detection (line 11): f barely changes while moving
-            // right — saturated; no feasible pressure will appear.
-            if (1.0 - f0 / f1).abs() < 1e-4 {
+            // right — saturated; no feasible pressure will appear. The
+            // pure relative form `|1 - f0/f1|` is NaN at f1 = 0 (uniform
+            // ΔT ≈ 0), which silently disables the exit; the absolute
+            // floor keeps the test defined there.
+            if (f0 - f1).abs() < 1e-4 * f1.abs().max(1e-9) {
                 plateau += 1;
                 if plateau >= 3 {
                     return Ok(done(p1, f1, &probe));
@@ -263,7 +266,8 @@ pub fn min_pressure_for_peak(
 ///
 /// # Errors
 ///
-/// Propagates the first simulator error.
+/// Returns [`ThermalError::Search`] if the interval is not
+/// `0 < lo < hi`; otherwise propagates the first simulator error.
 pub fn golden_min(
     f: &mut dyn FnMut(Pascal) -> Result<f64, ThermalError>,
     lo: Pascal,
@@ -277,7 +281,11 @@ pub fn golden_min(
         budget: opts.max_probes,
     };
     let (mut a, mut b) = (lo.value(), hi.value());
-    assert!(a > 0.0 && b > a, "golden_min needs 0 < lo < hi");
+    if !(a > 0.0 && b > a) {
+        return Err(ThermalError::Search {
+            reason: format!("golden_min needs 0 < lo < hi, got [{a}, {b}]"),
+        });
+    }
     let mut c = b - (b - a) * INV_PHI;
     let mut d = a + (b - a) * INV_PHI;
     let mut fc = probe.eval(c)?;
@@ -426,6 +434,39 @@ mod tests {
             .unwrap();
         assert_eq!(r.p_sys.value(), 50000.0);
         assert_eq!(r.probes, 1);
+    }
+
+    #[test]
+    fn zero_gradient_probe_hits_plateau_exit() {
+        // Uniform ΔT ≡ 0 against an unattainable negative limit: the old
+        // relative plateau test was NaN here (0/0) and the search burned
+        // its whole probe budget. The absolute fallback must exit early
+        // and report infeasibility.
+        let mut count = 0usize;
+        let mut f = |_p: Pascal| {
+            count += 1;
+            Ok(0.0)
+        };
+        let r = minimize_pressure_for_gradient(&mut f, Kelvin::new(-1.0), &opts()).unwrap();
+        assert!(!r.feasible, "{r:?}");
+        assert!(count <= 12, "plateau exit took {count} probes");
+    }
+
+    #[test]
+    fn golden_rejects_bad_interval() {
+        let mut probes = 0usize;
+        let mut f = |_p: Pascal| {
+            probes += 1;
+            Ok(1.0)
+        };
+        for (lo, hi) in [(0.0, 1.0), (-1.0, 1.0), (2.0, 2.0), (3.0, 1.0)] {
+            let r = golden_min(&mut f, Pascal::new(lo), Pascal::new(hi), &opts());
+            assert!(
+                matches!(r, Err(ThermalError::Search { .. })),
+                "[{lo}, {hi}] should be rejected"
+            );
+        }
+        assert_eq!(probes, 0, "invalid intervals must not burn probes");
     }
 
     #[test]

@@ -59,10 +59,14 @@ impl Acceptor {
     /// Whether to accept a candidate of cost `candidate` over `current`,
     /// then cools the temperature.
     pub fn accept(&mut self, current: f64, candidate: f64) -> bool {
-        let accept = if candidate <= current {
-            true
-        } else if candidate.is_infinite() {
+        let accept = if candidate.is_infinite() && candidate > 0.0 {
+            // An infeasible candidate is never an improvement — in
+            // particular `+∞ ≤ +∞` must not read as acceptance, or the
+            // chain random-walks among infeasible states instead of
+            // holding position until a feasible neighbor appears.
             false
+        } else if candidate <= current {
+            true
         } else {
             let delta = candidate - current;
             self.rng.gen::<f64>() < (-delta / self.temperature).exp()
@@ -164,6 +168,20 @@ mod tests {
     fn toy_cost(x: &i64) -> f64 {
         let d = (*x - 17) as f64;
         d * d
+    }
+
+    #[test]
+    fn double_infeasible_is_rejected() {
+        // +∞ candidate against +∞ incumbent: the chain must hold position
+        // (reject), not random-walk among infeasible states via +∞ ≤ +∞.
+        let mut acc = Acceptor::new(10.0, 0.95, 3);
+        for _ in 0..20 {
+            assert!(!acc.accept(f64::INFINITY, f64::INFINITY));
+        }
+        // An infeasible candidate never displaces a feasible incumbent...
+        assert!(!acc.accept(1.0, f64::INFINITY));
+        // ...but a feasible candidate still displaces an infeasible one.
+        assert!(acc.accept(f64::INFINITY, 1.0));
     }
 
     #[test]

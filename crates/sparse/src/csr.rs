@@ -147,6 +147,45 @@ impl CsrMatrix {
         (&self.col_idx[lo..hi], &self.values[lo..hi])
     }
 
+    /// The CSR row pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The stored column indices, in row-major slot order.
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The stored values, in row-major slot order (parallel to
+    /// [`col_indices`](Self::col_indices)).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values, keeping the sparsity pattern
+    /// fixed. This is the numeric-phase hook of the probe-path cache: a
+    /// pressure sweep rewrites only the advection-dependent slots instead of
+    /// re-running the full symbolic assembly.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The storage slot of `(row, col)` within [`values`](Self::values), or
+    /// `None` if the position is not part of the sparsity pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn slot(&self, row: usize, col: usize) -> Option<usize> {
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        self.col_idx[lo..hi]
+            .binary_search(&(col as u32))
+            .ok()
+            .map(|k| lo + k)
+    }
+
     /// Sum of the stored values in `row`.
     pub fn row_sum(&self, row: usize) -> f64 {
         self.row(row).1.iter().sum()
@@ -398,5 +437,18 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn from_triplets_rejects_out_of_bounds() {
         CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn slot_lookup_and_value_rewrite() {
+        let mut m = sample();
+        assert_eq!(m.slot(2, 0), Some(3));
+        assert_eq!(m.slot(1, 0), None);
+        let s = m.slot(0, 1).unwrap();
+        m.values_mut()[s] = 7.0;
+        assert_eq!(m.get(0, 1), 7.0);
+        assert_eq!(m.values().len(), m.nnz());
+        assert_eq!(m.row_ptr().len(), 4);
+        assert_eq!(m.col_indices().len(), m.nnz());
     }
 }

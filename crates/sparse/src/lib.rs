@@ -49,6 +49,8 @@ pub mod csr;
 pub mod dense;
 /// Matrix-vector products and related kernels.
 pub mod ops;
+/// Row-partitioned parallel SpMV and blocked dense kernels.
+pub mod par;
 /// ILU(0) and Jacobi preconditioners.
 pub mod precond;
 /// CG and BiCGSTAB iterative solvers.

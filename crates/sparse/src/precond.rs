@@ -88,12 +88,17 @@ pub struct Ilu0 {
     values: Vec<f64>,
     /// Position of the diagonal entry within each row's slice.
     diag_pos: Vec<usize>,
+    /// Factor slot holding the `k`-th stored entry of the source matrix
+    /// (factor pattern = A's pattern plus inserted diagonals, so the map is
+    /// injective but not surjective).
+    a_slot: Vec<usize>,
     dim: usize,
 }
 
 impl Ilu0 {
     /// Computes the ILU(0) factorization of `a`.
     ///
+    /// Equivalent to [`Ilu0::symbolic`] followed by [`Ilu0::refactor`].
     /// Rows missing a diagonal entry, or where elimination produces a zero
     /// pivot, have the pivot replaced by a small multiple of the row's
     /// largest magnitude (diagonal shifting), keeping the preconditioner
@@ -103,26 +108,47 @@ impl Ilu0 {
     ///
     /// Panics if `a` is not square.
     pub fn new(a: &CsrMatrix) -> Self {
+        let mut ilu = Self::symbolic(a);
+        ilu.refactor(a);
+        ilu
+    }
+
+    /// Builds the reusable symbolic structure for `a`'s sparsity pattern:
+    /// the factor pattern (A's pattern plus explicit diagonals), diagonal
+    /// positions, and the A-slot → factor-slot map used by
+    /// [`Ilu0::refactor`]. Factor values are left at zero; call
+    /// [`Ilu0::refactor`] before [`Preconditioner::apply`].
+    ///
+    /// This is the one-time half of the probe-path split: callers that
+    /// re-factor the same pattern with new numeric values (the
+    /// pressure-probe loop) pay this cost once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
+    pub fn symbolic(a: &CsrMatrix) -> Self {
         assert_eq!(a.rows(), a.cols(), "ILU(0) requires a square matrix");
         let n = a.rows();
 
-        // Copy A's CSR arrays, inserting an explicit diagonal if absent.
+        // Copy A's pattern, inserting an explicit diagonal if absent, and
+        // record where each of A's stored entries lands in the factor.
         let mut row_ptr = Vec::with_capacity(n + 1);
         let mut col_idx: Vec<u32> = Vec::new();
-        let mut values: Vec<f64> = Vec::new();
+        let mut a_slot = Vec::with_capacity(a.nnz());
         row_ptr.push(0);
         for r in 0..n {
-            let (cols, vals) = a.row(r);
+            let (cols, _) = a.row(r);
             let mut has_diag = false;
-            for (&c, &v) in cols.iter().zip(vals) {
+            for &c in cols {
                 if c as usize == r {
                     has_diag = true;
                 }
+                a_slot.push(col_idx.len());
                 col_idx.push(c);
-                values.push(v);
             }
             if !has_diag {
-                // Insert zero diagonal keeping the row sorted.
+                // Insert zero diagonal keeping the row sorted, shifting the
+                // slot map for this row's entries past the insertion point.
                 let lo = row_ptr[r];
                 let insert_at = lo
                     + col_idx[lo..]
@@ -130,7 +156,12 @@ impl Ilu0 {
                         .position(|&c| c as usize > r)
                         .unwrap_or(col_idx.len() - lo);
                 col_idx.insert(insert_at, r as u32);
-                values.insert(insert_at, 0.0);
+                for s in a_slot.iter_mut().rev() {
+                    if *s < insert_at {
+                        break;
+                    }
+                    *s += 1;
+                }
             }
             row_ptr.push(col_idx.len());
         }
@@ -143,6 +174,46 @@ impl Ilu0 {
                 + col_idx[lo..hi]
                     .binary_search(&(r as u32))
                     .expect("diagonal entry must exist after insertion");
+        }
+
+        let nnz = col_idx.len();
+        Self {
+            row_ptr,
+            col_idx,
+            values: vec![0.0; nnz],
+            diag_pos,
+            a_slot,
+            dim: n,
+        }
+    }
+
+    /// Recomputes the numeric factorization from `a`'s current values,
+    /// reusing the symbolic structure. This is the per-probe half of the
+    /// split: a value copy plus one IKJ elimination sweep, with no
+    /// allocation beyond the scatter workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`'s sparsity pattern differs from the one this structure
+    /// was built for (checked via dimension and stored-entry count).
+    pub fn refactor(&mut self, a: &CsrMatrix) {
+        assert_eq!(a.rows(), self.dim, "refactor: dimension mismatch");
+        assert_eq!(
+            a.nnz(),
+            self.a_slot.len(),
+            "refactor: sparsity pattern mismatch"
+        );
+        let n = self.dim;
+        let row_ptr = &self.row_ptr;
+        let col_idx = &self.col_idx;
+        let diag_pos = &self.diag_pos;
+        let values = &mut self.values;
+
+        // Numeric copy: zero everything (inserted diagonals must reset),
+        // then scatter A's values through the slot map.
+        values.iter_mut().for_each(|v| *v = 0.0);
+        for (&slot, &v) in self.a_slot.iter().zip(a.values()) {
+            values[slot] = v;
         }
 
         // IKJ-variant ILU(0) with a scatter workspace mapping column -> slot.
@@ -179,14 +250,6 @@ impl Ilu0 {
             for k in lo..hi {
                 slot_of_col[col_idx[k] as usize] = -1;
             }
-        }
-
-        Self {
-            row_ptr,
-            col_idx,
-            values,
-            diag_pos,
-            dim: n,
         }
     }
 }
@@ -277,6 +340,59 @@ mod tests {
         let mut z = vec![0.0; 2];
         p.apply(&[1.0, 1.0], &mut z);
         assert!(z.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factorization() {
+        // Probe use case: same pattern, new numeric values. A symbolic
+        // structure refactored with the new values must behave exactly like
+        // a factorization built from scratch.
+        let n = 24;
+        let build = |scale: f64| {
+            let mut b = TripletBuilder::new(n, n);
+            for i in 0..n {
+                b.add(i, i, 4.0 + scale * (i % 5) as f64);
+                if i + 1 < n {
+                    b.add(i, i + 1, -1.0 - scale);
+                    b.add(i + 1, i, -0.5 * scale);
+                }
+                if i + 4 < n {
+                    b.add(i, i + 4, -0.25 * scale);
+                }
+            }
+            b.to_csr()
+        };
+        let a1 = build(1.0);
+        let a2 = build(3.5);
+        let mut ilu = Ilu0::symbolic(&a1);
+        ilu.refactor(&a1);
+        let r: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut z_re = vec![0.0; n];
+        let mut z_fresh = vec![0.0; n];
+        ilu.apply(&r, &mut z_re);
+        Ilu0::new(&a1).apply(&r, &mut z_fresh);
+        assert_eq!(z_re, z_fresh);
+        // Now rewrite with a2's values and compare against a cold build.
+        ilu.refactor(&a2);
+        ilu.apply(&r, &mut z_re);
+        Ilu0::new(&a2).apply(&r, &mut z_fresh);
+        assert_eq!(z_re, z_fresh);
+    }
+
+    #[test]
+    fn refactor_resets_inserted_diagonal() {
+        // Row 1 has no stored diagonal; two refactors in a row must give
+        // identical results (the inserted zero diagonal is re-zeroed).
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0)]);
+        let mut ilu = Ilu0::symbolic(&a);
+        ilu.refactor(&a);
+        let mut z1 = vec![0.0; 2];
+        ilu.apply(&[1.0, 1.0], &mut z1);
+        ilu.refactor(&a);
+        let mut z2 = vec![0.0; 2];
+        ilu.apply(&[1.0, 1.0], &mut z2);
+        assert_eq!(z1, z2);
+        assert!(z1.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Krylov solvers: preconditioned CG and BiCGSTAB.
 
 use crate::csr::CsrMatrix;
-use crate::ops::{axpy, dot, norm2, xpby};
+use crate::ops::xpby;
+use crate::par::{self, RowPartition};
 use crate::precond::Preconditioner;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Error returned by the linear solvers in this crate.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,15 +75,26 @@ pub struct SolverOptions {
     pub max_iterations: usize,
     /// Optional initial guess (must match the system dimension if set).
     pub initial_guess: Option<Vec<f64>>,
+    /// Worker threads for the sparse/dense kernels; `0` or `1` is serial.
+    /// Small systems stay serial regardless (see [`par::MIN_PAR_NNZ`]).
+    pub threads: usize,
+    /// Precomputed row partition for the system matrix. Callers that solve
+    /// the same sparsity pattern repeatedly (the probe loop) compute this
+    /// once via [`RowPartition::new`] and share it; if absent or the wrong
+    /// shape, the solver derives one from `threads` per call.
+    pub partition: Option<Arc<RowPartition>>,
 }
 
 impl Default for SolverOptions {
-    /// `tolerance = 1e-10`, automatic iteration cap, zero initial guess.
+    /// `tolerance = 1e-10`, automatic iteration cap, zero initial guess,
+    /// serial kernels.
     fn default() -> Self {
         Self {
             tolerance: 1e-10,
             max_iterations: 0,
             initial_guess: None,
+            threads: 1,
+            partition: None,
         }
     }
 }
@@ -100,6 +113,21 @@ impl SolverOptions {
             (4 * n).max(100)
         } else {
             self.max_iterations
+        }
+    }
+
+    /// Effective worker-thread count: at least 1, at most the host's
+    /// available parallelism.
+    fn thread_count(&self) -> usize {
+        par::effective_workers(self.threads)
+    }
+
+    /// The partition to use for `a`: the cached one when it matches,
+    /// otherwise one derived from `threads`.
+    fn resolve_partition(&self, a: &CsrMatrix) -> Arc<RowPartition> {
+        match &self.partition {
+            Some(p) if p.rows() == a.rows() => Arc::clone(p),
+            _ => Arc::new(RowPartition::new(a, self.thread_count())),
         }
     }
 
@@ -165,18 +193,20 @@ pub fn cg(
     options: &SolverOptions,
 ) -> Result<Solution, SolveError> {
     let n = check_square(a, b)?;
-    let b_norm = norm2(b);
+    let nt = options.thread_count();
+    let b_norm = par::norm2(b, nt);
     if b_norm == 0.0 {
         return Ok(Solution {
             solution: vec![0.0; n],
             stats: SolveStats::default(),
         });
     }
+    let part = options.resolve_partition(a);
 
     let mut x = options.guess(n)?;
     let mut r = b.to_vec();
     let mut ax = vec![0.0; n];
-    a.mul_vec_into(&x, &mut ax);
+    par::spmv(a, &x, &mut ax, &part);
     for (ri, axi) in r.iter_mut().zip(&ax) {
         *ri -= axi;
     }
@@ -184,11 +214,11 @@ pub fn cg(
     let mut z = vec![0.0; n];
     m.apply(&r, &mut z);
     let mut p = z.clone();
-    let mut rz = dot(&r, &z);
+    let mut rz = par::dot(&r, &z, nt);
     let max_iter = options.cap(n);
 
     for it in 0..max_iter {
-        let res = norm2(&r) / b_norm;
+        let res = par::norm2(&r, nt) / b_norm;
         if res <= options.tolerance {
             return Ok(Solution {
                 solution: x,
@@ -198,22 +228,22 @@ pub fn cg(
                 },
             });
         }
-        a.mul_vec_into(&p, &mut ax);
-        let pap = dot(&p, &ax);
+        par::spmv(a, &p, &mut ax, &part);
+        let pap = par::dot(&p, &ax, nt);
         if pap.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it });
         }
         let alpha = rz / pap;
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &ax, &mut r);
+        par::axpy(alpha, &p, &mut x, nt);
+        par::axpy(-alpha, &ax, &mut r, nt);
         m.apply(&r, &mut z);
-        let rz_next = dot(&r, &z);
+        let rz_next = par::dot(&r, &z, nt);
         let beta = rz_next / rz;
         rz = rz_next;
         xpby(&z, beta, &mut p);
     }
 
-    let res = norm2(&r) / b_norm;
+    let res = par::norm2(&r, nt) / b_norm;
     if res <= options.tolerance {
         Ok(Solution {
             solution: x,
@@ -243,18 +273,20 @@ pub fn bicgstab(
     options: &SolverOptions,
 ) -> Result<Solution, SolveError> {
     let n = check_square(a, b)?;
-    let b_norm = norm2(b);
+    let nt = options.thread_count();
+    let b_norm = par::norm2(b, nt);
     if b_norm == 0.0 {
         return Ok(Solution {
             solution: vec![0.0; n],
             stats: SolveStats::default(),
         });
     }
+    let part = options.resolve_partition(a);
 
     let mut x = options.guess(n)?;
     let mut r = b.to_vec();
     let mut tmp = vec![0.0; n];
-    a.mul_vec_into(&x, &mut tmp);
+    par::spmv(a, &x, &mut tmp, &part);
     for (ri, ti) in r.iter_mut().zip(&tmp) {
         *ri -= ti;
     }
@@ -271,16 +303,16 @@ pub fn bicgstab(
     let max_iter = options.cap(n);
 
     for it in 0..max_iter {
-        let res = norm2(&r) / b_norm;
+        let res = par::norm2(&r, nt) / b_norm;
         if res <= options.tolerance {
             // The recursive residual can drift from the true residual; verify
             // before declaring victory, and keep iterating on the *true*
             // residual if it disagrees.
-            a.mul_vec_into(&x, &mut tmp);
+            par::spmv(a, &x, &mut tmp, &part);
             for ((ri, bi), ti) in r.iter_mut().zip(b).zip(&tmp) {
                 *ri = bi - ti;
             }
-            let true_res = norm2(&r) / b_norm;
+            let true_res = par::norm2(&r, nt) / b_norm;
             if true_res <= options.tolerance * 10.0 {
                 return Ok(Solution {
                     solution: x,
@@ -291,7 +323,7 @@ pub fn bicgstab(
                 });
             }
         }
-        let rho_next = dot(&r0, &r);
+        let rho_next = par::dot(&r0, &r, nt);
         if rho_next.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it });
         }
@@ -302,19 +334,19 @@ pub fn bicgstab(
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
         m.apply(&p, &mut p_hat);
-        a.mul_vec_into(&p_hat, &mut v);
-        let r0v = dot(&r0, &v);
+        par::spmv(a, &p_hat, &mut v, &part);
+        let r0v = par::dot(&r0, &v, nt);
         if r0v.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it });
         }
         alpha = rho / r0v;
         // s = r - alpha * v (reuse r as s)
-        axpy(-alpha, &v, &mut r);
-        if norm2(&r) / b_norm <= options.tolerance {
+        par::axpy(-alpha, &v, &mut r, nt);
+        if par::norm2(&r, nt) / b_norm <= options.tolerance {
             // Early exit on the half-step. Verify with the true residual; if
             // it disagrees (recursive-residual drift), undo and continue.
-            axpy(alpha, &p_hat, &mut x);
-            a.mul_vec_into(&x, &mut tmp);
+            par::axpy(alpha, &p_hat, &mut x, nt);
+            par::spmv(a, &x, &mut tmp, &part);
             let mut true_sq = 0.0;
             for (bi, ti) in b.iter().zip(&tmp) {
                 true_sq += (bi - ti) * (bi - ti);
@@ -329,25 +361,25 @@ pub fn bicgstab(
                     },
                 });
             }
-            axpy(-alpha, &p_hat, &mut x);
+            par::axpy(-alpha, &p_hat, &mut x, nt);
         }
         m.apply(&r, &mut s_hat);
-        a.mul_vec_into(&s_hat, &mut t);
-        let tt = dot(&t, &t);
+        par::spmv(a, &s_hat, &mut t, &part);
+        let tt = par::dot(&t, &t, nt);
         if tt.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it });
         }
-        omega = dot(&t, &r) / tt;
-        axpy(alpha, &p_hat, &mut x);
-        axpy(omega, &s_hat, &mut x);
+        omega = par::dot(&t, &r, nt) / tt;
+        par::axpy(alpha, &p_hat, &mut x, nt);
+        par::axpy(omega, &s_hat, &mut x, nt);
         // r = s - omega * t
-        axpy(-omega, &t, &mut r);
+        par::axpy(-omega, &t, &mut r, nt);
         if omega.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it });
         }
     }
 
-    let res = norm2(&r) / b_norm;
+    let res = par::norm2(&r, nt) / b_norm;
     if res <= options.tolerance {
         Ok(Solution {
             solution: x,
@@ -382,13 +414,15 @@ pub fn gmres(
     options: &SolverOptions,
 ) -> Result<Solution, SolveError> {
     let n = check_square(a, b)?;
-    let b_norm = norm2(b);
+    let nt = options.thread_count();
+    let b_norm = par::norm2(b, nt);
     if b_norm == 0.0 {
         return Ok(Solution {
             solution: vec![0.0; n],
             stats: SolveStats::default(),
         });
     }
+    let part = options.resolve_partition(a);
     let restart = if restart == 0 { 50 } else { restart }.min(n);
     let max_outer = (options.cap(n) / restart).max(4);
     let mut x = options.guess(n)?;
@@ -398,12 +432,12 @@ pub fn gmres(
 
     for _outer in 0..max_outer {
         // True residual.
-        a.mul_vec_into(&x, &mut tmp);
+        par::spmv(a, &x, &mut tmp, &part);
         let mut r = vec![0.0; n];
         for i in 0..n {
             r[i] = b[i] - tmp[i];
         }
-        let true_res = norm2(&r) / b_norm;
+        let true_res = par::norm2(&r, nt) / b_norm;
         if true_res <= options.tolerance {
             return Ok(Solution {
                 solution: x,
@@ -415,7 +449,7 @@ pub fn gmres(
         }
         // Preconditioned residual seeds the Krylov basis.
         m.apply(&r, &mut z);
-        let beta = norm2(&z);
+        let beta = par::norm2(&z, nt);
         if beta < 1e-300 {
             return Err(SolveError::Breakdown {
                 iterations: total_inner,
@@ -433,16 +467,16 @@ pub fn gmres(
 
         for j in 0..restart {
             total_inner += 1;
-            a.mul_vec_into(&basis[j], &mut tmp);
+            par::spmv(a, &basis[j], &mut tmp, &part);
             m.apply(&tmp, &mut z);
             let mut col = vec![0.0; j + 2];
             let mut w = z.clone();
             for (i, vi) in basis.iter().enumerate().take(j + 1) {
-                let hij = dot(&w, vi);
+                let hij = par::dot(&w, vi, nt);
                 col[i] = hij;
-                axpy(-hij, vi, &mut w);
+                par::axpy(-hij, vi, &mut w, nt);
             }
-            let wn = norm2(&w);
+            let wn = par::norm2(&w, nt);
             col[j + 1] = wn;
             // Apply accumulated Givens rotations to the new column.
             for i in 0..j {
@@ -485,16 +519,16 @@ pub fn gmres(
             y[i] = acc / h[i][i];
         }
         for (j, yj) in y.iter().enumerate() {
-            axpy(*yj, &basis[j], &mut x);
+            par::axpy(*yj, &basis[j], &mut x, nt);
         }
     }
 
-    a.mul_vec_into(&x, &mut tmp);
+    par::spmv(a, &x, &mut tmp, &part);
     let mut r = vec![0.0; n];
     for i in 0..n {
         r[i] = b[i] - tmp[i];
     }
-    let res = norm2(&r) / b_norm;
+    let res = par::norm2(&r, nt) / b_norm;
     if res <= options.tolerance * 10.0 {
         Ok(Solution {
             solution: x,
@@ -515,6 +549,7 @@ pub fn gmres(
 mod tests {
     use super::*;
     use crate::coo::TripletBuilder;
+    use crate::ops::norm2;
     use crate::precond::{Identity, Ilu0, Jacobi};
 
     /// 1-D Poisson matrix, the classic SPD test problem.
@@ -604,7 +639,7 @@ mod tests {
         let opts = SolverOptions {
             tolerance: 1e-14,
             max_iterations: 2,
-            initial_guess: None,
+            ..SolverOptions::default()
         };
         assert!(matches!(
             cg(&a, &b, &Identity::new(100), &opts),
@@ -695,6 +730,35 @@ mod tests {
         for (s, d) in sol.solution.iter().zip(&dense) {
             assert!((s - d).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn threaded_options_reproduce_serial_solutions() {
+        // Large enough that the parallel SpMV actually engages; the
+        // cached-partition path must agree with the serial defaults.
+        let n = 12_000;
+        let a = advection(n, 2.0); // tridiagonal: nnz ≈ 3n > MIN_PAR_NNZ
+        let b: Vec<f64> = (0..n).map(|i| ((i % 31) as f64) - 15.0).collect();
+        let serial = bicgstab(&a, &b, &Ilu0::new(&a), &SolverOptions::default()).unwrap();
+        let part = Arc::new(RowPartition::new(&a, 4));
+        let opts = SolverOptions {
+            threads: 4,
+            partition: Some(part),
+            ..SolverOptions::default()
+        };
+        let threaded = bicgstab(&a, &b, &Ilu0::new(&a), &opts).unwrap();
+        assert!(a.residual_norm(&threaded.solution, &b) / norm2(&b) < 1e-8);
+        for (s, t) in serial.solution.iter().zip(&threaded.solution) {
+            assert!((s - t).abs() < 1e-6, "{s} vs {t}");
+        }
+        // A mismatched cached partition is ignored, not trusted.
+        let bad = SolverOptions {
+            threads: 2,
+            partition: Some(Arc::new(RowPartition::serial(3))),
+            ..SolverOptions::default()
+        };
+        let sol = cg(&poisson(50), &[1.0; 50], &Identity::new(50), &bad).unwrap();
+        assert!(poisson(50).residual_norm(&sol.solution, &[1.0; 50]) < 1e-7);
     }
 
     #[test]

@@ -11,9 +11,11 @@ use crate::config::{AdvectionScheme, ThermalConfig};
 use crate::error::ThermalError;
 use crate::solution::{Resolution, SourceLayerTemps, ThermalSolution};
 use coolnet_grid::GridDims;
+use coolnet_sparse::par::{self, RowPartition};
 use coolnet_sparse::precond::Ilu0;
 use coolnet_sparse::{solve, CsrMatrix, SolverOptions, TripletBuilder};
 use coolnet_units::Pascal;
+use std::sync::{Arc, Mutex};
 
 /// Node indices of one source layer plus its spatial resolution.
 #[derive(Debug, Clone)]
@@ -43,10 +45,171 @@ pub(crate) struct Assembled {
     pub capacitance: Vec<f64>,
     /// Source-layer metadata for building solutions.
     pub source_meta: Vec<SourceLayerMeta>,
+    /// Lazily built probe-path cache (symbolic pattern + ILU structure).
+    pub cache: ProbeCacheCell,
+}
+
+/// One-time symbolic state of the probe path, built on the first `steady`
+/// call and reused for every subsequent pressure probe.
+///
+/// The matrix `A(p) = cond + p · adv_unit` is linear in the system
+/// pressure, so its sparsity pattern never changes: the union pattern, the
+/// slot-aligned split into conduction and unit-advection values, the
+/// ILU(0) symbolic structure, and the solver's row partition can all be
+/// computed once. A probe then only rewrites `nnz` values in place and
+/// runs the numeric ILU sweep.
+#[derive(Debug)]
+pub(crate) struct ProbeCache {
+    /// System matrix on the union pattern; values rewritten per probe.
+    matrix: CsrMatrix,
+    /// Conduction (pressure-independent) value per stored slot.
+    base_values: Vec<f64>,
+    /// Unit-advection value per stored slot (scaled by `P_sys` per probe).
+    adv_values: Vec<f64>,
+    /// ILU(0) factor with reusable symbolic structure.
+    ilu: Ilu0,
+    /// Row partition shared with the solver kernels.
+    partition: Arc<RowPartition>,
+    /// Worker-thread count the partition was built for (as requested in
+    /// the config, before hardware clamping).
+    threads: usize,
+    /// Pressure of the last [`refresh`](ProbeCache::refresh); identical
+    /// re-probes (golden-section reuses interior points) skip the numeric
+    /// phase entirely.
+    refreshed_p: Option<f64>,
+    /// Last converged `(p, x)`, for warm-start extrapolation.
+    last: Option<(f64, Vec<f64>)>,
+    /// Next-to-last converged `(p, x)`.
+    prev: Option<(f64, Vec<f64>)>,
+}
+
+impl ProbeCache {
+    /// Builds the symbolic state for `asm`'s couplings.
+    fn build(asm: &Assembled, threads: usize) -> Self {
+        // Union pattern over conduction and advection couplings, assembled
+        // with all-positive placeholder values: `from_triplets` drops
+        // entries that cancel to exactly zero, and real coefficient pairs
+        // can cancel at specific pressures, so the pattern must be built
+        // from values that cannot cancel.
+        let mut b =
+            TripletBuilder::with_capacity(asm.n, asm.n, asm.cond.len() + asm.adv_unit.len());
+        for &(r, c, _) in asm.cond.iter().chain(&asm.adv_unit) {
+            b.add(r as usize, c as usize, 1.0);
+        }
+        let matrix = b.to_csr();
+        let nnz = matrix.nnz();
+        let mut base_values = vec![0.0; nnz];
+        let mut adv_values = vec![0.0; nnz];
+        for &(r, c, v) in &asm.cond {
+            if let Some(s) = matrix.slot(r as usize, c as usize) {
+                base_values[s] += v;
+            }
+        }
+        for &(r, c, v) in &asm.adv_unit {
+            if let Some(s) = matrix.slot(r as usize, c as usize) {
+                adv_values[s] += v;
+            }
+        }
+        let ilu = Ilu0::symbolic(&matrix);
+        let partition = Arc::new(RowPartition::new(&matrix, par::effective_workers(threads)));
+        Self {
+            matrix,
+            base_values,
+            adv_values,
+            ilu,
+            partition,
+            threads,
+            refreshed_p: None,
+            last: None,
+            prev: None,
+        }
+    }
+
+    /// Numeric phase: rewrites the matrix values for pressure `p` and
+    /// re-runs the numeric ILU(0) sweep on the cached structure. A no-op
+    /// when the cache is already at `p`.
+    fn refresh(&mut self, p: f64) {
+        if self.refreshed_p == Some(p) {
+            return;
+        }
+        let values = self.matrix.values_mut();
+        for ((v, &base), &adv) in values
+            .iter_mut()
+            .zip(&self.base_values)
+            .zip(&self.adv_values)
+        {
+            *v = base + p * adv;
+        }
+        self.ilu.refactor(&self.matrix);
+        self.refreshed_p = Some(p);
+    }
+
+    /// Initial iterate for a probe at `p` from the solution history.
+    ///
+    /// With two recorded solutions and a modest step, linearly extrapolates
+    /// `x(p)` through them — temperatures vary smoothly with pressure, so
+    /// this starts the Krylov iteration several orders of magnitude closer
+    /// than the previous solution alone. Falls back to the last solution,
+    /// then to `None` (caller supplies its own guess).
+    fn guess(&self, p: f64) -> Option<Vec<f64>> {
+        match (&self.last, &self.prev) {
+            (Some((p1, x1)), Some((p0, x0))) if (p1 - p0).abs() > 1e-12 * p1.abs() => {
+                let t = (p - p1) / (p1 - p0);
+                if t.abs() <= 4.0 {
+                    Some(x1.iter().zip(x0).map(|(&a, &b)| a + t * (a - b)).collect())
+                } else {
+                    // A wild extrapolation factor (direction reversal, big
+                    // jump) is worse than the plain warm start.
+                    Some(x1.clone())
+                }
+            }
+            (Some((_, x1)), _) => Some(x1.clone()),
+            _ => None,
+        }
+    }
+
+    /// Records a converged solution for future warm starts.
+    fn record(&mut self, p: f64, x: &[f64]) {
+        if let Some((p1, x1)) = &mut self.last {
+            if (*p1 - p).abs() <= 1e-12 * p.abs() {
+                x1.clear();
+                x1.extend_from_slice(x);
+                return;
+            }
+        }
+        self.prev = self.last.take();
+        self.last = Some((p, x.to_vec()));
+    }
+}
+
+/// Interior-mutable holder for the lazily built [`ProbeCache`].
+///
+/// Cloning an [`Assembled`] resets the cache: it is derived state that the
+/// clone rebuilds on its first probe, which keeps `Clone` cheap and avoids
+/// sharing mutable solver state across threads.
+#[derive(Debug, Default)]
+pub(crate) struct ProbeCacheCell(Mutex<Option<ProbeCache>>);
+
+impl Clone for ProbeCacheCell {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
 }
 
 impl Assembled {
+    /// The RHS at pressure `p`: die power plus the inlet advection source.
+    fn rhs_at(&self, p: f64, t_inlet: f64) -> Vec<f64> {
+        self.rhs_source
+            .iter()
+            .zip(&self.rhs_inlet_unit)
+            .map(|(&q, &g_in)| q + g_in * p * t_inlet)
+            .collect()
+    }
+
     /// Builds the full system matrix and RHS at the given pressure.
+    ///
+    /// This is the cold (reference) assembly path; the probe loop goes
+    /// through the [`ProbeCache`] numeric phase instead.
     pub fn system(&self, p_sys: Pascal, t_inlet: f64) -> (CsrMatrix, Vec<f64>) {
         let p = p_sys.value();
         let mut b =
@@ -57,16 +220,46 @@ impl Assembled {
         for &(r, c, v) in &self.adv_unit {
             b.add(r as usize, c as usize, v * p);
         }
-        let rhs: Vec<f64> = self
-            .rhs_source
-            .iter()
-            .zip(&self.rhs_inlet_unit)
-            .map(|(&q, &g_in)| q + g_in * p * t_inlet)
-            .collect();
-        (b.to_csr(), rhs)
+        (b.to_csr(), self.rhs_at(p, t_inlet))
+    }
+
+    /// The BiCGSTAB → GMRES → dense-LU solver cascade shared by the cached
+    /// and cold probe paths.
+    fn solve_cascade(
+        &self,
+        matrix: &CsrMatrix,
+        rhs: &[f64],
+        precond: &Ilu0,
+        options: &SolverOptions,
+    ) -> Result<coolnet_sparse::Solution, ThermalError> {
+        match solve::bicgstab(matrix, rhs, precond, options) {
+            Ok(s) => Ok(s),
+            // BiCGSTAB can stagnate on the highly nonsymmetric systems that
+            // extreme pressure probes produce. Fall back to restarted GMRES
+            // (robust), then to a dense LU for small systems (exact).
+            Err(_) => match solve::gmres(matrix, rhs, precond, 60, options) {
+                Ok(s) => Ok(s),
+                Err(e) if self.n <= 4096 => {
+                    let x = matrix.to_dense().solve(rhs).map_err(|_| e)?;
+                    let residual = matrix.residual_norm(&x, rhs);
+                    Ok(coolnet_sparse::Solution {
+                        solution: x,
+                        stats: coolnet_sparse::SolveStats {
+                            iterations: 0,
+                            residual,
+                        },
+                    })
+                }
+                Err(e) => Err(e.into()),
+            },
+        }
     }
 
     /// Solves the steady-state system at `p_sys`.
+    ///
+    /// Unless `config.cold_rebuild` is set, the solve reuses the cached
+    /// symbolic state ([`ProbeCache`]): per probe only the matrix values
+    /// are rewritten and the numeric ILU(0) sweep re-run.
     pub fn steady(
         &self,
         p_sys: Pascal,
@@ -76,35 +269,54 @@ impl Assembled {
         if p_sys.value() <= 0.0 {
             return Err(ThermalError::ZeroFlow);
         }
-        let (matrix, rhs) = self.system(p_sys, config.t_inlet.value());
-        let precond = Ilu0::new(&matrix);
+        let t_inlet = config.t_inlet.value();
         let mut options = SolverOptions::with_tolerance(config.tolerance);
         options.initial_guess = Some(match guess {
             Some(g) => g.to_vec(),
-            None => vec![config.t_inlet.value(); self.n],
+            None => vec![t_inlet; self.n],
         });
         options.max_iterations = (8 * self.n).max(400);
-        let solution = match solve::bicgstab(&matrix, &rhs, &precond, &options) {
-            Ok(s) => s,
-            // BiCGSTAB can stagnate on the highly nonsymmetric systems that
-            // extreme pressure probes produce. Fall back to restarted GMRES
-            // (robust), then to a dense LU for small systems (exact).
-            Err(_) => match solve::gmres(&matrix, &rhs, &precond, 60, &options) {
-                Ok(s) => s,
-                Err(e) if self.n <= 4096 => {
-                    let x = matrix.to_dense().solve(&rhs).map_err(|_| e)?;
-                    let residual = matrix.residual_norm(&x, &rhs);
-                    coolnet_sparse::Solution {
-                        solution: x,
-                        stats: coolnet_sparse::SolveStats {
-                            iterations: 0,
-                            residual,
-                        },
-                    }
+        options.threads = config.solver_threads;
+
+        if !config.cold_rebuild {
+            // Lock poisoning only happens if a panic escaped mid-refresh;
+            // the cache is rebuilt from scratch below in that case, so the
+            // poisoned state is safe to take over.
+            let mut guard = match self.cache.0.lock() {
+                Ok(g) => g,
+                Err(poisoned) => {
+                    let mut g = poisoned.into_inner();
+                    *g = None;
+                    g
                 }
-                Err(e) => return Err(e.into()),
-            },
-        };
+            };
+            let rebuild = match guard.as_ref() {
+                Some(c) => c.threads != config.solver_threads,
+                None => true,
+            };
+            if rebuild {
+                *guard = Some(ProbeCache::build(self, config.solver_threads));
+            }
+            if let Some(cache) = guard.as_mut() {
+                cache.refresh(p_sys.value());
+                options.partition = Some(Arc::clone(&cache.partition));
+                // The cache's solution history gives a better initial
+                // iterate than the caller's single previous solution (the
+                // two coincide except for the extrapolation).
+                if let Some(g) = cache.guess(p_sys.value()) {
+                    options.initial_guess = Some(g);
+                }
+                let rhs = self.rhs_at(p_sys.value(), t_inlet);
+                let solution = self.solve_cascade(&cache.matrix, &rhs, &cache.ilu, &options)?;
+                cache.record(p_sys.value(), &solution.solution);
+                return Ok(self.extract(solution.solution, solution.stats));
+            }
+        }
+
+        // Cold path: full assembly and factorization from scratch.
+        let (matrix, rhs) = self.system(p_sys, t_inlet);
+        let precond = Ilu0::new(&matrix);
+        let solution = self.solve_cascade(&matrix, &rhs, &precond, &options)?;
         Ok(self.extract(solution.solution, solution.stats))
     }
 
@@ -223,6 +435,7 @@ mod tests {
                 resolution: Resolution::Fine,
                 nodes: (0..n).collect(),
             }],
+            cache: ProbeCacheCell::default(),
         }
     }
 

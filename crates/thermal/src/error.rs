@@ -21,6 +21,12 @@ pub enum ThermalError {
     /// adiabatic boundaries the only heat sink is the coolant, so the
     /// system is singular at `P_sys = 0`.
     ZeroFlow,
+    /// A search routine was invoked over an invalid domain (e.g. an empty
+    /// or non-positive pressure interval).
+    Search {
+        /// What is wrong with the requested search.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ThermalError {
@@ -32,6 +38,7 @@ impl fmt::Display for ThermalError {
             ThermalError::ZeroFlow => {
                 f.write_str("steady thermal analysis requires a positive system pressure drop")
             }
+            ThermalError::Search { reason } => write!(f, "invalid search domain: {reason}"),
         }
     }
 }
@@ -71,5 +78,9 @@ mod tests {
         assert!(e.to_string().contains("no source layer"));
         let e: ThermalError = FlowError::NoFlowPath.into();
         assert!(Error::source(&e).is_some());
+        let e = ThermalError::Search {
+            reason: "empty interval".into(),
+        };
+        assert!(e.to_string().contains("empty interval"));
     }
 }

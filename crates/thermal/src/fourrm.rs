@@ -6,7 +6,7 @@
 //! registers (top, bottom and the two side walls), and liquid–liquid
 //! advection.
 
-use crate::assembly::{series, Assembled, SourceLayerMeta};
+use crate::assembly::{series, Assembled, ProbeCacheCell, SourceLayerMeta};
 use crate::config::ThermalConfig;
 use crate::error::ThermalError;
 use crate::solution::{Resolution, ThermalSolution};
@@ -50,6 +50,7 @@ impl FourRm {
             rhs_inlet_unit: vec![0.0; n],
             capacitance: vec![0.0; n],
             source_meta: Vec::new(),
+            cache: ProbeCacheCell::default(),
         };
 
         // Liquid flags per layer (channel layers only).
@@ -442,7 +443,12 @@ mod tests {
         let warm = sim
             .simulate_with_guess(Pascal::from_kilopascals(5.2), &sol)
             .unwrap();
-        let cold = sim.simulate(Pascal::from_kilopascals(5.2)).unwrap();
+        // The cold reference needs a fresh simulator: `sim`'s probe cache
+        // now holds a solution history that warm-starts any further probe.
+        let cold = FourRm::new(&stack(dims, 5.0), &ThermalConfig::default())
+            .unwrap()
+            .simulate(Pascal::from_kilopascals(5.2))
+            .unwrap();
         // BiCGSTAB iteration counts are not strictly monotone in the guess
         // quality, but a near-solution start must not be dramatically worse.
         assert!(warm.stats().iterations <= cold.stats().iterations + 5);

@@ -17,7 +17,7 @@
 //! An `m × m` coarsening shrinks the problem by `≈ m²`, which is the
 //! source of the Fig. 9(b) speed-ups.
 
-use crate::assembly::{series, Assembled, SourceLayerMeta};
+use crate::assembly::{series, Assembled, ProbeCacheCell, SourceLayerMeta};
 use crate::config::ThermalConfig;
 use crate::error::ThermalError;
 use crate::solution::{Resolution, ThermalSolution};
@@ -152,6 +152,7 @@ impl TwoRm {
             rhs_inlet_unit: vec![0.0; n],
             capacitance: vec![0.0; n],
             source_meta: Vec::new(),
+            cache: ProbeCacheCell::default(),
         };
 
         // --- Sources and capacitances ----------------------------------------

@@ -51,8 +51,13 @@ fn full_pipeline_case1() {
     assert!(objective > 0.0);
     assert!(profile.delta_t.value() <= bench.delta_t_limit.value() * 1.02);
     assert!(profile.t_max.value() <= bench.t_max_limit.value());
-    // W_pump consistency with Eq. (10).
-    let w_direct = model.pumping_power(p_sys).value();
+    // W_pump consistency with Eq. (10): the objective sums the pumping
+    // power of every channel layer (case 1 is a 2-die stack whose layers
+    // share P_sys), so the single-layer hydraulic model scales by the
+    // layer count.
+    let layers = ev.layer_flows().len();
+    assert_eq!(layers, 2, "case 1 is a 2-die stack");
+    let w_direct = model.pumping_power(p_sys).value() * layers as f64;
     assert!((w_direct - objective).abs() / objective < 1e-9);
 }
 
