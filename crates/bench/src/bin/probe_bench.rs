@@ -35,6 +35,12 @@ struct ConfigResult {
     probes_per_sec: f64,
     /// Mean BiCGSTAB/GMRES iterations per probe.
     mean_iterations: f64,
+    /// Probes whose solve escalated past the ladder's first rung (or
+    /// needed more than one attempt). Nonzero values flag a matrix regime
+    /// the primary solver no longer handles.
+    escalations: usize,
+    /// Mean ladder attempts per probe (1.0 = first rung always converged).
+    mean_attempts: f64,
 }
 
 /// The artifact: enough context to compare runs across commits.
@@ -84,12 +90,19 @@ fn measure(
     let mut prev = sim.simulate(Pascal::from_kilopascals(pressures_kpa[0]))?;
 
     let mut iterations = 0usize;
+    let mut attempts = 0usize;
+    let mut escalations = 0usize;
     let mut probes = 0usize;
     let start = Instant::now();
     for _ in 0..reps {
         for &kpa in pressures_kpa {
             let sol = sim.simulate_with_guess(Pascal::from_kilopascals(kpa), &prev)?;
-            iterations += sol.stats().iterations;
+            let stats = sol.stats();
+            iterations += stats.iterations;
+            attempts += stats.attempts.max(1);
+            if stats.rung > 0 || stats.attempts > 1 {
+                escalations += 1;
+            }
             probes += 1;
             prev = sol;
         }
@@ -103,10 +116,12 @@ fn measure(
         elapsed_s,
         probes_per_sec: probes as f64 / elapsed_s,
         mean_iterations: iterations as f64 / probes as f64,
+        escalations,
+        mean_attempts: attempts as f64 / probes as f64,
     };
     println!(
-        "  {:12} {:7.2} probes/s   {:5.1} iters/probe   ({} probes, {:.2} s)",
-        result.name, result.probes_per_sec, result.mean_iterations, probes, elapsed_s
+        "  {:12} {:7.2} probes/s   {:5.1} iters/probe   {} escalations   ({} probes, {:.2} s)",
+        result.name, result.probes_per_sec, result.mean_iterations, escalations, probes, elapsed_s
     );
     Ok(result)
 }

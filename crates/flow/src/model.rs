@@ -7,7 +7,7 @@ use crate::widths::WidthMap;
 use coolnet_grid::{Cell, Dir};
 use coolnet_network::{CoolingNetwork, PortKind};
 use coolnet_sparse::precond::Jacobi;
-use coolnet_sparse::{solve, SolverOptions, TripletBuilder};
+use coolnet_sparse::{SolveReport, SolveStats, SolverOptions, TripletBuilder};
 use coolnet_units::{Pascal, Watt};
 
 /// The assembled hydraulic model of one cooling network.
@@ -34,8 +34,10 @@ pub struct FlowModel {
     width_of_cell: Vec<f64>,
     /// System flow rate at `P_sys = 1` (i.e. `1 / R_sys`).
     unit_flow: f64,
-    /// Iterations the pressure solve took (diagnostics).
-    solve_iterations: usize,
+    /// Statistics of the unit pressure solve (diagnostics).
+    stats: SolveStats,
+    /// Attempt-by-attempt record of the unit pressure solve.
+    report: SolveReport,
 }
 
 impl FlowModel {
@@ -43,9 +45,9 @@ impl FlowModel {
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::Solver`] if the CG iteration fails (a legal
-    /// network always yields an SPD system, so this indicates tolerance
-    /// starvation, not an illegal input).
+    /// Returns [`FlowError::Solver`] if every rung of the configured
+    /// solver ladder fails (a legal network always yields an SPD system,
+    /// so this indicates tolerance starvation, not an illegal input).
     pub fn new(net: &CoolingNetwork, config: &FlowConfig) -> Result<Self, FlowError> {
         Self::with_widths(net, config, None)
     }
@@ -146,7 +148,9 @@ impl FlowModel {
 
         let matrix = builder.to_csr();
         let options = SolverOptions::with_tolerance(1e-12);
-        let solution = solve::cg(&matrix, &rhs, &Jacobi::new(&matrix), &options)?;
+        let solution = config
+            .ladder
+            .solve(&matrix, &rhs, &Jacobi::new(&matrix), &options)?;
         let unit_pressures = solution.solution;
 
         // System flow at unit pressure: total flow through all inlets.
@@ -167,7 +171,8 @@ impl FlowModel {
             half_conductance,
             width_of_cell,
             unit_flow,
-            solve_iterations: solution.stats.iterations,
+            stats: solution.stats,
+            report: solution.report,
         })
     }
 
@@ -270,11 +275,27 @@ impl FlowModel {
         FlowField::from_unit(self, p_sys)
     }
 
-    /// CG iterations the unit pressure solve took (diagnostics).
+    /// Iterations the unit pressure solve took (diagnostics).
     // Not a solver entry point, just a counter getter sharing the prefix.
     // analyze:allow(finite-guard)
     pub fn solve_iterations(&self) -> usize {
-        self.solve_iterations
+        self.stats.iterations
+    }
+
+    /// Statistics of the unit pressure solve, including which ladder rung
+    /// produced it and how many attempts were made.
+    // Not a solver entry point, just a stats getter sharing the prefix.
+    // analyze:allow(finite-guard)
+    pub fn solve_stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// The attempt-by-attempt [`SolveReport`] of the unit pressure solve —
+    /// records escalations and injected faults for observability.
+    // Not a solver entry point, just a report getter sharing the prefix.
+    // analyze:allow(finite-guard)
+    pub fn solve_report(&self) -> &SolveReport {
+        &self.report
     }
 }
 

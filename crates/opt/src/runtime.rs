@@ -134,60 +134,139 @@ enum Plant {
     Four(FourRm),
 }
 
+/// A run-time simulation failure, carrying where in the trace it happened
+/// and every sample collected before the fault.
+#[derive(Debug, Clone)]
+pub struct RuntimeError {
+    /// Control step at which the simulation failed (0-based; setup errors
+    /// before the first step report step 0).
+    pub step: usize,
+    /// Simulated time in seconds at the start of the failing interval.
+    pub time: f64,
+    /// Pump pressure active when the failure occurred.
+    pub p_sys: Pascal,
+    /// Samples collected before the failure — the partial trace survives
+    /// the error so callers can analyze or resume the run.
+    pub samples: Vec<RuntimeSample>,
+    /// The underlying thermal failure.
+    pub source: ThermalError,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "run-time simulation failed at control step {} (t = {:.6} s, P_sys = {:.1} Pa, \
+             {} samples collected): {}",
+            self.step,
+            self.time,
+            self.p_sys.value(),
+            self.samples.len(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Simulates closed-loop run-time thermal management of one cooling
 /// system under a dynamic power trace. Returns one sample per control
 /// interval.
 ///
 /// # Errors
 ///
-/// Propagates stack-building and simulation errors.
+/// Stack-building and simulation errors are wrapped in a [`RuntimeError`]
+/// that records the failing control step, simulated time, active pressure,
+/// and the samples collected up to the fault.
 pub fn simulate_adaptive_flow(
     bench: &Benchmark,
     network: &CoolingNetwork,
     trace: &PowerTrace,
     controller: &FlowController,
     opts: &RuntimeOptions,
-) -> Result<Vec<RuntimeSample>, ThermalError> {
-    let stack = bench.stack_with(std::slice::from_ref(network))?;
+) -> Result<Vec<RuntimeSample>, RuntimeError> {
+    // Context for wrapping a mid-trace failure without losing the samples.
+    struct Ctx {
+        step: usize,
+        time: f64,
+        p: Pascal,
+        samples: Vec<RuntimeSample>,
+    }
+    let fail = |ctx: Ctx, source: ThermalError| RuntimeError {
+        step: ctx.step,
+        time: ctx.time,
+        p_sys: ctx.p,
+        samples: ctx.samples,
+        source,
+    };
+    let mut ctx = Ctx {
+        step: 0,
+        time: 0.0,
+        p: opts.p_initial,
+        samples: Vec::new(),
+    };
+
+    let stack = match bench.stack_with(std::slice::from_ref(network)) {
+        Ok(s) => s,
+        Err(e) => return Err(fail(ctx, e)),
+    };
     let config = ThermalConfig::default();
     let plant = match opts.model {
-        ModelChoice::TwoRm { m } => Plant::Two(TwoRm::new(&stack, m, &config)?),
-        ModelChoice::FourRm => Plant::Four(FourRm::new(&stack, &config)?),
+        ModelChoice::TwoRm { m } => match TwoRm::new(&stack, m, &config) {
+            Ok(s) => Plant::Two(s),
+            Err(e) => return Err(fail(ctx, e)),
+        },
+        ModelChoice::FourRm => match FourRm::new(&stack, &config) {
+            Ok(s) => Plant::Four(s),
+            Err(e) => return Err(fail(ctx, e)),
+        },
     };
     // W_pump via the hydraulic model.
     let flow_cfg = crate::evaluate::Evaluator::flow_config_for(bench);
-    let flow = coolnet_flow::FlowModel::new(network, &flow_cfg)?;
+    let flow = match coolnet_flow::FlowModel::new(network, &flow_cfg) {
+        Ok(m) => m,
+        Err(e) => return Err(fail(ctx, e.into())),
+    };
 
-    let mut p = opts.p_initial;
-    let mut samples = Vec::new();
-    let mut time = 0.0;
     let mut snapshot: Option<coolnet_thermal::ThermalSolution> = None;
     let steps_total = (trace.duration() / (opts.dt * opts.control_interval as f64)).ceil() as usize;
 
-    for _ in 0..steps_total {
-        let scale = trace.scale_at(time);
+    for step in 0..steps_total {
+        ctx.step = step;
+        let scale = trace.scale_at(ctx.time);
         // (Re)build the integrator at the current pressure, warm-started
         // from the last temperature field.
-        let mut tr = match &plant {
-            Plant::Two(s) => s.transient(p, opts.dt, snapshot.as_ref())?,
-            Plant::Four(s) => s.transient(p, opts.dt, snapshot.as_ref())?,
+        let p = ctx.p;
+        let built = match &plant {
+            Plant::Two(s) => s.transient(p, opts.dt, snapshot.as_ref()),
+            Plant::Four(s) => s.transient(p, opts.dt, snapshot.as_ref()),
+        };
+        let mut tr = match built {
+            Ok(tr) => tr,
+            Err(e) => return Err(fail(ctx, e)),
         };
         tr.set_power_scale(scale);
-        tr.run(opts.control_interval)?;
-        time += opts.dt * opts.control_interval as f64;
+        if let Err(e) = tr.run(opts.control_interval) {
+            return Err(fail(ctx, e));
+        }
+        ctx.time += opts.dt * opts.control_interval as f64;
         let snap = tr.snapshot();
         let t_max = snap.max_temperature();
-        samples.push(RuntimeSample {
-            time,
+        ctx.samples.push(RuntimeSample {
+            time: ctx.time,
             power_scale: scale,
             p_sys: p,
             t_max,
             w_pump: flow.pumping_power(p),
         });
-        p = controller.update(p, t_max);
+        ctx.p = controller.update(p, t_max);
         snapshot = Some(snap);
     }
-    Ok(samples)
+    Ok(ctx.samples)
 }
 
 /// Total pumping energy of a sampled run (trapezoid-free: piecewise

@@ -81,36 +81,114 @@ impl Acceptor {
     }
 }
 
+/// Evaluation failures absorbed during a cost sweep. Each failed candidate
+/// scores `+∞` (infeasible) instead of aborting the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalFailures {
+    /// Cost closures that panicked (caught per item).
+    pub panics: usize,
+    /// Cost closures that returned NaN (mapped to `+∞` before selection).
+    pub nans: usize,
+}
+
+impl EvalFailures {
+    /// Total failed evaluations.
+    pub fn total(&self) -> usize {
+        self.panics + self.nans
+    }
+
+    fn absorb(&mut self, other: EvalFailures) {
+        self.panics += other.panics;
+        self.nans += other.nans;
+    }
+}
+
 /// Evaluates `cost` over `items` on scoped threads, preserving order.
+///
+/// A panicking or NaN-returning cost closure scores its candidate `+∞`
+/// instead of killing the run; use [`parallel_map_counted`] to observe how
+/// many evaluations failed.
 pub fn parallel_map<S, C>(items: &[S], cost: C, threads: usize) -> Vec<f64>
 where
     S: Sync,
     C: Fn(&S) -> f64 + Sync,
 {
+    parallel_map_counted(items, cost, threads).0
+}
+
+/// Like [`parallel_map`], also returning the [`EvalFailures`] counters.
+pub fn parallel_map_counted<S, C>(items: &[S], cost: C, threads: usize) -> (Vec<f64>, EvalFailures)
+where
+    S: Sync,
+    C: Fn(&S) -> f64 + Sync,
+{
+    // The catch_unwind sits *inside* the worker closure: the scoped-thread
+    // shim resumes worker panics on the joining thread, so catching at the
+    // scope boundary would be too late to save the other candidates.
+    let score = |item: &S, failures: &mut EvalFailures| -> f64 {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cost(item))) {
+            Ok(c) if c.is_nan() => {
+                failures.nans += 1;
+                f64::INFINITY
+            }
+            Ok(c) => c,
+            Err(_) => {
+                failures.panics += 1;
+                f64::INFINITY
+            }
+        }
+    };
     if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&cost).collect();
+        let mut failures = EvalFailures::default();
+        let out = items
+            .iter()
+            .map(|item| score(item, &mut failures))
+            .collect();
+        return (out, failures);
     }
     let mut out = vec![f64::INFINITY; items.len()];
     let chunk = items.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
-        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            let cost = &cost;
+    let n_chunks = items.len().div_ceil(chunk);
+    let mut chunk_failures = vec![EvalFailures::default(); n_chunks];
+    let _ = crossbeam::scope(|scope| {
+        for ((slot_chunk, item_chunk), failures) in out
+            .chunks_mut(chunk)
+            .zip(items.chunks(chunk))
+            .zip(chunk_failures.iter_mut())
+        {
+            let score = &score;
             scope.spawn(move |_| {
                 for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = cost(item);
+                    *slot = score(item, failures);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
-    out
+    });
+    let mut failures = EvalFailures::default();
+    for f in chunk_failures {
+        failures.absorb(f);
+    }
+    (out, failures)
+}
+
+/// Result of [`anneal_with_stats`]: the incumbent plus failure counters.
+#[derive(Debug, Clone)]
+pub struct SaOutcome<S> {
+    /// Best state seen over the whole run.
+    pub best: S,
+    /// Cost of [`SaOutcome::best`] (`+∞` if no feasible state was found).
+    pub best_cost: f64,
+    /// Evaluation failures absorbed across all iterations.
+    pub failures: EvalFailures,
 }
 
 /// Runs simulated annealing from `init` (whose cost is `init_cost`).
 ///
 /// `neighbor` draws a random neighbor of a state; `cost` scores a state
 /// (`+∞` marks infeasible states). Returns the best state seen and its
-/// cost.
+/// cost. Cost evaluations that panic or return NaN score their candidate
+/// `+∞` rather than aborting the run; use [`anneal_with_stats`] to observe
+/// how many did.
 pub fn anneal<S, FN, FC>(
     init: S,
     init_cost: f64,
@@ -123,7 +201,30 @@ where
     FN: Fn(&S, &mut StdRng) -> S,
     FC: Fn(&S) -> f64 + Sync,
 {
+    let out = anneal_with_stats(init, init_cost, neighbor, cost, opts);
+    (out.best, out.best_cost)
+}
+
+/// Like [`anneal`], also reporting how many cost evaluations failed.
+pub fn anneal_with_stats<S, FN, FC>(
+    init: S,
+    init_cost: f64,
+    neighbor: FN,
+    cost: FC,
+    opts: &SaOptions,
+) -> SaOutcome<S>
+where
+    S: Clone + Sync + Send,
+    FN: Fn(&S, &mut StdRng) -> S,
+    FC: Fn(&S) -> f64 + Sync,
+{
     let mut rng = StdRng::seed_from_u64(opts.seed);
+    // A NaN initial cost is as infeasible as an infinite one.
+    let init_cost = if init_cost.is_nan() {
+        f64::INFINITY
+    } else {
+        init_cost
+    };
     let t0 = if opts.initial_temperature > 0.0 {
         opts.initial_temperature
     } else if init_cost.is_finite() && init_cost != 0.0 {
@@ -137,17 +238,25 @@ where
     let mut current_cost = init_cost;
     let mut best = init;
     let mut best_cost = init_cost;
+    let mut failures = EvalFailures::default();
 
     for _ in 0..opts.iterations {
         let candidates: Vec<S> = (0..opts.parallelism.max(1))
             .map(|_| neighbor(&current, &mut rng))
             .collect();
-        let costs = parallel_map(&candidates, &cost, opts.parallelism);
-        let (k, &c) = costs
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("cost must not be NaN"))
-            .expect("at least one candidate");
+        let (costs, iter_failures) = parallel_map_counted(&candidates, &cost, opts.parallelism);
+        failures.absorb(iter_failures);
+        let Some(first) = costs.first() else {
+            continue;
+        };
+        let mut k = 0;
+        let mut c = *first;
+        for (i, &ci) in costs.iter().enumerate().skip(1) {
+            if ci.total_cmp(&c).is_lt() {
+                k = i;
+                c = ci;
+            }
+        }
         if acceptor.accept(current_cost, c) {
             current = candidates[k].clone();
             current_cost = c;
@@ -157,7 +266,11 @@ where
             }
         }
     }
-    (best, best_cost)
+    SaOutcome {
+        best,
+        best_cost,
+        failures,
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +396,123 @@ mod tests {
     fn parallel_map_single_thread_fallback() {
         let items = vec![1i64, 2, 3];
         assert_eq!(parallel_map(&items, |x| *x as f64, 1), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn parallel_map_counts_failures_in_serial_path() {
+        let items = vec![1i64, 3, 7, 9];
+        let (costs, failures) = parallel_map_counted(
+            &items,
+            |x| match *x {
+                3 => panic!("injected"),
+                7 => f64::NAN,
+                v => v as f64,
+            },
+            1,
+        );
+        assert_eq!(costs, vec![1.0, f64::INFINITY, f64::INFINITY, 9.0]);
+        assert_eq!(failures, EvalFailures { panics: 1, nans: 1 });
+        assert_eq!(failures.total(), 2);
+    }
+
+    #[test]
+    fn parallel_map_counts_failures_across_threads() {
+        let items: Vec<i64> = (0..41).collect();
+        let (costs, failures) = parallel_map_counted(
+            &items,
+            |x| {
+                if x % 10 == 3 {
+                    panic!("injected")
+                } else if x % 10 == 7 {
+                    f64::NAN
+                } else {
+                    *x as f64
+                }
+            },
+            4,
+        );
+        for (i, c) in costs.iter().enumerate() {
+            if i % 10 == 3 || i % 10 == 7 {
+                assert!(c.is_infinite(), "item {i} should score +inf");
+            } else {
+                assert_eq!(*c, i as f64);
+            }
+        }
+        assert_eq!(failures, EvalFailures { panics: 4, nans: 4 });
+    }
+
+    #[test]
+    fn anneal_survives_nan_costs() {
+        // A cost surface with NaN potholes must not panic, and NaN must
+        // never be selected over a finite candidate.
+        let opts = SaOptions {
+            iterations: 80,
+            parallelism: 4,
+            initial_temperature: 50.0,
+            cooling: 0.95,
+            seed: 9,
+        };
+        let out = anneal_with_stats(
+            0i64,
+            toy_cost(&0),
+            |x, rng| x + rng.gen_range(-2i64..=2),
+            |x| {
+                if x.rem_euclid(5) == 2 {
+                    f64::NAN
+                } else {
+                    toy_cost(x)
+                }
+            },
+            &opts,
+        );
+        assert!(out.best_cost.is_finite());
+        assert!(out.best_cost <= toy_cost(&0));
+        assert!(out.failures.nans > 0);
+        assert_eq!(out.failures.panics, 0);
+    }
+
+    #[test]
+    fn anneal_survives_panicking_cost() {
+        let opts = SaOptions {
+            iterations: 60,
+            parallelism: 4,
+            initial_temperature: 50.0,
+            cooling: 0.95,
+            seed: 5,
+        };
+        let out = anneal_with_stats(
+            0i64,
+            toy_cost(&0),
+            |x, rng| x + rng.gen_range(-2i64..=2),
+            |x| {
+                if x.rem_euclid(7) == 3 {
+                    panic!("injected cost failure")
+                }
+                toy_cost(x)
+            },
+            &opts,
+        );
+        assert!(out.best_cost.is_finite());
+        assert!(out.failures.panics > 0);
+    }
+
+    #[test]
+    fn nan_init_cost_is_treated_as_infeasible() {
+        let opts = SaOptions {
+            iterations: 40,
+            parallelism: 2,
+            initial_temperature: 10.0,
+            cooling: 0.95,
+            seed: 2,
+        };
+        let (best, cost) = anneal(
+            30i64,
+            f64::NAN,
+            |x, rng| x + rng.gen_range(-2i64..=2),
+            toy_cost,
+            &opts,
+        );
+        assert!(cost.is_finite(), "best = {best}, cost = {cost}");
     }
 
     #[test]

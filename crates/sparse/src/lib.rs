@@ -16,7 +16,11 @@
 //!   [`solve::bicgstab`] (for the nonsymmetric advection–diffusion thermal
 //!   systems);
 //! * preconditioners: [`precond::Identity`], [`precond::Jacobi`],
-//!   [`precond::Ilu0`].
+//!   [`precond::Ilu0`];
+//! * [`SolveLadder`] — the escalation ladder the physical models solve
+//!   through (rungs of solver × preconditioner × budget, tried in order,
+//!   with a [`SolveReport`] of every attempt), plus a deterministic
+//!   fault-injection harness (`resilience::fault`, test/feature gated).
 //!
 //! # Examples
 //!
@@ -53,10 +57,13 @@ pub mod ops;
 pub mod par;
 /// ILU(0) and Jacobi preconditioners.
 pub mod precond;
+/// Escalation-ladder solver resilience and fault injection.
+pub mod resilience;
 /// CG and BiCGSTAB iterative solvers.
 pub mod solve;
 
 pub use coo::TripletBuilder;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
+pub use resilience::{LadderError, LadderSolution, SolveLadder, SolveReport};
 pub use solve::{Solution, SolveError, SolveStats, SolverOptions};

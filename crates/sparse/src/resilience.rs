@@ -1,0 +1,863 @@
+//! Solver resilience: the escalation ladder and fault-injection harness.
+//!
+//! The SA design flows (Algorithms 1–3) evaluate dozens of candidate
+//! networks per iteration over thousands of moves, and the run-time control
+//! loop chains thousands of sequential transient solves; a single
+//! ill-conditioned candidate must cost one infeasible score, not a dead
+//! process or a wedged run. [`SolveLadder`] provides that guarantee for
+//! every linear solve backing the hydraulic and thermal models: an ordered
+//! list of [`Rung`]s (solver kind × preconditioner × budget) tried in
+//! order under a [`RetryPolicy`], returning the solution together with a
+//! [`SolveReport`] that records every attempt for observability.
+//!
+//! Two presets cover the workspace's systems:
+//!
+//! * [`SolveLadder::spd`] — for the symmetric positive definite pressure
+//!   systems of Eq. (3): CG first, then ILU(0)-BiCGSTAB, restarted GMRES,
+//!   and finally a dense LU below a size cap;
+//! * [`SolveLadder::nonsymmetric`] (the [`Default`]) — for the
+//!   advection–diffusion thermal systems of Eq. (6): BiCGSTAB first, then
+//!   GMRES with an escalating restart, then dense LU.
+//!
+//! The first rung of each preset reproduces the exact solver call the
+//! models made before the ladder existed, so the no-fault fast path is
+//! numerically identical to the historical behavior.
+//!
+//! The companion [`fault`] module (compiled under `cfg(test)` or the
+//! `fault-inject` feature) injects deterministic failures at chosen
+//! attempt indices so tests can force every rung — including the terminal
+//! dense fallback — and prove the whole stack degrades gracefully.
+
+use crate::csr::CsrMatrix;
+use crate::ops;
+use crate::precond::{Identity, Ilu0, Jacobi, Preconditioner};
+use crate::solve::{self, Solution, SolveError, SolveStats, SolverOptions};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Default dimension cap for the terminal dense-LU rung: above this the
+/// O(n³) factorization costs more than declaring the probe infeasible.
+pub const DENSE_FALLBACK_CAP: usize = 4096;
+
+/// Which Krylov (or direct) solver a [`Rung`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// Preconditioned conjugate gradients ([`solve::cg`]); SPD systems only.
+    Cg,
+    /// Preconditioned BiCGSTAB ([`solve::bicgstab`]).
+    Bicgstab,
+    /// Restarted GMRES ([`solve::gmres`]) with the given restart length.
+    Gmres {
+        /// Krylov subspace dimension between restarts (`0` selects 50).
+        restart: usize,
+    },
+    /// Dense partially pivoted LU; only attempted when the system dimension
+    /// is at most `max_dim` (the rung is recorded as skipped otherwise).
+    DenseLu {
+        /// Largest dimension this rung accepts.
+        max_dim: usize,
+    },
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverKind::Cg => f.write_str("cg"),
+            SolverKind::Bicgstab => f.write_str("bicgstab"),
+            SolverKind::Gmres { restart } => write!(f, "gmres({restart})"),
+            SolverKind::DenseLu { max_dim } => write!(f, "dense-lu(≤{max_dim})"),
+        }
+    }
+}
+
+/// Which preconditioner a [`Rung`] pairs with its solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrecondSpec {
+    /// The preconditioner the caller passed to [`SolveLadder::solve`]
+    /// (e.g. a cached ILU(0) factorization on the probe path).
+    Caller,
+    /// No preconditioning.
+    Identity,
+    /// Diagonal (Jacobi) scaling, built from the matrix per attempt.
+    Jacobi,
+    /// A fresh ILU(0) factorization, built from the matrix per attempt —
+    /// recovers from a stale or poisoned caller preconditioner.
+    Ilu0,
+}
+
+impl fmt::Display for PrecondSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrecondSpec::Caller => f.write_str("caller"),
+            PrecondSpec::Identity => f.write_str("identity"),
+            PrecondSpec::Jacobi => f.write_str("jacobi"),
+            PrecondSpec::Ilu0 => f.write_str("ilu0"),
+        }
+    }
+}
+
+/// One step of the escalation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rung {
+    /// Solver to run.
+    pub solver: SolverKind,
+    /// Preconditioner to pair it with.
+    pub precond: PrecondSpec,
+    /// Multiplier on the caller's residual tolerance (`1.0` keeps it).
+    pub tolerance_factor: f64,
+    /// Multiplier on the caller's iteration budget (`1.0` keeps it).
+    pub iteration_factor: f64,
+}
+
+impl Rung {
+    /// A rung at the caller's unchanged tolerance and iteration budget.
+    pub fn new(solver: SolverKind, precond: PrecondSpec) -> Self {
+        Self {
+            solver,
+            precond,
+            tolerance_factor: 1.0,
+            iteration_factor: 1.0,
+        }
+    }
+}
+
+/// How the ladder retries and loosens within each rung.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Attempts per rung before escalating. The default of `1` makes the
+    /// ladder a pure escalation cascade (no within-rung retries), which
+    /// keeps the no-fault path identical to the pre-ladder solvers.
+    pub attempts_per_rung: usize,
+    /// Multiplier applied to the effective tolerance on each retry within
+    /// a rung (loosening; only meaningful with `attempts_per_rung > 1`).
+    pub tolerance_growth: f64,
+    /// Ceiling the loosened tolerance may never exceed (clamped to at
+    /// least the caller's requested tolerance).
+    pub max_tolerance: f64,
+}
+
+impl Default for RetryPolicy {
+    /// One attempt per rung; retries (if enabled) loosen 10× up to `1e-4`.
+    fn default() -> Self {
+        Self {
+            attempts_per_rung: 1,
+            tolerance_growth: 10.0,
+            max_tolerance: 1e-4,
+        }
+    }
+}
+
+/// Outcome of one ladder attempt, recorded in a [`SolveReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttemptOutcome {
+    /// The solver converged.
+    Converged {
+        /// Iterations the solver performed.
+        iterations: usize,
+        /// Final relative residual.
+        residual: f64,
+    },
+    /// The solver failed with the given error.
+    Failed(SolveError),
+    /// The rung was not applicable and no solver ran.
+    Skipped {
+        /// Why the rung was skipped (e.g. over the dense size cap).
+        reason: String,
+    },
+}
+
+/// One attempted (or skipped) rung execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attempt {
+    /// Ladder rung index.
+    pub rung: usize,
+    /// Solver the rung ran.
+    pub solver: SolverKind,
+    /// Preconditioner the rung paired with it.
+    pub precond: PrecondSpec,
+    /// Effective relative tolerance of this attempt.
+    pub tolerance: f64,
+    /// Whether the fault-injection harness forced this attempt's outcome.
+    pub injected: bool,
+    /// What happened.
+    pub outcome: AttemptOutcome,
+}
+
+/// The attempt-by-attempt record of one [`SolveLadder::solve`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveReport {
+    /// Every attempt in execution order, skips included.
+    pub attempts: Vec<Attempt>,
+}
+
+impl SolveReport {
+    /// Number of attempts that actually ran a solver (skips excluded).
+    pub fn tried(&self) -> usize {
+        self.attempts
+            .iter()
+            .filter(|a| !matches!(a.outcome, AttemptOutcome::Skipped { .. }))
+            .count()
+    }
+
+    /// The rung index that converged, if any.
+    pub fn succeeded_rung(&self) -> Option<usize> {
+        self.attempts
+            .iter()
+            .find(|a| matches!(a.outcome, AttemptOutcome::Converged { .. }))
+            .map(|a| a.rung)
+    }
+
+    /// Whether the solve needed more than its first attempt.
+    pub fn escalated(&self) -> bool {
+        self.tried() > 1
+    }
+
+    /// The last solver error recorded, if any attempt failed.
+    pub fn last_error(&self) -> Option<&SolveError> {
+        self.attempts.iter().rev().find_map(|a| match &a.outcome {
+            AttemptOutcome::Failed(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Number of attempts whose outcome was forced by fault injection.
+    pub fn injected_faults(&self) -> usize {
+        self.attempts.iter().filter(|a| a.injected).count()
+    }
+}
+
+/// A solution produced by the ladder: the vector, its [`SolveStats`]
+/// (with `rung`/`attempts` filled in), and the full [`SolveReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderSolution {
+    /// The solution vector.
+    pub solution: Vec<f64>,
+    /// Convergence statistics of the successful attempt.
+    pub stats: SolveStats,
+    /// Every attempt made on the way there.
+    pub report: SolveReport,
+}
+
+/// Every rung failed (or was inapplicable); carries the full record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderError {
+    /// The attempt-by-attempt record of the exhausted ladder.
+    pub report: SolveReport,
+}
+
+impl fmt::Display for LadderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.report.last_error() {
+            Some(e) => write!(
+                f,
+                "solver ladder exhausted after {} attempts over {} rungs; last error: {e}",
+                self.report.tried(),
+                self.report.attempts.len(),
+            ),
+            None => f.write_str("solver ladder has no applicable rungs"),
+        }
+    }
+}
+
+impl Error for LadderError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.report
+            .last_error()
+            .map(|e| e as &(dyn Error + 'static))
+    }
+}
+
+impl From<LadderError> for SolveError {
+    /// Collapses the report to its last recorded solver error, for callers
+    /// whose error types wrap [`SolveError`].
+    fn from(e: LadderError) -> Self {
+        e.report
+            .last_error()
+            .cloned()
+            .unwrap_or(SolveError::NotConverged {
+                iterations: 0,
+                residual: f64::INFINITY,
+            })
+    }
+}
+
+/// The ordered escalation ladder plus its retry policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SolveLadder {
+    /// Rungs tried in order.
+    pub rungs: Vec<Rung>,
+    /// Within-rung retry/loosening policy.
+    pub policy: RetryPolicy,
+}
+
+impl Default for SolveLadder {
+    /// The [`nonsymmetric`](Self::nonsymmetric) ladder — safe for every
+    /// matrix class the workspace produces.
+    fn default() -> Self {
+        Self::nonsymmetric()
+    }
+}
+
+impl SolveLadder {
+    /// Ladder for symmetric positive definite systems (the pressure solve
+    /// of Eq. (3)): CG with the caller's preconditioner, then
+    /// ILU(0)-BiCGSTAB, then restarted GMRES, then dense LU.
+    pub fn spd() -> Self {
+        Self {
+            rungs: vec![
+                Rung::new(SolverKind::Cg, PrecondSpec::Caller),
+                Rung::new(SolverKind::Bicgstab, PrecondSpec::Ilu0),
+                Rung::new(SolverKind::Gmres { restart: 60 }, PrecondSpec::Ilu0),
+                Rung::new(
+                    SolverKind::DenseLu {
+                        max_dim: DENSE_FALLBACK_CAP,
+                    },
+                    PrecondSpec::Caller,
+                ),
+            ],
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Ladder for nonsymmetric advection–diffusion systems (the thermal
+    /// solve of Eq. (6)): BiCGSTAB, then GMRES with an escalating restart,
+    /// then dense LU — the same cascade `thermal::assembly` used before
+    /// this layer existed, with one extra long-restart GMRES rung.
+    pub fn nonsymmetric() -> Self {
+        Self {
+            rungs: vec![
+                Rung::new(SolverKind::Bicgstab, PrecondSpec::Caller),
+                Rung::new(SolverKind::Gmres { restart: 60 }, PrecondSpec::Caller),
+                Rung::new(SolverKind::Gmres { restart: 150 }, PrecondSpec::Ilu0),
+                Rung::new(
+                    SolverKind::DenseLu {
+                        max_dim: DENSE_FALLBACK_CAP,
+                    },
+                    PrecondSpec::Caller,
+                ),
+            ],
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// Solves `A·x = b`, trying rungs in order until one converges.
+    ///
+    /// `caller` is the preconditioner rungs with [`PrecondSpec::Caller`]
+    /// use (typically a cached ILU(0) factorization); other specs build
+    /// their own from `a`. Every candidate solution is checked for finite
+    /// entries before being accepted, so NaN-poisoned arithmetic escalates
+    /// instead of propagating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LadderError`] with the full [`SolveReport`] when every
+    /// rung fails or is inapplicable.
+    pub fn solve(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        caller: &dyn Preconditioner,
+        options: &SolverOptions,
+    ) -> Result<LadderSolution, LadderError> {
+        let plan = PlanState::current();
+        let mut report = SolveReport::default();
+        let n = a.rows();
+        let attempts_per_rung = self.policy.attempts_per_rung.max(1);
+        let ceiling = self.policy.max_tolerance.max(options.tolerance);
+
+        for (ri, rung) in self.rungs.iter().enumerate() {
+            if let SolverKind::DenseLu { max_dim } = rung.solver {
+                if n > max_dim {
+                    report.attempts.push(Attempt {
+                        rung: ri,
+                        solver: rung.solver,
+                        precond: rung.precond,
+                        tolerance: options.tolerance,
+                        injected: false,
+                        outcome: AttemptOutcome::Skipped {
+                            reason: format!("{n} unknowns exceed the {max_dim}-unknown dense cap"),
+                        },
+                    });
+                    continue;
+                }
+            }
+            let built: Option<Box<dyn Preconditioner>> = match rung.precond {
+                PrecondSpec::Caller => None,
+                PrecondSpec::Identity => Some(Box::new(Identity::new(n))),
+                PrecondSpec::Jacobi => Some(Box::new(Jacobi::new(a))),
+                PrecondSpec::Ilu0 => Some(Box::new(Ilu0::new(a))),
+            };
+            let m: &dyn Preconditioner = match &built {
+                Some(p) => p.as_ref(),
+                None => caller,
+            };
+
+            for retry in 0..attempts_per_rung {
+                let tolerance = (options.tolerance
+                    * rung.tolerance_factor
+                    * self.policy.tolerance_growth.powi(retry as i32))
+                .min(ceiling);
+                let mut opts = options.clone();
+                opts.tolerance = tolerance;
+                opts.max_iterations =
+                    (((options.cap(n) as f64) * rung.iteration_factor).ceil() as usize).max(1);
+
+                let inject = plan.next();
+                let injected = inject.is_some();
+                let result = match inject {
+                    Some(Inject::Fail(e)) => Err(e),
+                    other => run_rung(rung.solver, a, b, m, &opts).and_then(|mut sol| {
+                        if matches!(other, Some(Inject::Poison)) {
+                            if let Some(x0) = sol.solution.first_mut() {
+                                *x0 = f64::NAN;
+                            }
+                        }
+                        if sol.solution.iter().all(|v| v.is_finite()) {
+                            Ok(sol)
+                        } else {
+                            Err(SolveError::NonFinite)
+                        }
+                    }),
+                };
+                match result {
+                    Ok(sol) => {
+                        report.attempts.push(Attempt {
+                            rung: ri,
+                            solver: rung.solver,
+                            precond: rung.precond,
+                            tolerance,
+                            injected,
+                            outcome: AttemptOutcome::Converged {
+                                iterations: sol.stats.iterations,
+                                residual: sol.stats.residual,
+                            },
+                        });
+                        let stats = SolveStats {
+                            rung: ri,
+                            attempts: report.tried(),
+                            ..sol.stats
+                        };
+                        return Ok(LadderSolution {
+                            solution: sol.solution,
+                            stats,
+                            report,
+                        });
+                    }
+                    Err(e) => {
+                        report.attempts.push(Attempt {
+                            rung: ri,
+                            solver: rung.solver,
+                            precond: rung.precond,
+                            tolerance,
+                            injected,
+                            outcome: AttemptOutcome::Failed(e),
+                        });
+                    }
+                }
+            }
+        }
+        Err(LadderError { report })
+    }
+}
+
+/// Dispatches one rung's solver.
+fn run_rung(
+    kind: SolverKind,
+    a: &CsrMatrix,
+    b: &[f64],
+    m: &dyn Preconditioner,
+    options: &SolverOptions,
+) -> Result<Solution, SolveError> {
+    match kind {
+        SolverKind::Cg => solve::cg(a, b, m, options),
+        SolverKind::Bicgstab => solve::bicgstab(a, b, m, options),
+        SolverKind::Gmres { restart } => solve::gmres(a, b, m, restart, options),
+        SolverKind::DenseLu { .. } => {
+            let x = a.to_dense().solve(b)?;
+            let b_norm = ops::norm2(b);
+            let residual = if b_norm > 0.0 {
+                a.residual_norm(&x, b) / b_norm
+            } else {
+                0.0
+            };
+            Ok(Solution {
+                solution: x,
+                stats: SolveStats {
+                    iterations: 0,
+                    residual,
+                    ..SolveStats::default()
+                },
+            })
+        }
+    }
+}
+
+/// What the fault plan dictates for one attempt.
+// The variants are only constructed under fault injection; without it the
+// match arms over them remain but nothing produces them.
+#[cfg_attr(not(any(test, feature = "fault-inject")), allow(dead_code))]
+enum Inject {
+    /// Fail the attempt with this error without running the solver.
+    Fail(SolveError),
+    /// Run the solver, then poison the solution with a NaN.
+    Poison,
+}
+
+#[cfg(any(test, feature = "fault-inject"))]
+struct PlanState(Option<std::sync::Arc<fault::FaultPlan>>);
+
+#[cfg(any(test, feature = "fault-inject"))]
+impl PlanState {
+    fn current() -> Self {
+        Self(fault::active())
+    }
+
+    fn next(&self) -> Option<Inject> {
+        match self.0.as_ref()?.next()? {
+            fault::FaultKind::Breakdown => {
+                Some(Inject::Fail(SolveError::Breakdown { iterations: 0 }))
+            }
+            fault::FaultKind::NotConverged => Some(Inject::Fail(SolveError::NotConverged {
+                iterations: 0,
+                residual: f64::INFINITY,
+            })),
+            fault::FaultKind::PoisonNan => Some(Inject::Poison),
+        }
+    }
+}
+
+#[cfg(not(any(test, feature = "fault-inject")))]
+struct PlanState;
+
+#[cfg(not(any(test, feature = "fault-inject")))]
+impl PlanState {
+    fn current() -> Self {
+        Self
+    }
+
+    fn next(&self) -> Option<Inject> {
+        None
+    }
+}
+
+/// Deterministic fault injection for the escalation ladder.
+///
+/// A [`FaultPlan`] maps global *attempt indices* (every ladder attempt in
+/// the process ticks one shared counter while a plan is active) to
+/// [`FaultKind`]s. Activate a plan with [`inject`]; the returned
+/// [`FaultScope`] deactivates it on drop and holds a process-wide gate so
+/// concurrently running tests cannot consume each other's fault indices.
+///
+/// Only compiled under `cfg(test)` or the `fault-inject` feature; release
+/// builds of dependent crates contain none of this machinery.
+#[cfg(any(test, feature = "fault-inject"))]
+pub mod fault {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, MutexGuard};
+
+    /// The failure mode to inject at an attempt index.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FaultKind {
+        /// The attempt fails with [`SolveError::Breakdown`]
+        /// (the solver does not run).
+        ///
+        /// [`SolveError::Breakdown`]: crate::solve::SolveError::Breakdown
+        Breakdown,
+        /// The attempt fails with [`SolveError::NotConverged`]
+        /// (the solver does not run).
+        ///
+        /// [`SolveError::NotConverged`]: crate::solve::SolveError::NotConverged
+        NotConverged,
+        /// The solver runs, then its solution is poisoned with a NaN —
+        /// exercising the ladder's finiteness guard.
+        PoisonNan,
+    }
+
+    /// A deterministic schedule of injected faults, keyed by the global
+    /// attempt counter that ticks while the plan is active.
+    #[derive(Debug)]
+    pub struct FaultPlan {
+        faults: BTreeMap<usize, FaultKind>,
+        cursor: AtomicUsize,
+        fired: AtomicUsize,
+    }
+
+    impl FaultPlan {
+        /// A plan injecting the given `(attempt_index, kind)` pairs.
+        pub fn at<I: IntoIterator<Item = (usize, FaultKind)>>(faults: I) -> Arc<Self> {
+            Arc::new(Self {
+                faults: faults.into_iter().collect(),
+                cursor: AtomicUsize::new(0),
+                fired: AtomicUsize::new(0),
+            })
+        }
+
+        /// A plan failing the first `count` attempts with `kind`.
+        pub fn fail_first(count: usize, kind: FaultKind) -> Arc<Self> {
+            Self::at((0..count).map(|i| (i, kind)))
+        }
+
+        /// An empty plan: injects nothing, but (via [`inject`]) still holds
+        /// the serialization gate — use in tests asserting no-fault behavior.
+        pub fn none() -> Arc<Self> {
+            Self::at([])
+        }
+
+        /// Ticks the attempt counter and returns the fault at that index.
+        pub(crate) fn next(&self) -> Option<FaultKind> {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            let fault = self.faults.get(&i).copied();
+            if fault.is_some() {
+                self.fired.fetch_add(1, Ordering::Relaxed);
+            }
+            fault
+        }
+
+        /// How many ladder attempts consulted this plan.
+        pub fn consulted(&self) -> usize {
+            self.cursor.load(Ordering::Relaxed)
+        }
+
+        /// How many faults actually fired.
+        pub fn fired(&self) -> usize {
+            self.fired.load(Ordering::Relaxed)
+        }
+    }
+
+    static ACTIVE: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
+    static GATE: Mutex<()> = Mutex::new(());
+
+    fn lock_active() -> MutexGuard<'static, Option<Arc<FaultPlan>>> {
+        // Poisoning is harmless here: the registry holds no invariants
+        // beyond "some plan or none", so take the lock over.
+        ACTIVE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The currently active plan, if any.
+    pub(crate) fn active() -> Option<Arc<FaultPlan>> {
+        lock_active().clone()
+    }
+
+    /// Activates `plan` for the duration of the returned scope.
+    ///
+    /// The scope holds a process-wide gate, serializing fault-injected
+    /// sections across test threads; drop it to deactivate the plan.
+    pub fn inject(plan: &Arc<FaultPlan>) -> FaultScope {
+        let gate = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        *lock_active() = Some(Arc::clone(plan));
+        FaultScope { _gate: gate }
+    }
+
+    /// RAII guard of an active [`FaultPlan`]; clears it on drop.
+    pub struct FaultScope {
+        _gate: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for FaultScope {
+        fn drop(&mut self) {
+            *lock_active() = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fault::{FaultKind, FaultPlan};
+    use super::*;
+    use crate::coo::TripletBuilder;
+
+    /// Nonsymmetric advection–diffusion matrix (same as solve.rs tests).
+    fn advection(n: usize, peclet: f64) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0 + peclet);
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+                b.add(i + 1, i, -1.0 - peclet);
+            }
+        }
+        b.to_csr()
+    }
+
+    /// 1-D Poisson matrix (SPD).
+    fn poisson(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            b.add(i, i, 2.0);
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+                b.add(i + 1, i, -1.0);
+            }
+        }
+        b.to_csr()
+    }
+
+    fn rhs(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i % 7) as f64) - 3.0).collect()
+    }
+
+    fn check_close(a: &CsrMatrix, x: &[f64], b: &[f64]) {
+        let exact = a.to_dense().solve(b).unwrap();
+        for (xi, ei) in x.iter().zip(&exact) {
+            assert!((xi - ei).abs() < 1e-6, "{xi} vs {ei}");
+        }
+    }
+
+    #[test]
+    fn no_fault_path_succeeds_on_first_rung() {
+        let a = advection(40, 2.0);
+        let b = rhs(40);
+        let plan = FaultPlan::none();
+        let _scope = fault::inject(&plan);
+        let sol = SolveLadder::nonsymmetric()
+            .solve(&a, &b, &Ilu0::new(&a), &SolverOptions::default())
+            .unwrap();
+        assert_eq!(sol.stats.rung, 0);
+        assert_eq!(sol.stats.attempts, 1);
+        assert_eq!(sol.report.succeeded_rung(), Some(0));
+        assert!(!sol.report.escalated());
+        assert_eq!(sol.report.injected_faults(), 0);
+        check_close(&a, &sol.solution, &b);
+        // The first rung reproduces the direct solver call bit for bit.
+        let direct = solve::bicgstab(&a, &b, &Ilu0::new(&a), &SolverOptions::default()).unwrap();
+        assert_eq!(sol.solution, direct.solution);
+    }
+
+    #[test]
+    fn spd_ladder_runs_cg_first() {
+        let a = poisson(30);
+        let b = rhs(30);
+        let plan = FaultPlan::none();
+        let _scope = fault::inject(&plan);
+        let sol = SolveLadder::spd()
+            .solve(&a, &b, &Jacobi::new(&a), &SolverOptions::default())
+            .unwrap();
+        assert_eq!(sol.stats.rung, 0);
+        check_close(&a, &sol.solution, &b);
+    }
+
+    #[test]
+    fn every_rung_recovers_from_faults_below_it() {
+        let a = advection(40, 2.0);
+        let b = rhs(40);
+        let ladder = SolveLadder::nonsymmetric();
+        for k in 1..=3 {
+            let plan = FaultPlan::fail_first(k, FaultKind::Breakdown);
+            let _scope = fault::inject(&plan);
+            let sol = ladder
+                .solve(&a, &b, &Ilu0::new(&a), &SolverOptions::default())
+                .unwrap();
+            assert_eq!(sol.stats.rung, k, "expected rung {k}");
+            assert_eq!(sol.stats.attempts, k + 1);
+            assert_eq!(sol.report.succeeded_rung(), Some(k));
+            assert!(sol.report.escalated());
+            assert_eq!(sol.report.injected_faults(), k);
+            assert_eq!(plan.fired(), k);
+            check_close(&a, &sol.solution, &b);
+        }
+    }
+
+    #[test]
+    fn dense_lu_is_the_terminal_rung() {
+        let a = advection(25, 1.0);
+        let b = rhs(25);
+        let plan = FaultPlan::fail_first(3, FaultKind::NotConverged);
+        let _scope = fault::inject(&plan);
+        let sol = SolveLadder::nonsymmetric()
+            .solve(&a, &b, &Ilu0::new(&a), &SolverOptions::default())
+            .unwrap();
+        assert_eq!(sol.stats.rung, 3);
+        assert!(matches!(
+            sol.report.attempts[3].solver,
+            SolverKind::DenseLu { .. }
+        ));
+        check_close(&a, &sol.solution, &b);
+    }
+
+    #[test]
+    fn nan_poisoning_escalates_via_finiteness_guard() {
+        let a = advection(30, 1.5);
+        let b = rhs(30);
+        let plan = FaultPlan::at([(0, FaultKind::PoisonNan)]);
+        let _scope = fault::inject(&plan);
+        let sol = SolveLadder::nonsymmetric()
+            .solve(&a, &b, &Ilu0::new(&a), &SolverOptions::default())
+            .unwrap();
+        assert_eq!(sol.stats.rung, 1);
+        assert!(sol.solution.iter().all(|v| v.is_finite()));
+        assert_eq!(
+            sol.report.attempts[0].outcome,
+            AttemptOutcome::Failed(SolveError::NonFinite)
+        );
+        assert!(sol.report.attempts[0].injected);
+    }
+
+    #[test]
+    fn exhausted_ladder_reports_every_failure() {
+        let a = advection(20, 1.0);
+        let b = rhs(20);
+        let plan = FaultPlan::fail_first(4, FaultKind::Breakdown);
+        let _scope = fault::inject(&plan);
+        let err = SolveLadder::nonsymmetric()
+            .solve(&a, &b, &Ilu0::new(&a), &SolverOptions::default())
+            .unwrap_err();
+        assert_eq!(err.report.attempts.len(), 4);
+        assert_eq!(err.report.tried(), 4);
+        assert_eq!(err.report.succeeded_rung(), None);
+        assert!(matches!(
+            err.report.last_error(),
+            Some(SolveError::Breakdown { .. })
+        ));
+        assert!(err.to_string().contains("exhausted"));
+        let solve_err: SolveError = err.into();
+        assert!(matches!(solve_err, SolveError::Breakdown { .. }));
+    }
+
+    #[test]
+    fn oversized_system_skips_the_dense_rung() {
+        let a = advection(10, 1.0);
+        let b = rhs(10);
+        let mut ladder = SolveLadder::nonsymmetric();
+        ladder.rungs[3].solver = SolverKind::DenseLu { max_dim: 4 };
+        let plan = FaultPlan::fail_first(3, FaultKind::Breakdown);
+        let _scope = fault::inject(&plan);
+        let err = ladder
+            .solve(&a, &b, &Ilu0::new(&a), &SolverOptions::default())
+            .unwrap_err();
+        // Three injected failures plus the skipped dense rung.
+        assert_eq!(err.report.attempts.len(), 4);
+        assert_eq!(err.report.tried(), 3);
+        assert!(matches!(
+            err.report.attempts[3].outcome,
+            AttemptOutcome::Skipped { .. }
+        ));
+    }
+
+    #[test]
+    fn retry_policy_allows_second_attempt_on_same_rung() {
+        let a = advection(30, 1.5);
+        let b = rhs(30);
+        let mut ladder = SolveLadder::nonsymmetric();
+        ladder.policy.attempts_per_rung = 2;
+        let plan = FaultPlan::at([(0, FaultKind::NotConverged)]);
+        let _scope = fault::inject(&plan);
+        let sol = ladder
+            .solve(&a, &b, &Ilu0::new(&a), &SolverOptions::default())
+            .unwrap();
+        // Second attempt of rung 0 succeeds (with a loosened tolerance).
+        assert_eq!(sol.stats.rung, 0);
+        assert_eq!(sol.stats.attempts, 2);
+        assert!(sol.report.attempts[1].tolerance > sol.report.attempts[0].tolerance);
+    }
+
+    #[test]
+    fn report_display_names_solvers() {
+        assert_eq!(SolverKind::Gmres { restart: 60 }.to_string(), "gmres(60)");
+        assert_eq!(PrecondSpec::Ilu0.to_string(), "ilu0");
+        assert!(SolverKind::DenseLu { max_dim: 9 }.to_string().contains('9'));
+        assert_eq!(SolverKind::Cg.to_string(), "cg");
+        assert_eq!(SolverKind::Bicgstab.to_string(), "bicgstab");
+    }
+}

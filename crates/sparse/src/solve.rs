@@ -36,6 +36,11 @@ pub enum SolveError {
         /// Iterations performed before breakdown.
         iterations: usize,
     },
+    /// A solver produced a non-finite (NaN or ±∞) entry. Raised by the
+    /// [`resilience`](crate::resilience) layer, which checks every candidate
+    /// solution before accepting it, so poisoned arithmetic escalates to the
+    /// next rung instead of propagating NaNs into the caller's model.
+    NonFinite,
 }
 
 impl fmt::Display for SolveError {
@@ -59,6 +64,9 @@ impl fmt::Display for SolveError {
                     f,
                     "krylov recurrence broke down after {iterations} iterations"
                 )
+            }
+            SolveError::NonFinite => {
+                f.write_str("solver produced a non-finite (NaN or infinite) solution entry")
             }
         }
     }
@@ -108,7 +116,7 @@ impl SolverOptions {
         }
     }
 
-    fn cap(&self, n: usize) -> usize {
+    pub(crate) fn cap(&self, n: usize) -> usize {
         if self.max_iterations == 0 {
             (4 * n).max(100)
         } else {
@@ -150,6 +158,12 @@ pub struct SolveStats {
     pub iterations: usize,
     /// Final relative residual.
     pub residual: f64,
+    /// Index of the [`resilience::SolveLadder`](crate::resilience::SolveLadder)
+    /// rung that produced the solution; `0` for direct solver calls.
+    pub rung: usize,
+    /// Total solver attempts the ladder made (including failed ones) before
+    /// this solution; `0` for direct solver calls.
+    pub attempts: usize,
 }
 
 /// A converged solution plus its [`SolveStats`].
@@ -225,6 +239,7 @@ pub fn cg(
                 stats: SolveStats {
                     iterations: it,
                     residual: res,
+                    ..SolveStats::default()
                 },
             });
         }
@@ -250,6 +265,7 @@ pub fn cg(
             stats: SolveStats {
                 iterations: max_iter,
                 residual: res,
+                ..SolveStats::default()
             },
         })
     } else {
@@ -319,6 +335,7 @@ pub fn bicgstab(
                     stats: SolveStats {
                         iterations: it,
                         residual: true_res,
+                        ..SolveStats::default()
                     },
                 });
             }
@@ -358,6 +375,7 @@ pub fn bicgstab(
                     stats: SolveStats {
                         iterations: it + 1,
                         residual: res,
+                        ..SolveStats::default()
                     },
                 });
             }
@@ -386,6 +404,7 @@ pub fn bicgstab(
             stats: SolveStats {
                 iterations: max_iter,
                 residual: res,
+                ..SolveStats::default()
             },
         })
     } else {
@@ -444,6 +463,7 @@ pub fn gmres(
                 stats: SolveStats {
                     iterations: total_inner,
                     residual: true_res,
+                    ..SolveStats::default()
                 },
             });
         }
@@ -535,6 +555,7 @@ pub fn gmres(
             stats: SolveStats {
                 iterations: total_inner,
                 residual: res,
+                ..SolveStats::default()
             },
         })
     } else {

@@ -13,7 +13,7 @@ use crate::solution::{Resolution, SourceLayerTemps, ThermalSolution};
 use coolnet_grid::GridDims;
 use coolnet_sparse::par::{self, RowPartition};
 use coolnet_sparse::precond::Ilu0;
-use coolnet_sparse::{solve, CsrMatrix, SolverOptions, TripletBuilder};
+use coolnet_sparse::{CsrMatrix, SolverOptions, TripletBuilder};
 use coolnet_units::Pascal;
 use std::sync::{Arc, Mutex};
 
@@ -223,38 +223,6 @@ impl Assembled {
         (b.to_csr(), self.rhs_at(p, t_inlet))
     }
 
-    /// The BiCGSTAB → GMRES → dense-LU solver cascade shared by the cached
-    /// and cold probe paths.
-    fn solve_cascade(
-        &self,
-        matrix: &CsrMatrix,
-        rhs: &[f64],
-        precond: &Ilu0,
-        options: &SolverOptions,
-    ) -> Result<coolnet_sparse::Solution, ThermalError> {
-        match solve::bicgstab(matrix, rhs, precond, options) {
-            Ok(s) => Ok(s),
-            // BiCGSTAB can stagnate on the highly nonsymmetric systems that
-            // extreme pressure probes produce. Fall back to restarted GMRES
-            // (robust), then to a dense LU for small systems (exact).
-            Err(_) => match solve::gmres(matrix, rhs, precond, 60, options) {
-                Ok(s) => Ok(s),
-                Err(e) if self.n <= 4096 => {
-                    let x = matrix.to_dense().solve(rhs).map_err(|_| e)?;
-                    let residual = matrix.residual_norm(&x, rhs);
-                    Ok(coolnet_sparse::Solution {
-                        solution: x,
-                        stats: coolnet_sparse::SolveStats {
-                            iterations: 0,
-                            residual,
-                        },
-                    })
-                }
-                Err(e) => Err(e.into()),
-            },
-        }
-    }
-
     /// Solves the steady-state system at `p_sys`.
     ///
     /// Unless `config.cold_rebuild` is set, the solve reuses the cached
@@ -307,7 +275,12 @@ impl Assembled {
                     options.initial_guess = Some(g);
                 }
                 let rhs = self.rhs_at(p_sys.value(), t_inlet);
-                let solution = self.solve_cascade(&cache.matrix, &rhs, &cache.ilu, &options)?;
+                // The ladder's first rung is the historical BiCGSTAB call
+                // with the cached ILU(0); escalation rungs (GMRES, fresh
+                // ILU(0), dense LU) only engage when it fails.
+                let solution = config
+                    .ladder
+                    .solve(&cache.matrix, &rhs, &cache.ilu, &options)?;
                 cache.record(p_sys.value(), &solution.solution);
                 return Ok(self.extract(solution.solution, solution.stats));
             }
@@ -316,7 +289,7 @@ impl Assembled {
         // Cold path: full assembly and factorization from scratch.
         let (matrix, rhs) = self.system(p_sys, t_inlet);
         let precond = Ilu0::new(&matrix);
-        let solution = self.solve_cascade(&matrix, &rhs, &precond, &options)?;
+        let solution = config.ladder.solve(&matrix, &rhs, &precond, &options)?;
         Ok(self.extract(solution.solution, solution.stats))
     }
 

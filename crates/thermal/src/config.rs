@@ -1,5 +1,6 @@
 //! Thermal simulation configuration.
 
+use coolnet_sparse::SolveLadder;
 use coolnet_units::nusselt::WallCondition;
 use coolnet_units::Kelvin;
 use serde::{Deserialize, Serialize};
@@ -38,6 +39,11 @@ pub struct ThermalConfig {
     /// for equivalence tests and benchmarking, not production use.
     #[serde(default)]
     pub cold_rebuild: bool,
+    /// Escalation ladder for the steady and transient linear solves. The
+    /// default nonsymmetric preset (BiCGSTAB → GMRES → dense LU) matches
+    /// the cascade previously hard-coded in the assembly layer.
+    #[serde(default)]
+    pub ladder: SolveLadder,
 }
 
 impl Default for ThermalConfig {
@@ -52,6 +58,7 @@ impl Default for ThermalConfig {
             tolerance: 1e-8,
             solver_threads: 1,
             cold_rebuild: false,
+            ladder: SolveLadder::nonsymmetric(),
         }
     }
 }

@@ -13,7 +13,7 @@ use crate::fourrm::FourRm;
 use crate::solution::ThermalSolution;
 use crate::tworm::TwoRm;
 use coolnet_sparse::precond::Ilu0;
-use coolnet_sparse::{solve, CsrMatrix, SolveStats, SolverOptions, TripletBuilder};
+use coolnet_sparse::{CsrMatrix, SolveStats, SolverOptions, TripletBuilder};
 use coolnet_units::Pascal;
 
 /// A transient integrator over one of the compact models.
@@ -160,7 +160,8 @@ impl<'a> Transient<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`ThermalError::Solver`] if the linear solve fails.
+    /// Returns [`ThermalError::Solver`] if every rung of the configured
+    /// solver ladder fails.
     pub fn step(&mut self) -> Result<(), ThermalError> {
         let rhs: Vec<f64> = self
             .rhs_power
@@ -171,7 +172,10 @@ impl<'a> Transient<'a> {
             .collect();
         let mut options = SolverOptions::with_tolerance(self.config.tolerance);
         options.initial_guess = Some(self.temps.clone());
-        let sol = solve::bicgstab(&self.matrix, &rhs, &self.precond, &options)?;
+        let sol = self
+            .config
+            .ladder
+            .solve(&self.matrix, &rhs, &self.precond, &options)?;
         self.temps = sol.solution;
         self.last_stats = sol.stats;
         self.time += self.dt;

@@ -93,3 +93,30 @@ fn stack_round_trips() {
         .unwrap();
     assert!(sol.max_temperature().value() > 300.0);
 }
+
+#[test]
+fn solve_ladder_round_trips_inside_configs() {
+    use coolnet::sparse::SolveLadder;
+
+    // The ladder itself, both presets.
+    for ladder in [SolveLadder::spd(), SolveLadder::nonsymmetric()] {
+        let json = serde_json::to_string(&ladder).unwrap();
+        let back: SolveLadder = serde_json::from_str(&json).unwrap();
+        assert_eq!(ladder, back);
+    }
+
+    // Embedded in the solver configs.
+    let tc = ThermalConfig::default();
+    let back: ThermalConfig = serde_json::from_str(&serde_json::to_string(&tc).unwrap()).unwrap();
+    assert_eq!(tc, back);
+    let fc = FlowConfig::default();
+    let back: FlowConfig = serde_json::from_str(&serde_json::to_string(&fc).unwrap()).unwrap();
+    assert_eq!(fc, back);
+
+    // Configs saved before the resilience layer existed (no `ladder` key)
+    // still deserialize, picking up the safe default ladder.
+    let mut json: serde_json::Value = serde_json::to_value(&tc).unwrap();
+    json.as_object_mut().unwrap().remove("ladder");
+    let old: ThermalConfig = serde_json::from_value(json).unwrap();
+    assert_eq!(old.ladder, SolveLadder::default());
+}
