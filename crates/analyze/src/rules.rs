@@ -49,7 +49,7 @@ pub fn lint_scope(lint: &str) -> &'static [&'static str] {
         PANIC_FREE => &["sparse", "flow", "thermal", "opt"],
         UNIT_DISCIPLINE => &["flow", "thermal", "network"],
         FINITE_GUARD => &["sparse", "flow", "thermal", "opt"],
-        DOC_COVERAGE => &["units", "sparse", "core"],
+        DOC_COVERAGE => &["units", "sparse", "core", "obs"],
         _ => &[],
     }
 }

@@ -10,11 +10,19 @@
 //! Writes `BENCH_probe.json` into `--out` (default `target/experiments`).
 //! `--quick` shrinks the grid and ladder for the CI smoke step; the
 //! committed artifact at the repo root comes from a default-scale run.
+//!
+//! Solver statistics (iterations, attempts, escalations) come from the
+//! `coolnet-obs` metrics layer: each configuration is measured as a
+//! snapshot delta around its timed loop, and the artifact carries the
+//! full end-of-run [`MetricsSnapshot`] under `metrics`. Pass
+//! `--no-metrics` to disable the metrics layer and time the pure probe
+//! path (the per-config statistics then read zero).
 
 #![forbid(unsafe_code)]
 
 use coolnet::prelude::*;
 use coolnet_bench::{write_json, HarnessOpts};
+use coolnet_obs::MetricsSnapshot;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -33,13 +41,15 @@ struct ConfigResult {
     elapsed_s: f64,
     /// Throughput.
     probes_per_sec: f64,
-    /// Mean BiCGSTAB/GMRES iterations per probe.
+    /// Mean BiCGSTAB/GMRES iterations per probe (delta of the
+    /// `ladder.iterations` histogram sum; 0 under `--no-metrics`).
     mean_iterations: f64,
-    /// Probes whose solve escalated past the ladder's first rung (or
-    /// needed more than one attempt). Nonzero values flag a matrix regime
-    /// the primary solver no longer handles.
-    escalations: usize,
-    /// Mean ladder attempts per probe (1.0 = first rung always converged).
+    /// Solves that escalated past the ladder's first rung (delta of
+    /// `ladder.escalations`; 0 under `--no-metrics`). Nonzero values flag
+    /// a matrix regime the primary solver no longer handles.
+    escalations: u64,
+    /// Mean ladder attempts per probe (1.0 = first rung always
+    /// converged; 0 under `--no-metrics`).
     mean_attempts: f64,
 }
 
@@ -67,6 +77,12 @@ struct ProbeBench {
     speedup_cached: f64,
     /// probes/sec of `cached_par4` over `cold` (the acceptance number).
     speedup_cached_par4: f64,
+    /// Whether the metrics layer was enabled for this run (`false` under
+    /// `--no-metrics`, which zeroes the solver statistics).
+    metrics_enabled: bool,
+    /// End-of-run snapshot of every `coolnet-obs` counter and histogram
+    /// touched by the benchmark process.
+    metrics: MetricsSnapshot,
 }
 
 fn ladder(lo_kpa: f64, hi_kpa: f64, steps: usize) -> Vec<f64> {
@@ -89,25 +105,23 @@ fn measure(
     // the same first solve from a flat initial guess.
     let mut prev = sim.simulate(Pascal::from_kilopascals(pressures_kpa[0]))?;
 
-    let mut iterations = 0usize;
-    let mut attempts = 0usize;
-    let mut escalations = 0usize;
-    let mut probes = 0usize;
+    // The obs counters are process-global; delta-ing snapshots around the
+    // timed loop scopes them to exactly these `reps × len` probes. Both
+    // snapshots sit outside the timed window.
+    let before = coolnet_obs::snapshot();
     let start = Instant::now();
     for _ in 0..reps {
         for &kpa in pressures_kpa {
-            let sol = sim.simulate_with_guess(Pascal::from_kilopascals(kpa), &prev)?;
-            let stats = sol.stats();
-            iterations += stats.iterations;
-            attempts += stats.attempts.max(1);
-            if stats.rung > 0 || stats.attempts > 1 {
-                escalations += 1;
-            }
-            probes += 1;
-            prev = sol;
+            prev = sim.simulate_with_guess(Pascal::from_kilopascals(kpa), &prev)?;
         }
     }
     let elapsed_s = start.elapsed().as_secs_f64();
+    let after = coolnet_obs::snapshot();
+
+    let probes = reps * pressures_kpa.len();
+    let iterations = after.histogram_sum_delta(&before, "ladder.iterations");
+    let attempts = after.counter_delta(&before, "ladder.attempts");
+    let escalations = after.counter_delta(&before, "ladder.escalations");
     let result = ConfigResult {
         name: name.to_owned(),
         solver_threads: config.solver_threads,
@@ -115,9 +129,9 @@ fn measure(
         probes,
         elapsed_s,
         probes_per_sec: probes as f64 / elapsed_s,
-        mean_iterations: iterations as f64 / probes as f64,
+        mean_iterations: per_probe(iterations, probes),
         escalations,
-        mean_attempts: attempts as f64 / probes as f64,
+        mean_attempts: per_probe(attempts, probes),
     };
     println!(
         "  {:12} {:7.2} probes/s   {:5.1} iters/probe   {} escalations   ({} probes, {:.2} s)",
@@ -126,9 +140,20 @@ fn measure(
     Ok(result)
 }
 
+/// Mean of `num / probes`, tolerating zero probes (degenerate ladders).
+fn per_probe(num: u64, probes: usize) -> f64 {
+    if probes == 0 {
+        0.0
+    } else {
+        num as f64 / probes as f64
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut opts = HarnessOpts::from_args();
     let quick = opts.rest.iter().any(|a| a == "--quick");
+    let metrics_enabled = !opts.rest.iter().any(|a| a == "--no-metrics");
+    coolnet_obs::set_enabled(metrics_enabled);
     if quick && opts.grid == 41 {
         opts.grid = 21;
     }
@@ -192,6 +217,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         configs,
         speedup_cached,
         speedup_cached_par4,
+        metrics_enabled,
+        metrics: coolnet_obs::snapshot(),
     };
     write_json(&opts.out_path("BENCH_probe.json"), &artifact);
     Ok(())

@@ -25,7 +25,9 @@
 //!   **Problem 1** (minimize pumping power) and **Problem 2** (minimize
 //!   thermal gradient);
 //! * [`sparse`] — the supporting sparse linear algebra (CG, BiCGSTAB,
-//!   GMRES, ILU(0)).
+//!   GMRES, ILU(0));
+//! * [`obs`] — a dependency-free metrics layer (counters, histograms,
+//!   span timers) instrumenting the solver and optimizer hot paths.
 //!
 //! ## Quickstart
 //!
@@ -79,6 +81,7 @@ pub use coolnet_cases as cases;
 pub use coolnet_flow as flow;
 pub use coolnet_grid as grid;
 pub use coolnet_network as network;
+pub use coolnet_obs as obs;
 pub use coolnet_opt as opt;
 pub use coolnet_sparse as sparse;
 pub use coolnet_thermal as thermal;

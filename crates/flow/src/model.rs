@@ -6,9 +6,16 @@ use crate::field::FlowField;
 use crate::widths::WidthMap;
 use coolnet_grid::{Cell, Dir};
 use coolnet_network::{CoolingNetwork, PortKind};
+use coolnet_obs::LazyCounter;
 use coolnet_sparse::precond::Jacobi;
 use coolnet_sparse::{SolveReport, SolveStats, SolverOptions, TripletBuilder};
 use coolnet_units::{Pascal, Watt};
+
+/// Hydraulic assemblies: one unit-pressure system built and solved per
+/// [`FlowModel`] construction.
+static M_ASSEMBLIES: LazyCounter = LazyCounter::new("flow.assemblies");
+/// Pumping-power evaluations (Eq. (10) scalings of the unit solve).
+static M_PUMPING_POWER_EVALS: LazyCounter = LazyCounter::new("flow.pumping_power_evals");
 
 /// The assembled hydraulic model of one cooling network.
 ///
@@ -147,6 +154,7 @@ impl FlowModel {
         }
 
         let matrix = builder.to_csr();
+        M_ASSEMBLIES.inc();
         let options = SolverOptions::with_tolerance(1e-12);
         let solution = config
             .ladder
@@ -256,6 +264,7 @@ impl FlowModel {
     /// Pumping power `W_pump = P_sys² / R_sys` (Eq. (10), with the external
     /// efficiency η dropped as in the paper).
     pub fn pumping_power(&self, p_sys: Pascal) -> Watt {
+        M_PUMPING_POWER_EVALS.inc();
         Watt::new(p_sys.value() * p_sys.value() * self.unit_flow)
     }
 

@@ -3,9 +3,13 @@
 use coolnet_cases::Benchmark;
 use coolnet_flow::{FlowConfig, FlowModel};
 use coolnet_network::CoolingNetwork;
+use coolnet_obs::LazyCounter;
 use coolnet_thermal::{FourRm, Stack, ThermalConfig, ThermalError, ThermalSolution, TwoRm};
 use coolnet_units::{ChannelGeometry, Kelvin, Pascal, Watt};
 use std::cell::RefCell;
+
+/// Thermal profiles evaluated via [`Evaluator::profile`].
+static M_PROFILES: LazyCounter = LazyCounter::new("eval.profiles");
 
 /// Which thermal model backs an [`Evaluator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -148,6 +152,7 @@ impl Evaluator {
         };
         *self.last.borrow_mut() = Some(sol);
         *self.probes.borrow_mut() += 1;
+        M_PROFILES.inc();
         Ok(profile)
     }
 

@@ -7,8 +7,12 @@
 //! Probing either function means one full thermal simulation, so all
 //! searches are budgeted and converge on *relative* pressure intervals.
 
+use coolnet_obs::LazyCounter;
 use coolnet_thermal::ThermalError;
 use coolnet_units::{Kelvin, Pascal};
+
+/// Simulator probes consumed across every pressure search in this module.
+static M_PROBES: LazyCounter = LazyCounter::new("psearch.probes");
 
 /// Options for [`minimize_pressure_for_gradient`] (Algorithm 3) and the
 /// other searches.
@@ -59,6 +63,7 @@ struct Probe<'a> {
 impl Probe<'_> {
     fn eval(&mut self, p: f64) -> Result<f64, ThermalError> {
         self.count += 1;
+        M_PROBES.inc();
         (self.f)(Pascal::new(p))
     }
 

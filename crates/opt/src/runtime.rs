@@ -8,14 +8,25 @@
 //! control interval to keep `T_max` at a setpoint, spending pumping energy
 //! only when the workload requires it. The plant model is the transient
 //! 2RM simulator; changing the pressure swaps the advection operator, so
-//! the integrator is rebuilt (warm-started) at each control action.
+//! the integrator is rebuilt (warm-started) whenever a control action
+//! actually moves the pressure — and reused, internal state and all, when
+//! the controller holds it (e.g. clamped at a bound).
 
 use crate::evaluate::ModelChoice;
 use coolnet_cases::Benchmark;
 use coolnet_network::CoolingNetwork;
+use coolnet_obs::LazyCounter;
 use coolnet_thermal::{FourRm, ThermalConfig, ThermalError, TwoRm};
 use coolnet_units::{Kelvin, Pascal, Watt};
 use serde::{Deserialize, Serialize};
+
+/// Completed or attempted [`simulate_adaptive_flow`] runs.
+static M_RUNS: LazyCounter = LazyCounter::new("runtime.runs");
+/// Control intervals simulated.
+static M_CONTROL_STEPS: LazyCounter = LazyCounter::new("runtime.control_steps");
+/// Transient-integrator rebuilds (full triplet reassembly + ILU(0)); a
+/// clamped-pressure run should rebuild once, not once per control step.
+static M_INTEGRATOR_REBUILDS: LazyCounter = LazyCounter::new("runtime.integrator_rebuilds");
 
 /// A piecewise-constant die-power schedule: `(duration_s, power_scale)`
 /// phases applied to the benchmark's nominal power maps.
@@ -90,11 +101,16 @@ impl FlowController {
 }
 
 /// One sample of a run-time simulation.
+///
+/// All interval-scoped fields (`time`, `power_scale`, `p_sys`, `w_pump`)
+/// refer to the *start* of the control interval, so a sample pairs each
+/// quantity with the phase that was actually active while it applied;
+/// only `t_max` is measured at the interval's end.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeSample {
-    /// Simulation time in seconds.
+    /// Simulation time in seconds at the start of the interval.
     pub time: f64,
-    /// Active die-power scale.
+    /// Die-power scale active during the interval (sampled at `time`).
     pub power_scale: f64,
     /// Pump pressure during this interval.
     pub p_sys: Pascal,
@@ -132,6 +148,42 @@ impl Default for RuntimeOptions {
 enum Plant {
     Two(TwoRm),
     Four(FourRm),
+}
+
+impl Plant {
+    /// Builds a transient integrator at pressure `p` — a full triplet
+    /// reassembly plus an ILU(0) factorization, the expensive part of a
+    /// control action.
+    fn integrator(
+        &self,
+        p: Pascal,
+        dt: f64,
+        initial: Option<&coolnet_thermal::ThermalSolution>,
+    ) -> Result<coolnet_thermal::transient::Transient<'_>, ThermalError> {
+        M_INTEGRATOR_REBUILDS.inc();
+        match self {
+            Plant::Two(s) => s.transient(p, dt, initial),
+            Plant::Four(s) => s.transient(p, dt, initial),
+        }
+    }
+}
+
+/// Number of control intervals covering `duration`.
+///
+/// The naive `(duration / (dt · interval)).ceil()` is float-sensitive: an
+/// exact-ratio trace like `duration = 0.1, dt = 1e-3, interval = 10`
+/// evaluates to `10.000000000000002` and would simulate a spurious 11th
+/// interval. Ratios within a relative epsilon of an integer snap to
+/// `round()`; genuine partial intervals still `ceil()`.
+fn control_steps(duration: f64, dt: f64, control_interval: usize) -> usize {
+    let ratio = duration / (dt * control_interval as f64);
+    let rounded = ratio.round();
+    let steps = if (ratio - rounded).abs() < 1e-9 * rounded.max(1.0) {
+        rounded
+    } else {
+        ratio.ceil()
+    };
+    steps as usize
 }
 
 /// A run-time simulation failure, carrying where in the trace it happened
@@ -232,32 +284,43 @@ pub fn simulate_adaptive_flow(
         Err(e) => return Err(fail(ctx, e.into())),
     };
 
+    M_RUNS.inc();
     let mut snapshot: Option<coolnet_thermal::ThermalSolution> = None;
-    let steps_total = (trace.duration() / (opts.dt * opts.control_interval as f64)).ceil() as usize;
+    let steps_total = control_steps(trace.duration(), opts.dt, opts.control_interval);
+
+    // The integrator persists across control steps and is rebuilt only
+    // when the controller actually moves the pressure (the advection
+    // operator depends on it); a clamped controller reuses it — internal
+    // temperature state and all — for the whole trace.
+    let mut tr = match plant.integrator(ctx.p, opts.dt, None) {
+        Ok(tr) => tr,
+        Err(e) => return Err(fail(ctx, e)),
+    };
+    let mut built_p = ctx.p;
 
     for step in 0..steps_total {
         ctx.step = step;
-        let scale = trace.scale_at(ctx.time);
-        // (Re)build the integrator at the current pressure, warm-started
-        // from the last temperature field.
+        M_CONTROL_STEPS.inc();
+        let t_start = ctx.time;
+        let scale = trace.scale_at(t_start);
         let p = ctx.p;
-        let built = match &plant {
-            Plant::Two(s) => s.transient(p, opts.dt, snapshot.as_ref()),
-            Plant::Four(s) => s.transient(p, opts.dt, snapshot.as_ref()),
-        };
-        let mut tr = match built {
-            Ok(tr) => tr,
-            Err(e) => return Err(fail(ctx, e)),
-        };
+        if p != built_p {
+            // Warm-start the new operator from the latest field.
+            tr = match plant.integrator(p, opts.dt, snapshot.as_ref()) {
+                Ok(tr) => tr,
+                Err(e) => return Err(fail(ctx, e)),
+            };
+            built_p = p;
+        }
         tr.set_power_scale(scale);
         if let Err(e) = tr.run(opts.control_interval) {
             return Err(fail(ctx, e));
         }
-        ctx.time += opts.dt * opts.control_interval as f64;
+        ctx.time = t_start + opts.dt * opts.control_interval as f64;
         let snap = tr.snapshot();
         let t_max = snap.max_temperature();
         ctx.samples.push(RuntimeSample {
-            time: ctx.time,
+            time: t_start,
             power_scale: scale,
             p_sys: p,
             t_max,
@@ -280,6 +343,16 @@ mod tests {
     use super::*;
     use coolnet_grid::{tsv, Dir, GridDims};
     use coolnet_network::builders::straight::{self, StraightParams};
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes every test that drives `simulate_adaptive_flow`: the
+    /// runtime metrics are process-global, so concurrent runs would bleed
+    /// into each other's snapshot deltas.
+    static METRICS: Mutex<()> = Mutex::new(());
+
+    fn metrics_lock() -> MutexGuard<'static, ()> {
+        METRICS.lock().unwrap_or_else(|p| p.into_inner())
+    }
 
     fn setup() -> (Benchmark, CoolingNetwork) {
         let dims = GridDims::new(15, 15);
@@ -325,6 +398,7 @@ mod tests {
         // Deterministic closed-loop checks: with an unreachably low
         // setpoint the loop must pump up; with an unreachably high one it
         // must relax to idle.
+        let _guard = metrics_lock();
         let (bench, net) = setup();
         let trace = PowerTrace::new(vec![(0.1, 1.0)]);
         let opts = RuntimeOptions {
@@ -357,6 +431,7 @@ mod tests {
     fn adaptive_control_saves_pumping_energy_vs_fixed() {
         // The headline claim of run-time management: equal thermal envelope,
         // less pumping energy, on a high/low power trace.
+        let _guard = metrics_lock();
         let (bench, net) = setup();
         let trace = PowerTrace::new(vec![(0.05, 1.0), (0.05, 0.1)]);
         let opts = RuntimeOptions {
@@ -396,5 +471,89 @@ mod tests {
     #[should_panic(expected = "duration must be positive")]
     fn bad_trace_is_rejected() {
         PowerTrace::new(vec![(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn exact_ratio_traces_have_no_spurious_interval() {
+        // 0.1 / (1e-3 · 10) = 10.000000000000002 in f64: the naive ceil()
+        // simulated an 11th interval. Exact ratios must snap.
+        assert_eq!(control_steps(0.1, 1e-3, 10), 10);
+        assert_eq!(control_steps(0.2, 1e-3, 10), 20);
+        assert_eq!(control_steps(0.3, 1e-3, 10), 30);
+        assert_eq!(control_steps(0.6, 2e-3, 30), 10);
+        // Genuine partial intervals still round up.
+        assert_eq!(control_steps(0.105, 1e-3, 10), 11);
+        assert_eq!(control_steps(0.001, 1e-3, 10), 1);
+    }
+
+    #[test]
+    fn clamped_controller_reuses_the_integrator() {
+        // A controller clamped to a single pressure must build the
+        // transient integrator once for the whole trace, not once per
+        // control step — verified via the runtime.integrator_rebuilds
+        // counter. Sample timestamps must stamp the interval *start*.
+        let _guard = metrics_lock();
+        let (bench, net) = setup();
+        let trace = PowerTrace::new(vec![(0.1, 1.0)]);
+        let opts = RuntimeOptions {
+            dt: 1e-3,
+            control_interval: 10,
+            p_initial: Pascal::from_kilopascals(10.0),
+            ..RuntimeOptions::default()
+        };
+        let clamped = FlowController {
+            target: Kelvin::new(320.0),
+            gain: 0.0,
+            p_min: Pascal::from_kilopascals(10.0),
+            p_max: Pascal::from_kilopascals(10.0),
+        };
+        let before = coolnet_obs::snapshot();
+        let samples = simulate_adaptive_flow(&bench, &net, &trace, &clamped, &opts).unwrap();
+        let after = coolnet_obs::snapshot();
+
+        // Exact-ratio trace: exactly 10 intervals, no spurious 11th.
+        assert_eq!(samples.len(), 10);
+        let rebuilds = after.counter_delta(&before, "runtime.integrator_rebuilds");
+        assert!(rebuilds <= 2, "clamped run rebuilt {rebuilds} times");
+        assert_eq!(rebuilds, 1);
+        assert_eq!(after.counter_delta(&before, "runtime.control_steps"), 10);
+        assert_eq!(after.counter_delta(&before, "runtime.runs"), 1);
+
+        // Interval-start timestamps: first sample at t = 0, fixed spacing.
+        let interval = opts.dt * opts.control_interval as f64;
+        for (i, s) in samples.iter().enumerate() {
+            assert!((s.time - i as f64 * interval).abs() < 1e-12, "{s:?}");
+            assert_eq!(s.power_scale, 1.0);
+        }
+    }
+
+    #[test]
+    fn moving_controller_rebuilds_once_per_pressure_change() {
+        let _guard = metrics_lock();
+        let (bench, net) = setup();
+        let trace = PowerTrace::new(vec![(0.05, 1.0)]);
+        let opts = RuntimeOptions {
+            dt: 1e-3,
+            control_interval: 10,
+            p_initial: Pascal::from_kilopascals(5.0),
+            ..RuntimeOptions::default()
+        };
+        // Unreachable setpoint with a live gain: the pressure moves every
+        // step until it clamps at p_max.
+        let hot = FlowController {
+            target: Kelvin::new(300.5),
+            gain: 2000.0,
+            p_min: Pascal::from_kilopascals(0.5),
+            p_max: Pascal::from_kilopascals(60.0),
+        };
+        let before = coolnet_obs::snapshot();
+        let samples = simulate_adaptive_flow(&bench, &net, &trace, &hot, &opts).unwrap();
+        let after = coolnet_obs::snapshot();
+        let changes = samples
+            .windows(2)
+            .filter(|w| w[0].p_sys != w[1].p_sys)
+            .count() as u64;
+        let rebuilds = after.counter_delta(&before, "runtime.integrator_rebuilds");
+        assert_eq!(rebuilds, 1 + changes, "{samples:#?}");
     }
 }

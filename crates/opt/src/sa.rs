@@ -6,8 +6,22 @@
 //! threads, takes the best, and applies Metropolis acceptance against the
 //! incumbent.
 
+use coolnet_obs::LazyCounter;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Completed [`anneal_with_stats`] runs.
+static M_RUNS: LazyCounter = LazyCounter::new("sa.runs");
+/// SA iterations (one batch of parallel neighbors each).
+static M_ITERATIONS: LazyCounter = LazyCounter::new("sa.iterations");
+/// Candidate states evaluated.
+static M_CANDIDATES: LazyCounter = LazyCounter::new("sa.candidates");
+/// Metropolis acceptances (the incumbent moved).
+static M_ACCEPTANCES: LazyCounter = LazyCounter::new("sa.acceptances");
+/// Cost closures that panicked (absorbed as `+∞`).
+static M_EVAL_PANICS: LazyCounter = LazyCounter::new("sa.eval_panics");
+/// Cost closures that returned NaN (absorbed as `+∞`).
+static M_EVAL_NANS: LazyCounter = LazyCounter::new("sa.eval_nans");
 
 /// Options of one SA run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -240,11 +254,16 @@ where
     let mut best_cost = init_cost;
     let mut failures = EvalFailures::default();
 
+    M_RUNS.inc();
     for _ in 0..opts.iterations {
+        M_ITERATIONS.inc();
         let candidates: Vec<S> = (0..opts.parallelism.max(1))
             .map(|_| neighbor(&current, &mut rng))
             .collect();
+        M_CANDIDATES.add(candidates.len() as u64);
         let (costs, iter_failures) = parallel_map_counted(&candidates, &cost, opts.parallelism);
+        M_EVAL_PANICS.add(iter_failures.panics as u64);
+        M_EVAL_NANS.add(iter_failures.nans as u64);
         failures.absorb(iter_failures);
         let Some(first) = costs.first() else {
             continue;
@@ -258,6 +277,7 @@ where
             }
         }
         if acceptor.accept(current_cost, c) {
+            M_ACCEPTANCES.inc();
             current = candidates[k].clone();
             current_cost = c;
             if c < best_cost {

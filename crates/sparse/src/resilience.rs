@@ -32,9 +32,32 @@ use crate::csr::CsrMatrix;
 use crate::ops;
 use crate::precond::{Identity, Ilu0, Jacobi, Preconditioner};
 use crate::solve::{self, Solution, SolveError, SolveStats, SolverOptions};
+use coolnet_obs::{LazyCounter, LazyHistogram};
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+
+/// Ladder solves that returned a solution.
+static M_SOLVES: LazyCounter = LazyCounter::new("ladder.solves");
+/// Solver attempts actually run (skips excluded), successful or not.
+static M_ATTEMPTS: LazyCounter = LazyCounter::new("ladder.attempts");
+/// Solves that needed more than their first attempt.
+static M_ESCALATIONS: LazyCounter = LazyCounter::new("ladder.escalations");
+/// Solves for which every rung failed or was inapplicable.
+static M_EXHAUSTED: LazyCounter = LazyCounter::new("ladder.exhausted");
+/// Attempts whose outcome was forced by the fault-injection harness.
+static M_INJECTED: LazyCounter = LazyCounter::new("ladder.injected_faults");
+/// Iterations of each successful solve (from [`SolveStats`]).
+static M_ITERATIONS: LazyHistogram = LazyHistogram::new("ladder.iterations");
+/// Per-rung convergence outcomes; rungs past the array share the last slot
+/// (no preset ladder is that deep).
+static M_RUNG_CONVERGED: [LazyCounter; 5] = [
+    LazyCounter::new("ladder.rung0_converged"),
+    LazyCounter::new("ladder.rung1_converged"),
+    LazyCounter::new("ladder.rung2_converged"),
+    LazyCounter::new("ladder.rung3_converged"),
+    LazyCounter::new("ladder.rung4plus_converged"),
+];
 
 /// Default dimension cap for the terminal dense-LU rung: above this the
 /// O(n³) factorization costs more than declaring the probe infeasible.
@@ -438,6 +461,14 @@ impl SolveLadder {
                             attempts: report.tried(),
                             ..sol.stats
                         };
+                        M_SOLVES.inc();
+                        M_ATTEMPTS.add(stats.attempts as u64);
+                        // add(0) keeps the metric registered (and thus
+                        // present in snapshots) on the no-escalation path.
+                        M_ESCALATIONS.add(u64::from(report.escalated()));
+                        M_INJECTED.add(report.injected_faults() as u64);
+                        M_ITERATIONS.record(stats.iterations as u64);
+                        M_RUNG_CONVERGED[ri.min(M_RUNG_CONVERGED.len() - 1)].inc();
                         return Ok(LadderSolution {
                             solution: sol.solution,
                             stats,
@@ -457,6 +488,9 @@ impl SolveLadder {
                 }
             }
         }
+        M_EXHAUSTED.inc();
+        M_ATTEMPTS.add(report.tried() as u64);
+        M_INJECTED.add(report.injected_faults() as u64);
         Err(LadderError { report })
     }
 }

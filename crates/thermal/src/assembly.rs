@@ -11,11 +11,26 @@ use crate::config::{AdvectionScheme, ThermalConfig};
 use crate::error::ThermalError;
 use crate::solution::{Resolution, SourceLayerTemps, ThermalSolution};
 use coolnet_grid::GridDims;
+use coolnet_obs::LazyCounter;
 use coolnet_sparse::par::{self, RowPartition};
 use coolnet_sparse::precond::Ilu0;
 use coolnet_sparse::{CsrMatrix, SolverOptions, TripletBuilder};
 use coolnet_units::Pascal;
 use std::sync::{Arc, Mutex};
+
+/// One-time symbolic [`ProbeCache`] constructions (union pattern + ILU(0)
+/// structure + row partition).
+static M_SYMBOLIC_BUILDS: LazyCounter = LazyCounter::new("probe.symbolic_builds");
+/// Numeric refreshes: matrix values rewritten + numeric ILU(0) sweep.
+static M_REFRESHES: LazyCounter = LazyCounter::new("probe.refreshes");
+/// Refreshes skipped because the cache was already at the probed pressure.
+static M_REFRESH_SKIPS: LazyCounter = LazyCounter::new("probe.refresh_skips");
+/// Probes warm-started from the cache's solution history.
+static M_WARM_STARTS: LazyCounter = LazyCounter::new("probe.warm_starts");
+/// Warm starts that linearly extrapolated through two prior solutions.
+static M_EXTRAPOLATIONS: LazyCounter = LazyCounter::new("probe.warm_start_extrapolations");
+/// Steady-state solves, cached and cold paths alike.
+static M_STEADY_SOLVES: LazyCounter = LazyCounter::new("probe.steady_solves");
 
 /// Node indices of one source layer plus its spatial resolution.
 #[derive(Debug, Clone)]
@@ -112,6 +127,7 @@ impl ProbeCache {
         }
         let ilu = Ilu0::symbolic(&matrix);
         let partition = Arc::new(RowPartition::new(&matrix, par::effective_workers(threads)));
+        M_SYMBOLIC_BUILDS.inc();
         Self {
             matrix,
             base_values,
@@ -130,8 +146,10 @@ impl ProbeCache {
     /// when the cache is already at `p`.
     fn refresh(&mut self, p: f64) {
         if self.refreshed_p == Some(p) {
+            M_REFRESH_SKIPS.inc();
             return;
         }
+        M_REFRESHES.inc();
         let values = self.matrix.values_mut();
         for ((v, &base), &adv) in values
             .iter_mut()
@@ -155,7 +173,9 @@ impl ProbeCache {
         match (&self.last, &self.prev) {
             (Some((p1, x1)), Some((p0, x0))) if (p1 - p0).abs() > 1e-12 * p1.abs() => {
                 let t = (p - p1) / (p1 - p0);
+                M_WARM_STARTS.inc();
                 if t.abs() <= 4.0 {
+                    M_EXTRAPOLATIONS.inc();
                     Some(x1.iter().zip(x0).map(|(&a, &b)| a + t * (a - b)).collect())
                 } else {
                     // A wild extrapolation factor (direction reversal, big
@@ -163,7 +183,10 @@ impl ProbeCache {
                     Some(x1.clone())
                 }
             }
-            (Some((_, x1)), _) => Some(x1.clone()),
+            (Some((_, x1)), _) => {
+                M_WARM_STARTS.inc();
+                Some(x1.clone())
+            }
             _ => None,
         }
     }
@@ -237,6 +260,7 @@ impl Assembled {
         if p_sys.value() <= 0.0 {
             return Err(ThermalError::ZeroFlow);
         }
+        M_STEADY_SOLVES.inc();
         let t_inlet = config.t_inlet.value();
         let mut options = SolverOptions::with_tolerance(config.tolerance);
         options.initial_guess = Some(match guess {

@@ -1,0 +1,130 @@
+//! Cross-crate consistency checks for the `coolnet-obs` metrics layer.
+//!
+//! The counters are process-global, so every test takes a shared mutex and
+//! works on snapshot *deltas* — absolute values would couple the tests to
+//! execution order.
+
+use coolnet::obs;
+use coolnet::prelude::*;
+use coolnet_opt::psearch::golden_min;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes the tests in this binary: each one delta-measures the
+/// process-global metric registry.
+static METRICS: Mutex<()> = Mutex::new(());
+
+fn metrics_lock() -> MutexGuard<'static, ()> {
+    METRICS.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn setup() -> (Benchmark, CoolingNetwork) {
+    let dims = GridDims::new(21, 21);
+    let bench = Benchmark::iccad_scaled(1, dims);
+    let net = straight::build(
+        dims,
+        &tsv::alternating(dims),
+        Dir::East,
+        &StraightParams::default(),
+    )
+    .unwrap();
+    (bench, net)
+}
+
+/// Inside a pure golden-section window every probe is one `Evaluator`
+/// profile, which is one cached steady solve, which is one resilient
+/// ladder solve — the four counters must march in lockstep.
+#[test]
+fn golden_min_window_counts_march_in_lockstep() {
+    let _guard = metrics_lock();
+    let (bench, net) = setup();
+    let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
+    // Warm the evaluator outside the window so the first-solve cache
+    // construction doesn't show up in the deltas.
+    ev.profile(Pascal::from_kilopascals(10.0)).unwrap();
+
+    let before = obs::snapshot();
+    let mut f = |p: Pascal| ev.profile(p).map(|pr| pr.delta_t.value());
+    let opts = PressureSearchOptions::default();
+    let (p_best, _) = golden_min(
+        &mut f,
+        Pascal::from_kilopascals(2.0),
+        Pascal::from_kilopascals(20.0),
+        &opts,
+    )
+    .unwrap();
+    let after = obs::snapshot();
+
+    assert!(p_best.value() > 0.0);
+    let probes = after.counter_delta(&before, "psearch.probes");
+    assert!(probes > 0, "golden_min must record its probes");
+    assert_eq!(probes, after.counter_delta(&before, "eval.profiles"));
+    assert_eq!(probes, after.counter_delta(&before, "probe.steady_solves"));
+    assert_eq!(probes, after.counter_delta(&before, "ladder.solves"));
+    // Warm-started probes on a healthy matrix never escalate.
+    assert_eq!(after.counter_delta(&before, "ladder.escalations"), 0);
+    assert_eq!(after.counter_delta(&before, "ladder.exhausted"), 0);
+    // Every windowed solve was warm-started (the evaluator was pre-warmed).
+    assert_eq!(probes, after.counter_delta(&before, "probe.warm_starts"));
+    // Each solve runs at least one Krylov iteration.
+    assert!(after.histogram_sum_delta(&before, "ladder.iterations") >= probes);
+}
+
+/// The full Problem-2 pipeline: psearch probes are a subset of evaluator
+/// profiles (the pipeline also probes the cap and floor directly), every
+/// profile is a steady solve, and the no-fault path never escalates.
+#[test]
+fn problem2_pipeline_metrics_are_consistent() {
+    let _guard = metrics_lock();
+    let (bench, net) = setup();
+    let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
+    let opts = PressureSearchOptions::default();
+
+    let before = obs::snapshot();
+    let score = evaluate_problem2(&ev, Watt::new(0.5), Kelvin::new(400.0), &opts).unwrap();
+    let after = obs::snapshot();
+
+    assert!(score.is_feasible(), "{score:?}");
+    let profiles = after.counter_delta(&before, "eval.profiles");
+    let psearch = after.counter_delta(&before, "psearch.probes");
+    assert!(profiles > 0);
+    assert!(
+        psearch <= profiles,
+        "psearch probes {psearch} exceed evaluator profiles {profiles}"
+    );
+    assert_eq!(
+        profiles,
+        after.counter_delta(&before, "probe.steady_solves")
+    );
+    assert_eq!(profiles, after.counter_delta(&before, "ladder.solves"));
+    assert_eq!(after.counter_delta(&before, "ladder.escalations"), 0);
+    assert_eq!(after.counter_delta(&before, "ladder.injected_faults"), 0);
+    // Nothing on this path rebuilds the hydraulic model: flow assembly
+    // happened once inside `Evaluator::new`, outside the window.
+    assert_eq!(after.counter_delta(&before, "flow.assemblies"), 0);
+}
+
+/// Disabling the layer freezes every counter; re-enabling resumes them.
+#[test]
+fn disabled_layer_freezes_pipeline_counters() {
+    let _guard = metrics_lock();
+    let (bench, net) = setup();
+    let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
+    ev.profile(Pascal::from_kilopascals(10.0)).unwrap();
+
+    let before = obs::snapshot();
+    obs::set_enabled(false);
+    let r = ev.profile(Pascal::from_kilopascals(12.0));
+    obs::set_enabled(true);
+    r.unwrap();
+    let after = obs::snapshot();
+
+    assert_eq!(after.counter_delta(&before, "eval.profiles"), 0);
+    assert_eq!(after.counter_delta(&before, "probe.steady_solves"), 0);
+    assert_eq!(after.counter_delta(&before, "ladder.solves"), 0);
+
+    // The evaluator still works and counts once re-enabled.
+    let before = obs::snapshot();
+    ev.profile(Pascal::from_kilopascals(14.0)).unwrap();
+    let after = obs::snapshot();
+    assert_eq!(after.counter_delta(&before, "eval.profiles"), 1);
+}
