@@ -1,0 +1,225 @@
+//! Staged-SA reuse benchmark: wall-clock and transparency of the
+//! evaluation-reuse layer (evaluator cache + persistent worker pool)
+//! against the seed path (no cache, fresh thread scope per iteration).
+//!
+//! ```sh
+//! cargo run --release -p coolnet-bench --bin sa_bench
+//! cargo run --release -p coolnet-bench --bin sa_bench -- --quick
+//! ```
+//!
+//! Writes `BENCH_sa.json` into `--out` (default `target/experiments`).
+//! `--quick` runs the quick schedule for the CI smoke step; the default
+//! run uses the reduced schedule. Both default to a 21×21 grid and two
+//! global flows so the benchmark stays tractable on small CI hosts
+//! (pass `--grid` to override); the committed artifact at the repo root
+//! comes from a default-scale run.
+//!
+//! Each run is a paired comparison at a fixed seed: the `plain` arm uses
+//! [`ReuseOptions::off`], the `reused` arm the default reuse layer. The
+//! artifact records, per run, the wall time of both arms, the speedup,
+//! and — the transparency contract — whether the two designs are
+//! bit-for-bit identical. Cache and pool counters come from `coolnet-obs`
+//! snapshot deltas scoped to the reused arm.
+
+#![forbid(unsafe_code)]
+
+use coolnet::prelude::*;
+use coolnet_bench::{write_json, HarnessOpts};
+use coolnet_obs::MetricsSnapshot;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One paired plain-vs-reused comparison.
+#[derive(Debug, Serialize)]
+struct RunResult {
+    /// `problem1` (min `W_pump`) or `problem2` (min `ΔT`).
+    problem: String,
+    /// ICCAD case id.
+    case: usize,
+    /// SA seed shared by both arms.
+    seed: u64,
+    /// Wall time of the seed path (reuse off), seconds.
+    plain_s: f64,
+    /// Wall time with the reuse layer, seconds.
+    reused_s: f64,
+    /// `plain_s / reused_s`.
+    speedup: f64,
+    /// The transparency contract: both arms produced bit-for-bit the same
+    /// design (label, `p_sys`, `w_pump`, `t_max`, `ΔT`).
+    identical: bool,
+    /// The problem objective of each arm (`W_pump` in watts for
+    /// problem 1, `ΔT` in kelvin for problem 2).
+    objective_plain: f64,
+    objective_reused: f64,
+    /// `eval.cache_*` and `sa.pool_tasks` deltas over the reused arm.
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    pool_tasks: u64,
+}
+
+/// The artifact: enough context to compare runs across commits.
+#[derive(Debug, Serialize)]
+struct SaBench {
+    /// `quick` or `reduced`.
+    schedule: String,
+    /// Grid side length.
+    grid: u16,
+    /// Candidates per SA iteration (threads in both arms).
+    parallelism: usize,
+    /// Hardware threads on the measurement host.
+    host_threads: usize,
+    /// Global flows attempted per search.
+    flows: usize,
+    /// Paired comparisons (problem 1 and problem 2).
+    runs: Vec<RunResult>,
+    /// Overall wall-clock speedup: total plain time over total reused
+    /// time (the acceptance number).
+    speedup: f64,
+    /// End-of-run snapshot of every `coolnet-obs` counter and histogram
+    /// touched by the benchmark process.
+    metrics: MetricsSnapshot,
+}
+
+fn schedule(quick: bool, seed: u64) -> TreeSearchOptions {
+    let mut opts = if quick {
+        TreeSearchOptions::quick(seed)
+    } else {
+        TreeSearchOptions::reduced(seed)
+    };
+    // Two flows bound the runtime on small CI hosts while still crossing
+    // a flow boundary (each flow is an independent staged search).
+    opts.flows = vec![GlobalFlow::WestToEast, GlobalFlow::SouthToNorth];
+    opts
+}
+
+fn objective(problem: Problem, r: &DesignResult) -> f64 {
+    match problem {
+        Problem::PumpingPower => r.w_pump.value(),
+        Problem::ThermalGradient => r.delta_t.value(),
+    }
+}
+
+fn identical(a: &DesignResult, b: &DesignResult) -> bool {
+    a.label == b.label
+        && a.p_sys.value().to_bits() == b.p_sys.value().to_bits()
+        && a.w_pump.value().to_bits() == b.w_pump.value().to_bits()
+        && a.t_max.value().to_bits() == b.t_max.value().to_bits()
+        && a.delta_t.value().to_bits() == b.delta_t.value().to_bits()
+}
+
+fn run_pair(bench: &Benchmark, problem: Problem, case: usize, quick: bool, seed: u64) -> RunResult {
+    let search = |reuse: ReuseOptions| {
+        let mut opts = schedule(quick, seed);
+        opts.reuse = reuse;
+        let start = Instant::now();
+        let result = TreeSearch::new(bench, opts).run(problem);
+        (start.elapsed().as_secs_f64(), result)
+    };
+
+    let (plain_s, plain) = search(ReuseOptions::off());
+    let before = coolnet_obs::snapshot();
+    let (reused_s, reused) = search(ReuseOptions::default());
+    let after = coolnet_obs::snapshot();
+
+    let (identical, obj_plain, obj_reused) = match (&plain, &reused) {
+        (Some(a), Some(b)) => (
+            identical(a, b),
+            objective(problem, a),
+            objective(problem, b),
+        ),
+        (None, None) => (true, f64::NAN, f64::NAN),
+        _ => (false, f64::NAN, f64::NAN),
+    };
+    let result = RunResult {
+        problem: match problem {
+            Problem::PumpingPower => "problem1".to_owned(),
+            Problem::ThermalGradient => "problem2".to_owned(),
+        },
+        case,
+        seed,
+        plain_s,
+        reused_s,
+        speedup: plain_s / reused_s,
+        identical,
+        objective_plain: obj_plain,
+        objective_reused: obj_reused,
+        cache_hits: after.counter_delta(&before, "eval.cache_hits"),
+        cache_misses: after.counter_delta(&before, "eval.cache_misses"),
+        cache_evictions: after.counter_delta(&before, "eval.cache_evictions"),
+        pool_tasks: after.counter_delta(&before, "sa.pool_tasks"),
+    };
+    println!(
+        "  {:9} case {}: plain {:6.2} s, reused {:6.2} s, {:.2}x, identical: {}, \
+         {} hits / {} misses",
+        result.problem,
+        case,
+        plain_s,
+        reused_s,
+        result.speedup,
+        identical,
+        result.cache_hits,
+        result.cache_misses,
+    );
+    result
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut opts = HarnessOpts::from_args();
+    let quick = opts.rest.iter().any(|a| a == "--quick");
+    // Default to the small grid unless the caller asked for a specific
+    // scale: the comparison is paired, so the speedup — not the absolute
+    // times — is the measurement, and 21×21 keeps both arms tractable on
+    // single-core CI hosts.
+    if opts.grid == 41 && !opts.full {
+        opts.grid = 21;
+    }
+    let sched = schedule(quick, opts.seed);
+    println!(
+        "staged-SA reuse benchmark, {} schedule at {1}x{1}, parallelism {2}:",
+        if quick { "quick" } else { "reduced" },
+        opts.grid,
+        sched.parallelism,
+    );
+
+    // Untimed warm-up: first-touch global state (allocator, lazy metric
+    // registration) lands outside both timed arms.
+    let warm = Benchmark::iccad_scaled(1, opts.dims());
+    let mut warm_opts = TreeSearchOptions::quick(opts.seed);
+    warm_opts.flows = vec![GlobalFlow::WestToEast];
+    let _ = TreeSearch::new(&warm, warm_opts).run(Problem::PumpingPower);
+
+    let runs = vec![
+        run_pair(
+            &Benchmark::iccad_scaled(1, opts.dims()),
+            Problem::PumpingPower,
+            1,
+            quick,
+            opts.seed,
+        ),
+        run_pair(
+            &Benchmark::iccad_scaled(2, opts.dims()),
+            Problem::ThermalGradient,
+            2,
+            quick,
+            opts.seed,
+        ),
+    ];
+    let total_plain: f64 = runs.iter().map(|r| r.plain_s).sum();
+    let total_reused: f64 = runs.iter().map(|r| r.reused_s).sum();
+    let speedup = total_plain / total_reused;
+    println!("overall speedup: {speedup:.2}x");
+
+    let artifact = SaBench {
+        schedule: if quick { "quick" } else { "reduced" }.to_owned(),
+        grid: opts.grid,
+        parallelism: sched.parallelism,
+        host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        flows: sched.flows.len(),
+        runs,
+        speedup,
+        metrics: coolnet_obs::snapshot(),
+    };
+    write_json(&opts.out_path("BENCH_sa.json"), &artifact);
+    Ok(())
+}

@@ -99,7 +99,9 @@ pub mod prelude {
     pub use coolnet_network::{render, CoolingNetwork, LegalityError, Port, PortKind};
     pub use coolnet_opt::baseline;
     pub use coolnet_opt::psearch::PressureSearchOptions;
-    pub use coolnet_opt::treeopt::{Stage, StageMetric, TreeSearch, TreeSearchOptions};
+    pub use coolnet_opt::treeopt::{
+        ReuseOptions, Stage, StageMetric, TreeSearch, TreeSearchOptions,
+    };
     pub use coolnet_opt::{
         evaluate_problem1, evaluate_problem2, DesignResult, Evaluator, ModelChoice, NetworkScore,
         Problem, Profile,

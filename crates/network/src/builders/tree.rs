@@ -73,7 +73,7 @@ pub struct TreeParams {
 /// A full tree-network configuration: the global flow direction, the
 /// branch style, and one [`TreeParams`] per tree (trees stack side by side
 /// across the flow axis).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TreeConfig {
     /// Global coolant direction; trunks start on its inlet side.
     pub flow: GlobalFlow,

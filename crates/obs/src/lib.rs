@@ -88,8 +88,10 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 
 /// A fixed-bucket log₂-scale histogram of `u64` samples.
 ///
-/// Bucket 0 holds exact zeros; bucket `b > 0` holds values in
-/// `[2^(b-1), 2^b)`. The exact sum and count are kept alongside the
+/// Bucket 0 holds exact zeros; bucket `0 < b < 63` holds values in
+/// `[2^(b-1), 2^b)`; the top bucket 63 is unbounded above and holds
+/// `[2^62, ∞)` (`bucket_index` clamps everything from `2^63` up into it).
+/// The exact sum and count are kept alongside the
 /// buckets, so the mean is exact and only the shape is quantized.
 #[derive(Debug)]
 pub struct Histogram {
@@ -317,7 +319,8 @@ pub struct HistogramSnapshot {
     /// Exact sum of all samples.
     pub sum: u64,
     /// Per-bucket counts with trailing empty buckets trimmed; bucket 0
-    /// holds zeros, bucket `b > 0` holds `[2^(b-1), 2^b)`.
+    /// holds zeros, bucket `0 < b < 63` holds `[2^(b-1), 2^b)`, and the
+    /// top bucket 63 holds `[2^62, ∞)`.
     pub buckets: Vec<u64>,
 }
 
@@ -439,6 +442,14 @@ mod tests {
         assert_eq!(Histogram::bucket_index(4), 3);
         assert_eq!(Histogram::bucket_index(1023), 10);
         assert_eq!(Histogram::bucket_index(1024), 11);
+        // The top bucket is unbounded above: everything from 2^62 on —
+        // including values whose nominal bucket would be 64 — lands in 63.
+        assert_eq!(Histogram::bucket_index(1 << 62), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(
+            Histogram::bucket_index((1 << 63) - 1),
+            HISTOGRAM_BUCKETS - 1
+        );
+        assert_eq!(Histogram::bucket_index(1 << 63), HISTOGRAM_BUCKETS - 1);
         assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
     }
 

@@ -12,7 +12,7 @@ use std::cell::RefCell;
 static M_PROFILES: LazyCounter = LazyCounter::new("eval.profiles");
 
 /// Which thermal model backs an [`Evaluator`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelChoice {
     /// The fast 2RM with `m × m`-cell coarsening (inner-loop searches).
     TwoRm {
@@ -204,6 +204,24 @@ impl Evaluator {
     /// speed argument is about keeping this small per network).
     pub fn probe_count(&self) -> usize {
         *self.probes.borrow()
+    }
+
+    /// Forgets all warm-start state (the previous thermal solution and the
+    /// simulator's internal probe history), so the next [`profile`]
+    /// (Evaluator::profile) call behaves exactly like the first call on a
+    /// freshly built evaluator.
+    ///
+    /// Evaluation-reuse layers call this before replaying a cached
+    /// evaluator for a new logical evaluation: the solver's iterate
+    /// sequence then matches a fresh build bit-for-bit, which is what
+    /// makes caching behaviorally transparent. The probe counter is left
+    /// untouched — it is a diagnostic over the evaluator's lifetime.
+    pub fn reset_state(&self) {
+        *self.last.borrow_mut() = None;
+        match &self.sim {
+            Sim::Two(s) => s.reset_probe_history(),
+            Sim::Four(s) => s.reset_probe_history(),
+        }
     }
 }
 

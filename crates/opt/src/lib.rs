@@ -17,7 +17,12 @@
 //!   adaptations of §5 (grouped iterations under a frozen pressure);
 //! * **Baselines** — [`baseline`] evaluates the straight-channel networks
 //!   of Tables 3–4 and the manual gallery standing in for the contest's
-//!   first place.
+//!   first place;
+//! * **Evaluation reuse** — [`evalcache`] memoizes built networks, warm
+//!   evaluators and computed scores behind a bounded LRU cache, and
+//!   [`sa::with_worker_pool`] replaces per-iteration thread spawns with a
+//!   persistent worker pool. Both are behaviorally transparent: a fixed
+//!   seed produces the same design with them on or off.
 //!
 //! # Examples
 //!
@@ -39,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod evalcache;
 pub mod evaluate;
 pub mod netscore;
 pub mod psearch;

@@ -9,6 +9,8 @@
 use coolnet_obs::LazyCounter;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
 /// Completed [`anneal_with_stats`] runs.
 static M_RUNS: LazyCounter = LazyCounter::new("sa.runs");
@@ -22,6 +24,8 @@ static M_ACCEPTANCES: LazyCounter = LazyCounter::new("sa.acceptances");
 static M_EVAL_PANICS: LazyCounter = LazyCounter::new("sa.eval_panics");
 /// Cost closures that returned NaN (absorbed as `+∞`).
 static M_EVAL_NANS: LazyCounter = LazyCounter::new("sa.eval_nans");
+/// Tasks dispatched through a persistent [`WorkerPool`].
+static M_POOL_TASKS: LazyCounter = LazyCounter::new("sa.pool_tasks");
 
 /// Options of one SA run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -185,6 +189,189 @@ where
     (out, failures)
 }
 
+/// Evaluates `eval` over `items` on freshly spawned scoped threads,
+/// preserving order, for an arbitrary (cloneable) result type.
+///
+/// This is the one-scope-per-call shape that [`parallel_map`] specializes
+/// to `f64`; a panicking `eval` yields `fallback` for its item instead of
+/// killing the sweep. Hot loops that call this once per iteration pay a
+/// thread-spawn tax every time — [`with_worker_pool`] amortizes the spawns
+/// across the whole run.
+pub fn scoped_map<S, R, F>(items: &[S], eval: F, threads: usize, fallback: R) -> Vec<R>
+where
+    S: Sync,
+    R: Send + Sync + Clone,
+    F: Fn(&S) -> R + Sync,
+{
+    let run = |item: &S| -> R {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval(item)))
+            .unwrap_or_else(|_| fallback.clone())
+    };
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(run).collect();
+    }
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads);
+    let _ = crossbeam::scope(|scope| {
+        for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let run = &run;
+            scope.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(run(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.unwrap_or_else(|| fallback.clone()))
+        .collect()
+}
+
+/// A persistent pool of evaluation workers: long-lived threads pulling
+/// tasks from a shared channel, replacing the spawn-per-iteration pattern
+/// of [`parallel_map`] in SA hot loops.
+///
+/// Built only through [`with_worker_pool`], which scopes the worker
+/// threads to the body closure; the pool handle submits batches with
+/// [`map`](WorkerPool::map) (or [`map_costs`](WorkerPool::map_costs) for
+/// `f64` costs). Batches preserve item order, and a panicking evaluation
+/// yields the pool's fallback value for its item — the same absorption
+/// contract as [`parallel_map`].
+pub struct WorkerPool<S, R> {
+    task_tx: mpsc::Sender<(usize, S)>,
+    result_rx: mpsc::Receiver<(usize, std::thread::Result<R>)>,
+    fallback: R,
+    workers: usize,
+}
+
+impl<S: Send, R: Clone> WorkerPool<S, R> {
+    /// Number of worker threads serving this pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Evaluates one batch, preserving order. Panicked evaluations yield
+    /// the pool fallback; the second return is how many panicked.
+    fn map_inner(&self, items: Vec<S>) -> (Vec<R>, usize) {
+        let n = items.len();
+        M_POOL_TASKS.add(n as u64);
+        let mut out: Vec<R> = vec![self.fallback.clone(); n];
+        let mut pending = 0usize;
+        for (idx, item) in items.into_iter().enumerate() {
+            // A send can only fail once every worker has exited (all of
+            // them panicked outside the catch). The item then keeps its
+            // fallback score, matching the absorption contract.
+            if self.task_tx.send((idx, item)).is_ok() {
+                pending += 1;
+            }
+        }
+        let mut panics = 0usize;
+        for _ in 0..pending {
+            match self.result_rx.recv() {
+                Ok((idx, Ok(r))) => {
+                    if let Some(slot) = out.get_mut(idx) {
+                        *slot = r;
+                    }
+                }
+                Ok((_, Err(_))) => panics += 1,
+                Err(_) => break,
+            }
+        }
+        (out, panics)
+    }
+
+    /// Evaluates one batch of `items`, preserving order. A panicking
+    /// evaluation yields the pool's fallback value for its item.
+    pub fn map(&self, items: Vec<S>) -> Vec<R> {
+        self.map_inner(items).0
+    }
+}
+
+impl<S: Send> WorkerPool<S, f64> {
+    /// [`map`](WorkerPool::map) specialized to cost sweeps: NaN costs are
+    /// absorbed as `+∞` and counted, panics yield the fallback (normally
+    /// `+∞`) and are counted, mirroring [`parallel_map_counted`].
+    pub fn map_costs(&self, items: Vec<S>) -> (Vec<f64>, EvalFailures) {
+        let (mut costs, panics) = self.map_inner(items);
+        let mut nans = 0usize;
+        for c in costs.iter_mut() {
+            if c.is_nan() {
+                *c = f64::INFINITY;
+                nans += 1;
+            }
+        }
+        (costs, EvalFailures { panics, nans })
+    }
+}
+
+/// Runs `body` with a [`WorkerPool`] of `workers` persistent threads, each
+/// evaluating submitted items with `eval`; the pool (and its threads) are
+/// torn down when `body` returns.
+///
+/// The pool exists so that a loop making hundreds of small parallel sweeps
+/// spawns its threads once instead of once per sweep. Evaluation semantics
+/// are identical to [`parallel_map`] / [`scoped_map`]: batches preserve
+/// order, and a panicking `eval` scores its item `fallback` (the panic is
+/// caught on the worker, which stays alive for the next task).
+pub fn with_worker_pool<S, R, F, B, T>(workers: usize, fallback: R, eval: F, body: B) -> T
+where
+    S: Send,
+    R: Send + Clone,
+    F: Fn(&S) -> R + Sync,
+    B: FnOnce(&WorkerPool<S, R>) -> T,
+{
+    let workers = workers.max(1);
+    let (task_tx, task_rx) = mpsc::channel::<(usize, S)>();
+    let (result_tx, result_rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+    let task_rx = Arc::new(Mutex::new(task_rx));
+    // Workers borrow `eval` from this frame (which outlives the scope);
+    // locals owned by the scope closure itself may not be borrowed by
+    // scoped threads.
+    let eval = &eval;
+    match crossbeam::scope(move |scope| {
+        for _ in 0..workers {
+            let task_rx = Arc::clone(&task_rx);
+            let result_tx = result_tx.clone();
+            scope.spawn(move |_| loop {
+                // Lock only around the receive so workers can evaluate
+                // concurrently; a poisoned lock (another worker panicked
+                // outside the catch) still yields a usable receiver.
+                let task = {
+                    let guard = match task_rx.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    guard.recv()
+                };
+                let Ok((idx, item)) = task else {
+                    break;
+                };
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval(&item)));
+                if result_tx.send((idx, res)).is_err() {
+                    break;
+                }
+            });
+        }
+        // Drop the template sender so the result channel disconnects once
+        // every worker has exited, instead of blocking a drain forever.
+        drop(result_tx);
+        let pool = WorkerPool {
+            task_tx,
+            result_rx,
+            fallback,
+            workers,
+        };
+        // Dropping the pool closes the task channel; idle workers see the
+        // disconnect and exit, letting the scope join them.
+        body(&pool)
+    }) {
+        Ok(out) => out,
+        // Unreachable with the std-backed scope shim (worker panics resume
+        // on the joining thread instead), but forward it faithfully.
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
 /// Result of [`anneal_with_stats`]: the incumbent plus failure counters.
 #[derive(Debug, Clone)]
 pub struct SaOutcome<S> {
@@ -255,37 +442,43 @@ where
     let mut failures = EvalFailures::default();
 
     M_RUNS.inc();
-    for _ in 0..opts.iterations {
-        M_ITERATIONS.inc();
-        let candidates: Vec<S> = (0..opts.parallelism.max(1))
-            .map(|_| neighbor(&current, &mut rng))
-            .collect();
-        M_CANDIDATES.add(candidates.len() as u64);
-        let (costs, iter_failures) = parallel_map_counted(&candidates, &cost, opts.parallelism);
-        M_EVAL_PANICS.add(iter_failures.panics as u64);
-        M_EVAL_NANS.add(iter_failures.nans as u64);
-        failures.absorb(iter_failures);
-        let Some(first) = costs.first() else {
-            continue;
-        };
-        let mut k = 0;
-        let mut c = *first;
-        for (i, &ci) in costs.iter().enumerate().skip(1) {
-            if ci.total_cmp(&c).is_lt() {
-                k = i;
-                c = ci;
+    // One persistent pool serves every iteration: thread spawns are paid
+    // once per run, not once per iteration. Batch semantics (ordering,
+    // NaN/panic absorption) match the old parallel_map_counted exactly, so
+    // the chain is unchanged for a fixed seed.
+    with_worker_pool(opts.parallelism.max(1), f64::INFINITY, &cost, |pool| {
+        for _ in 0..opts.iterations {
+            M_ITERATIONS.inc();
+            let candidates: Vec<S> = (0..opts.parallelism.max(1))
+                .map(|_| neighbor(&current, &mut rng))
+                .collect();
+            M_CANDIDATES.add(candidates.len() as u64);
+            let (costs, iter_failures) = pool.map_costs(candidates.clone());
+            M_EVAL_PANICS.add(iter_failures.panics as u64);
+            M_EVAL_NANS.add(iter_failures.nans as u64);
+            failures.absorb(iter_failures);
+            let Some(first) = costs.first() else {
+                continue;
+            };
+            let mut k = 0;
+            let mut c = *first;
+            for (i, &ci) in costs.iter().enumerate().skip(1) {
+                if ci.total_cmp(&c).is_lt() {
+                    k = i;
+                    c = ci;
+                }
+            }
+            if acceptor.accept(current_cost, c) {
+                M_ACCEPTANCES.inc();
+                current = candidates[k].clone();
+                current_cost = c;
+                if c < best_cost {
+                    best = current.clone();
+                    best_cost = c;
+                }
             }
         }
-        if acceptor.accept(current_cost, c) {
-            M_ACCEPTANCES.inc();
-            current = candidates[k].clone();
-            current_cost = c;
-            if c < best_cost {
-                best = current.clone();
-                best_cost = c;
-            }
-        }
-    }
+    });
     SaOutcome {
         best,
         best_cost,
@@ -533,6 +726,91 @@ mod tests {
             &opts,
         );
         assert!(cost.is_finite(), "best = {best}, cost = {cost}");
+    }
+
+    #[test]
+    fn worker_pool_maps_batches_in_order() {
+        with_worker_pool(
+            4,
+            -1.0f64,
+            |x: &i64| (*x * 3) as f64,
+            |pool| {
+                assert_eq!(pool.workers(), 4);
+                // Several batches through the same pool, including empty
+                // and single-item ones.
+                for batch in [0usize, 1, 17, 33] {
+                    let items: Vec<i64> = (0..batch as i64).collect();
+                    let out = pool.map(items);
+                    for (i, v) in out.iter().enumerate() {
+                        assert_eq!(*v, (i * 3) as f64);
+                    }
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn worker_pool_absorbs_panics_and_nans() {
+        with_worker_pool(
+            3,
+            f64::INFINITY,
+            |x: &i64| match *x {
+                3 => panic!("injected"),
+                7 => f64::NAN,
+                v => v as f64,
+            },
+            |pool| {
+                let (costs, failures) = pool.map_costs((0..10).collect());
+                for (i, c) in costs.iter().enumerate() {
+                    if i == 3 || i == 7 {
+                        assert!(c.is_infinite(), "item {i} should score +inf");
+                    } else {
+                        assert_eq!(*c, i as f64);
+                    }
+                }
+                assert_eq!(failures, EvalFailures { panics: 1, nans: 1 });
+                // The panicking task must not kill its worker: a follow-up
+                // batch still completes with all three workers.
+                let (again, failures) = pool.map_costs(vec![1, 2, 4, 5]);
+                assert_eq!(again, vec![1.0, 2.0, 4.0, 5.0]);
+                assert_eq!(failures, EvalFailures::default());
+            },
+        );
+    }
+
+    #[test]
+    fn worker_pool_matches_parallel_map() {
+        let items: Vec<i64> = (-20..25).collect();
+        let reference = parallel_map(&items, toy_cost, 4);
+        let pooled = with_worker_pool(4, f64::INFINITY, toy_cost, |pool| {
+            pool.map_costs(items.clone()).0
+        });
+        assert_eq!(pooled, reference);
+    }
+
+    #[test]
+    fn scoped_map_preserves_order_and_absorbs_panics() {
+        let items: Vec<i64> = (0..23).collect();
+        let out = scoped_map(
+            &items,
+            |x| {
+                if x % 9 == 4 {
+                    panic!("injected")
+                }
+                (*x, *x * 2)
+            },
+            4,
+            (-1, -1),
+        );
+        for (i, v) in out.iter().enumerate() {
+            if i % 9 == 4 {
+                assert_eq!(*v, (-1, -1));
+            } else {
+                assert_eq!(*v, (i as i64, 2 * i as i64));
+            }
+        }
+        // Serial fallback behaves identically.
+        assert_eq!(scoped_map(&items[..3], |x| *x, 1, -1), vec![0, 1, 2]);
     }
 
     #[test]

@@ -8,11 +8,12 @@
 //! directions are attempted and the best kept (§4.4); the three branch
 //! types are chosen by the caller to fit the chip size.
 
+use crate::evalcache::{BuiltEval, EvalCache, ScoreKey};
 use crate::evaluate::{Evaluator, ModelChoice};
 use crate::netscore::{evaluate_problem1, evaluate_problem2, NetworkScore};
 use crate::psearch::PressureSearchOptions;
 use crate::result::DesignResult;
-use crate::sa::{parallel_map, Acceptor};
+use crate::sa::{scoped_map, with_worker_pool, Acceptor, WorkerPool};
 use crate::Problem;
 use coolnet_cases::Benchmark;
 use coolnet_network::builders::tree::{self, BranchStyle, TreeConfig, TreeParams};
@@ -52,6 +53,43 @@ pub struct Stage {
     pub group: usize,
 }
 
+/// Options of the evaluation-reuse layer: how the staged SA amortizes
+/// repeated work across iterations. Both mechanisms are behaviorally
+/// transparent — a fixed seed yields the same [`DesignResult`] with them
+/// on or off — so these knobs trade memory and thread residency against
+/// wall-clock time only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReuseOptions {
+    /// Capacity of the per-run [`EvalCache`] (built networks, warm
+    /// evaluators and memoized scores per `(config, model)`); `0` disables
+    /// caching entirely.
+    pub cache_capacity: usize,
+    /// Serve candidate scoring from one persistent worker pool per run
+    /// instead of spawning a fresh thread scope every iteration.
+    pub persistent_pool: bool,
+}
+
+impl Default for ReuseOptions {
+    /// Cache 512 entries, persistent pool on.
+    fn default() -> Self {
+        Self {
+            cache_capacity: 512,
+            persistent_pool: true,
+        }
+    }
+}
+
+impl ReuseOptions {
+    /// The pre-reuse behavior: no cache, fresh thread scope per iteration.
+    /// Benchmarks use this as the comparison arm.
+    pub fn off() -> Self {
+        Self {
+            cache_capacity: 0,
+            persistent_pool: false,
+        }
+    }
+}
+
 /// Options of the tree-network search.
 #[derive(Debug, Clone)]
 pub struct TreeSearchOptions {
@@ -69,6 +107,8 @@ pub struct TreeSearchOptions {
     pub seed: u64,
     /// Pressure-search options used by the inner evaluations.
     pub psearch: PressureSearchOptions,
+    /// Evaluation-reuse knobs (cache + persistent worker pool).
+    pub reuse: ReuseOptions,
 }
 
 impl TreeSearchOptions {
@@ -118,6 +158,7 @@ impl TreeSearchOptions {
             parallelism: 8,
             seed,
             psearch: PressureSearchOptions::default(),
+            reuse: ReuseOptions::default(),
         }
     }
 
@@ -159,6 +200,7 @@ impl TreeSearchOptions {
             parallelism: 8,
             seed,
             psearch: PressureSearchOptions::default(),
+            reuse: ReuseOptions::default(),
         }
     }
 
@@ -212,6 +254,7 @@ impl TreeSearchOptions {
                 max_probes: 60,
                 ..PressureSearchOptions::default()
             },
+            reuse: ReuseOptions::default(),
         }
     }
 
@@ -247,7 +290,67 @@ impl TreeSearchOptions {
                 max_probes: 30,
                 ..PressureSearchOptions::default()
             },
+            reuse: ReuseOptions::default(),
         }
+    }
+}
+
+/// What one evaluation request computes for its configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EvalKind {
+    /// The full network evaluation: problem objective + optimal pressure.
+    Full,
+    /// `ΔT` at a frozen pressure — the rough stage-1 metric, deliberately
+    /// problem-independent (the paper uses it to shape the landscape, not
+    /// to compare against full objectives).
+    GradientAt(Pascal),
+    /// The problem objective at a frozen pressure (grouped iterations).
+    /// Unlike [`EvalKind::GradientAt`], this is commensurable with
+    /// [`EvalKind::Full`] costs: Metropolis compares the two directly at
+    /// group boundaries.
+    ObjectiveAt(Pascal),
+}
+
+/// One scoring request dispatched to the evaluation layer.
+#[derive(Debug, Clone)]
+struct EvalRequest {
+    config: TreeConfig,
+    model: ModelChoice,
+    kind: EvalKind,
+}
+
+/// `(cost, optimal pressure if a full evaluation found one)`.
+type EvalResponse = (f64, Option<Pascal>);
+
+/// How candidate batches are executed: through the run's persistent
+/// worker pool, or on a fresh thread scope per batch (the pre-reuse
+/// behavior, kept for comparison benchmarks).
+enum Exec<'a> {
+    Pool(&'a WorkerPool<EvalRequest, EvalResponse>),
+    Scoped {
+        eval: &'a (dyn Fn(&EvalRequest) -> EvalResponse + Sync),
+        threads: usize,
+    },
+}
+
+impl Exec<'_> {
+    /// Evaluates one batch, preserving order.
+    fn map(&self, reqs: Vec<EvalRequest>) -> Vec<EvalResponse> {
+        match self {
+            Exec::Pool(pool) => pool.map(reqs),
+            Exec::Scoped { eval, threads } => {
+                scoped_map(&reqs, |r| eval(r), *threads, (f64::INFINITY, None))
+            }
+        }
+    }
+
+    /// Evaluates one request (through the same path as batches, so cache
+    /// hits and pool accounting see it too).
+    fn one(&self, req: EvalRequest) -> EvalResponse {
+        self.map(vec![req])
+            .into_iter()
+            .next()
+            .unwrap_or((f64::INFINITY, None))
     }
 }
 
@@ -267,10 +370,36 @@ impl<'a> TreeSearch<'a> {
     /// Runs the search for `problem`; returns the best feasible design
     /// measured with the final stage's model, or `None` if no feasible
     /// tree-like network was found (the paper's case-5 situation).
+    ///
+    /// The evaluation-reuse layer ([`ReuseOptions`]) is set up here: one
+    /// [`EvalCache`] and (optionally) one persistent worker pool serve the
+    /// whole run, across every flow direction, stage, round and iteration.
     pub fn run(&self, problem: Problem) -> Option<DesignResult> {
+        let cache = (self.opts.reuse.cache_capacity > 0)
+            .then(|| EvalCache::new(self.opts.reuse.cache_capacity));
+        let eval = |req: &EvalRequest| self.eval_request(problem, cache.as_ref(), req);
+        if self.opts.reuse.persistent_pool {
+            with_worker_pool(
+                self.opts.parallelism.max(1),
+                (f64::INFINITY, None),
+                eval,
+                |pool| self.run_all_flows(problem, &Exec::Pool(pool)),
+            )
+        } else {
+            self.run_all_flows(
+                problem,
+                &Exec::Scoped {
+                    eval: &eval,
+                    threads: self.opts.parallelism,
+                },
+            )
+        }
+    }
+
+    fn run_all_flows(&self, problem: Problem, exec: &Exec<'_>) -> Option<DesignResult> {
         let mut best: Option<DesignResult> = None;
         for (fi, &flow) in self.opts.flows.iter().enumerate() {
-            let Some(result) = self.run_flow(problem, flow, fi as u64) else {
+            let Some(result) = self.run_flow(problem, flow, fi as u64, exec) else {
                 continue;
             };
             let better = match &best {
@@ -324,29 +453,85 @@ impl<'a> TreeSearch<'a> {
         .ok()
     }
 
-    /// Scores a configuration. `fixed_p` selects the single-simulation
-    /// fixed-pressure metric; otherwise the full evaluation runs.
-    fn cost(
+    /// Builds the network and evaluator for a configuration (the cache
+    /// miss path; `None` marks the configuration unbuildable).
+    fn build_eval(&self, config: &TreeConfig, model: ModelChoice) -> Option<BuiltEval> {
+        let net = self.build(config)?;
+        let ev = Evaluator::new(self.bench, &net, model).ok()?;
+        Some(BuiltEval { net, ev })
+    }
+
+    /// Computes one request's value on an evaluator. This is the single
+    /// scoring function of the staged SA; every metric variant lives here
+    /// so the cached and uncached paths cannot drift apart.
+    fn compute(&self, problem: Problem, kind: EvalKind, ev: &Evaluator) -> EvalResponse {
+        match kind {
+            EvalKind::Full => match self.full_score(problem, ev) {
+                Some(NetworkScore::Feasible {
+                    p_sys, objective, ..
+                }) => (objective, Some(p_sys)),
+                _ => (f64::INFINITY, None),
+            },
+            EvalKind::GradientAt(p) => match ev.profile(p) {
+                Ok(profile) => (profile.delta_t.value(), None),
+                Err(_) => (f64::INFINITY, None),
+            },
+            // Grouped iterations score with the *problem's* metric at the
+            // frozen pressure, so in-group costs are commensurable with
+            // the full objectives set at group boundaries. (Scoring ΔT in
+            // kelvin here while boundaries set W_pump in watts let the
+            // Metropolis test compare incommensurable quantities for
+            // Problem 1 — the grouped-objective mixing bug.)
+            EvalKind::ObjectiveAt(p) => match ev.profile(p) {
+                Ok(profile) => match problem {
+                    Problem::PumpingPower => {
+                        if profile.delta_t <= self.bench.delta_t_limit
+                            && profile.t_max <= self.bench.t_max_limit
+                        {
+                            (ev.w_pump(p).value(), None)
+                        } else {
+                            (f64::INFINITY, None)
+                        }
+                    }
+                    Problem::ThermalGradient => (profile.delta_t.value(), None),
+                },
+                Err(_) => (f64::INFINITY, None),
+            },
+        }
+    }
+
+    /// Resolves one request, through the cache when one is active. NaN
+    /// costs are absorbed as `+∞` (matching the SA layer's contract).
+    fn eval_request(
         &self,
         problem: Problem,
-        model: ModelChoice,
-        config: &TreeConfig,
-        fixed_p: Option<Pascal>,
-    ) -> f64 {
-        let Some(net) = self.build(config) else {
-            return f64::INFINITY;
-        };
-        let Ok(ev) = Evaluator::new(self.bench, &net, model) else {
-            return f64::INFINITY;
-        };
-        match fixed_p {
-            Some(p) => match ev.profile(p) {
-                Ok(profile) => profile.delta_t.value(),
-                Err(_) => f64::INFINITY,
+        cache: Option<&EvalCache>,
+        req: &EvalRequest,
+    ) -> EvalResponse {
+        let (value, p) = match cache {
+            Some(cache) => {
+                let key = match req.kind {
+                    EvalKind::Full => ScoreKey::Full(problem),
+                    EvalKind::GradientAt(p) => ScoreKey::gradient_at(p),
+                    EvalKind::ObjectiveAt(p) => ScoreKey::objective_at(problem, p),
+                };
+                cache.eval(
+                    &req.config,
+                    req.model,
+                    key,
+                    || self.build_eval(&req.config, req.model),
+                    |ev| self.compute(problem, req.kind, ev),
+                )
+            }
+            None => match self.build_eval(&req.config, req.model) {
+                Some(built) => self.compute(problem, req.kind, &built.ev),
+                None => (f64::INFINITY, None),
             },
-            None => self
-                .full_score(problem, &ev)
-                .map_or(f64::INFINITY, |s| s.objective()),
+        };
+        if value.is_nan() {
+            (f64::INFINITY, p)
+        } else {
+            (value, p)
         }
     }
 
@@ -369,27 +554,6 @@ impl<'a> TreeSearch<'a> {
         }
     }
 
-    /// Full evaluation returning `(objective, optimal pressure)`.
-    fn full_eval(
-        &self,
-        problem: Problem,
-        model: ModelChoice,
-        config: &TreeConfig,
-    ) -> (f64, Option<Pascal>) {
-        let Some(net) = self.build(config) else {
-            return (f64::INFINITY, None);
-        };
-        let Ok(ev) = Evaluator::new(self.bench, &net, model) else {
-            return (f64::INFINITY, None);
-        };
-        match self.full_score(problem, &ev) {
-            Some(NetworkScore::Feasible {
-                p_sys, objective, ..
-            }) => (objective, Some(p_sys)),
-            _ => (f64::INFINITY, None),
-        }
-    }
-
     fn perturb(&self, config: &TreeConfig, step: u16, rng: &mut StdRng) -> TreeConfig {
         let along = self.along_len(config.flow) as i32;
         let step = step.max(2) as i32;
@@ -409,7 +573,13 @@ impl<'a> TreeSearch<'a> {
         c
     }
 
-    fn run_flow(&self, problem: Problem, flow: GlobalFlow, flow_seed: u64) -> Option<DesignResult> {
+    fn run_flow(
+        &self,
+        problem: Problem,
+        flow: GlobalFlow,
+        flow_seed: u64,
+        exec: &Exec<'_>,
+    ) -> Option<DesignResult> {
         let mut current = self.initial_config(flow)?;
         // Reject flows whose uniform initialization cannot even be drawn.
         self.build(&current)?;
@@ -422,26 +592,43 @@ impl<'a> TreeSearch<'a> {
                     .seed
                     .wrapping_mul(0x9E37)
                     .wrapping_add(flow_seed * 1000 + (si * 64 + round) as u64);
-                let winner = self.run_stage_round(problem, stage, &current, seed);
+                let winner = self.run_stage_round(stage, &current, seed, exec);
                 round_winners.push(winner);
+            }
+            if round_winners.is_empty() {
+                continue;
             }
             // Re-evaluate round winners with the *next* stage's metric/model
             // (or this stage's, for the last stage) and pick the best.
             let next = self.opts.stages.get(si + 1).copied().unwrap_or(*stage);
-            let rescored = parallel_map(
-                &round_winners,
-                |(config, own_cost)| match next.metric {
-                    StageMetric::Full => self.full_eval(problem, next.model, config).0,
-                    StageMetric::FixedPressureGradient => *own_cost,
-                },
-                self.opts.parallelism,
-            );
-            let best_idx = rescored
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN costs"))
-                .map(|(i, _)| i)
-                .expect("at least one round");
+            let rescored: Vec<f64> = match next.metric {
+                StageMetric::Full => exec
+                    .map(
+                        round_winners
+                            .iter()
+                            .map(|(config, _)| EvalRequest {
+                                config: config.clone(),
+                                model: next.model,
+                                kind: EvalKind::Full,
+                            })
+                            .collect(),
+                    )
+                    .into_iter()
+                    .map(|(c, _)| c)
+                    .collect(),
+                StageMetric::FixedPressureGradient => round_winners
+                    .iter()
+                    .map(|(_, own_cost)| *own_cost)
+                    .collect(),
+            };
+            // First strict minimum under total order (NaN sorts last, so a
+            // stray NaN can never win; matches Iterator::min_by semantics).
+            let mut best_idx = 0;
+            for (i, c) in rescored.iter().enumerate().skip(1) {
+                if c.total_cmp(&rescored[best_idx]).is_lt() {
+                    best_idx = i;
+                }
+            }
             current = round_winners[best_idx].0.clone();
             // If a fully-evaluated stage ends with every round infeasible,
             // later (more expensive) stages will not rescue this flow
@@ -475,26 +662,39 @@ impl<'a> TreeSearch<'a> {
         .flatten()
     }
 
-    /// One SA round of one stage.
+    /// One SA round of one stage. The problem being solved is bound
+    /// inside `exec`'s evaluation closure.
     fn run_stage_round(
         &self,
-        problem: Problem,
         stage: &Stage,
         init: &TreeConfig,
         seed: u64,
+        exec: &Exec<'_>,
     ) -> (TreeConfig, f64) {
         let mut rng = StdRng::seed_from_u64(seed);
         // Fixed pressure for cheap metrics: from a full evaluation of the
         // initial configuration (fallback: the search default).
         let mut fixed_p = match stage.metric {
             StageMetric::FixedPressureGradient => {
-                let (_, p) = self.full_eval(problem, stage.model, init);
+                let (_, p) = exec.one(EvalRequest {
+                    config: init.clone(),
+                    model: stage.model,
+                    kind: EvalKind::Full,
+                });
                 Some(p.unwrap_or(Pascal::new(self.opts.psearch.p_init)))
             }
             StageMetric::Full => None,
         };
 
-        let init_cost = self.cost(problem, stage.model, init, fixed_p);
+        let init_kind = match (stage.metric, fixed_p) {
+            (StageMetric::FixedPressureGradient, Some(p)) => EvalKind::GradientAt(p),
+            _ => EvalKind::Full,
+        };
+        let (init_cost, _) = exec.one(EvalRequest {
+            config: init.clone(),
+            model: stage.model,
+            kind: init_kind,
+        });
         let t0 = if init_cost.is_finite() && init_cost != 0.0 {
             0.1 * init_cost.abs()
         } else {
@@ -508,35 +708,71 @@ impl<'a> TreeSearch<'a> {
         let mut best_cost = init_cost;
 
         for it in 0..stage.iterations {
-            // Problem-2 grouping: refresh the frozen pressure from a full
-            // evaluation of the incumbent at each group boundary.
+            // Grouping (§5, adaptation 2): refresh the frozen pressure
+            // from a full evaluation of the incumbent at each group
+            // boundary.
             if stage.metric == StageMetric::Full && stage.group > 1 && it % stage.group == 0 {
-                let (cost, p) = self.full_eval(problem, stage.model, &current);
+                let (cost, p) = exec.one(EvalRequest {
+                    config: current.clone(),
+                    model: stage.model,
+                    kind: EvalKind::Full,
+                });
                 current_cost = cost;
-                fixed_p = p;
+                // An infeasible incumbent yields no pressure; keep the
+                // last known frozen pressure instead of clearing it (a
+                // cleared pressure silently degrades the rest of the group
+                // to full evaluations, forfeiting the grouping speed-up).
+                if p.is_some() {
+                    fixed_p = p;
+                }
                 if cost < best_cost {
                     best = current.clone();
                     best_cost = cost;
                 }
             }
-            let use_fixed = match stage.metric {
-                StageMetric::FixedPressureGradient => fixed_p,
-                StageMetric::Full if stage.group > 1 && it % stage.group != 0 => fixed_p,
-                StageMetric::Full => None,
+            // In-group iterations score at the frozen pressure with the
+            // problem's own metric (commensurable with group-boundary full
+            // objectives); stage-1 rough rounds score ΔT at the frozen
+            // pressure; everything else is a full evaluation.
+            let kind = match stage.metric {
+                StageMetric::FixedPressureGradient => match fixed_p {
+                    Some(p) => EvalKind::GradientAt(p),
+                    None => EvalKind::Full,
+                },
+                StageMetric::Full if stage.group > 1 && it % stage.group != 0 => match fixed_p {
+                    Some(p) => EvalKind::ObjectiveAt(p),
+                    None => EvalKind::Full,
+                },
+                StageMetric::Full => EvalKind::Full,
             };
             let candidates: Vec<TreeConfig> = (0..self.opts.parallelism.max(1))
                 .map(|_| self.perturb(&current, stage.step, &mut rng))
                 .collect();
-            let costs = parallel_map(
-                &candidates,
-                |c| self.cost(problem, stage.model, c, use_fixed),
-                self.opts.parallelism,
-            );
-            let (k, &c) = costs
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN costs"))
-                .expect("candidates nonempty");
+            let costs: Vec<f64> = exec
+                .map(
+                    candidates
+                        .iter()
+                        .map(|config| EvalRequest {
+                            config: config.clone(),
+                            model: stage.model,
+                            kind,
+                        })
+                        .collect(),
+                )
+                .into_iter()
+                .map(|(c, _)| c)
+                .collect();
+            let Some(first) = costs.first() else {
+                continue;
+            };
+            let mut k = 0;
+            let mut c = *first;
+            for (i, &ci) in costs.iter().enumerate().skip(1) {
+                if ci.total_cmp(&c).is_lt() {
+                    k = i;
+                    c = ci;
+                }
+            }
             if acceptor.accept(current_cost, c) {
                 current = candidates[k].clone();
                 current_cost = c;
@@ -618,6 +854,190 @@ mod tests {
                 assert!((t.b2 as i32) < 31 - 1);
             }
             assert!(search.build(&c).is_some(), "perturbed config must build");
+        }
+    }
+
+    #[test]
+    fn grouped_problem1_scores_watts_not_kelvin() {
+        // Regression test for the grouped-objective mixing bug: with
+        // `StageMetric::Full` and `group > 1`, group boundaries set the
+        // incumbent cost to the full Problem-1 objective (W_pump in
+        // watts), and in-group candidates must be scored in the same
+        // unit. The pre-fix code scored them as ΔT at the frozen pressure
+        // (kelvin), so Metropolis compared incommensurable quantities.
+        let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
+        let search = TreeSearch::new(&bench, TreeSearchOptions::quick(3));
+        let config = search.initial_config(GlobalFlow::WestToEast).unwrap();
+        let model = ModelChoice::fast();
+        let (obj, p) = search.eval_request(
+            Problem::PumpingPower,
+            None,
+            &EvalRequest {
+                config: config.clone(),
+                model,
+                kind: EvalKind::Full,
+            },
+        );
+        let p = p.expect("initial config must be feasible on case 1");
+        assert!(obj.is_finite() && obj > 0.0);
+        // At the frozen optimal pressure, the in-group score must equal
+        // the full objective exactly (it is W_pump at the same pressure,
+        // and the constraints hold there by construction).
+        let (grouped, _) = search.eval_request(
+            Problem::PumpingPower,
+            None,
+            &EvalRequest {
+                config: config.clone(),
+                model,
+                kind: EvalKind::ObjectiveAt(p),
+            },
+        );
+        assert!(
+            (grouped - obj).abs() <= 1e-9 * obj,
+            "grouped in-group score {grouped} must equal the full objective {obj} \
+             (pre-fix it returned ΔT in kelvin)"
+        );
+        // And a constraint-violating frozen pressure must score +∞, not a
+        // small ΔT: freeze far below the feasible pressure.
+        let (starved, _) = search.eval_request(
+            Problem::PumpingPower,
+            None,
+            &EvalRequest {
+                config,
+                model,
+                kind: EvalKind::ObjectiveAt(Pascal::new(p.value() / 64.0)),
+            },
+        );
+        assert!(
+            starved.is_infinite(),
+            "infeasible frozen pressure must be +∞, got {starved}"
+        );
+    }
+
+    #[test]
+    fn grouped_problem2_in_group_metric_is_gradient() {
+        // Problem 2's objective *is* ΔT, so the in-group score at the
+        // frozen pressure stays the plain gradient (the §5 grouping).
+        let bench = Benchmark::iccad_scaled(2, GridDims::new(21, 21));
+        let search = TreeSearch::new(&bench, TreeSearchOptions::quick(3));
+        let config = search.initial_config(GlobalFlow::WestToEast).unwrap();
+        let model = ModelChoice::fast();
+        let p = Pascal::from_kilopascals(8.0);
+        let (objective_at, _) = search.eval_request(
+            Problem::ThermalGradient,
+            None,
+            &EvalRequest {
+                config: config.clone(),
+                model,
+                kind: EvalKind::ObjectiveAt(p),
+            },
+        );
+        let (gradient_at, _) = search.eval_request(
+            Problem::ThermalGradient,
+            None,
+            &EvalRequest {
+                config,
+                model,
+                kind: EvalKind::GradientAt(p),
+            },
+        );
+        assert_eq!(objective_at.to_bits(), gradient_at.to_bits());
+    }
+
+    #[test]
+    fn infeasible_group_boundary_keeps_frozen_pressure() {
+        // Regression test: a group-boundary full evaluation that comes
+        // back infeasible carries no optimal pressure. The pre-fix code
+        // assigned `None` to `fixed_p` anyway, silently degrading every
+        // remaining in-group iteration to a full evaluation (and its full
+        // pressure search). The fix keeps the last known frozen pressure,
+        // so in-group candidates keep scoring at `ObjectiveAt`.
+        use std::sync::Mutex;
+
+        let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
+        let mut opts = TreeSearchOptions::quick(1);
+        opts.parallelism = 1;
+        let search = TreeSearch::new(&bench, opts);
+        let init = search
+            .initial_config(GlobalFlow::WestToEast)
+            .expect("initial config");
+
+        // Scripted evaluator: the first two full evaluations (the round's
+        // initial cost and the first group boundary) are feasible and
+        // freeze 5 kPa; every later full evaluation is infeasible.
+        let full_calls = Mutex::new(0usize);
+        let log = Mutex::new(Vec::new());
+        let eval = |req: &EvalRequest| -> EvalResponse {
+            match req.kind {
+                EvalKind::Full => {
+                    let mut n = full_calls.lock().unwrap();
+                    *n += 1;
+                    log.lock().unwrap().push('F');
+                    if *n <= 2 {
+                        (100.0, Some(Pascal::new(5000.0)))
+                    } else {
+                        (f64::INFINITY, None)
+                    }
+                }
+                EvalKind::ObjectiveAt(p) => {
+                    assert_eq!(p.value(), 5000.0, "frozen pressure must be retained");
+                    log.lock().unwrap().push('O');
+                    (50.0, None)
+                }
+                EvalKind::GradientAt(_) => {
+                    log.lock().unwrap().push('G');
+                    (1.0, None)
+                }
+            }
+        };
+        let exec = Exec::Scoped {
+            eval: &eval,
+            threads: 1,
+        };
+        let stage = Stage {
+            iterations: 8,
+            rounds: 1,
+            step: 4,
+            model: ModelChoice::fast(),
+            metric: StageMetric::Full,
+            group: 4,
+        };
+        let _ = search.run_stage_round(&stage, &init, 42, &exec);
+
+        let log = log.into_inner().unwrap();
+        // Full evaluations: the initial cost, the boundary refreshes at
+        // iterations 0 and 4, and the boundary iterations' own candidates
+        // (boundary candidates always evaluate fully). The infeasible
+        // it = 4 boundary must NOT add more: iterations 5–7 stay at the
+        // frozen pressure. Pre-fix this log showed 8 F and 3 O.
+        let fulls = log.iter().filter(|&&t| t == 'F').count();
+        let objectives = log.iter().filter(|&&t| t == 'O').count();
+        assert_eq!(fulls, 5, "{log:?}");
+        assert_eq!(objectives, 6, "{log:?}");
+    }
+
+    #[test]
+    fn cache_and_pool_are_transparent_on_quick_search() {
+        // The reuse layer must not change results: same seed, reuse on
+        // vs fully off, identical designs field by field.
+        let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
+        let mut on = TreeSearchOptions::quick(7);
+        on.parallelism = 2;
+        on.flows = vec![GlobalFlow::WestToEast];
+        let mut off = on.clone();
+        assert_eq!(on.reuse, ReuseOptions::default());
+        off.reuse = ReuseOptions::off();
+        let a = TreeSearch::new(&bench, on).run(Problem::PumpingPower);
+        let b = TreeSearch::new(&bench, off).run(Problem::PumpingPower);
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.p_sys.value().to_bits(), b.p_sys.value().to_bits());
+                assert_eq!(a.w_pump.value().to_bits(), b.w_pump.value().to_bits());
+                assert_eq!(a.t_max.value().to_bits(), b.t_max.value().to_bits());
+                assert_eq!(a.delta_t.value().to_bits(), b.delta_t.value().to_bits());
+            }
+            (a, b) => assert_eq!(a.is_some(), b.is_some(), "feasibility must agree"),
         }
     }
 

@@ -191,6 +191,19 @@ impl ProbeCache {
         }
     }
 
+    /// Forgets the solution history (and with it the warm-start guesses).
+    ///
+    /// After a reset the next probe starts from the caller's guess exactly
+    /// like a freshly built cache would. The symbolic structure, the
+    /// numeric values, and `refreshed_p` are kept: they are pure functions
+    /// of the assembly and the probed pressure, so reusing them is
+    /// value-identical to rebuilding — only the *iterate history* can make
+    /// a reused cache diverge from a fresh one.
+    fn reset_history(&mut self) {
+        self.last = None;
+        self.prev = None;
+    }
+
     /// Records a converged solution for future warm starts.
     fn record(&mut self, p: f64, x: &[f64]) {
         if let Some((p1, x1)) = &mut self.last {
@@ -220,6 +233,19 @@ impl Clone for ProbeCacheCell {
 }
 
 impl Assembled {
+    /// Drops the probe cache's warm-start solution history, restoring the
+    /// state a freshly built cache starts from (used by evaluator reuse to
+    /// keep repeated evaluations bitwise-identical to fresh ones).
+    pub(crate) fn reset_probe_history(&self) {
+        let mut guard = match self.cache.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(cache) = guard.as_mut() {
+            cache.reset_history();
+        }
+    }
+
     /// The RHS at pressure `p`: die power plus the inlet advection source.
     fn rhs_at(&self, p: f64, t_inlet: f64) -> Vec<f64> {
         self.rhs_source

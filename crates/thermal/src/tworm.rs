@@ -418,6 +418,15 @@ impl TwoRm {
         self.coarsening
     }
 
+    /// Forgets the probe cache's warm-start solution history, so the next
+    /// probe behaves exactly like the first probe of a freshly built
+    /// simulator. Evaluator-reuse layers call this between logically
+    /// independent evaluation sequences to keep results bitwise-identical
+    /// to rebuilding the simulator.
+    pub fn reset_probe_history(&self) {
+        self.assembled.reset_probe_history();
+    }
+
     /// Steady-state simulation at system pressure drop `p_sys`.
     ///
     /// # Errors
