@@ -1,0 +1,186 @@
+//! Workspace inventory of shared mutable state.
+//!
+//! The `shared-state` lint flags *bad* lock idioms; this module records
+//! *every* synchronization site — `Mutex`, `RwLock`, atomics, `OnceLock`
+//! and `static` items — so the report's `shared_state` section gives a
+//! complete picture of what a multi-tenant `coolnet-serve` deployment
+//! would share between jobs. The inventory is descriptive, not a lint: it
+//! never fails a run, and it deliberately includes test code (marked) so
+//! the audit sees the whole surface.
+
+use crate::scan::SourceFile;
+
+/// The kind of synchronization primitive found at a site.
+///
+/// When one line mentions several (e.g. `static X: Mutex<...>`), the
+/// highest-priority kind wins, in the order listed here: a mutex-guarded
+/// static is interesting *because* of the mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `std::sync::Mutex` — blocking, poisonable.
+    Mutex,
+    /// `std::sync::RwLock` — blocking, poisonable, reader/writer.
+    RwLock,
+    /// `std::sync::atomic::Atomic*` — lock-free.
+    Atomic,
+    /// `std::sync::OnceLock` — write-once initialization.
+    OnceLock,
+    /// A plain `static` item (immutable globals still pin `Sync` bounds).
+    Static,
+}
+
+impl SiteKind {
+    /// Lower-case label used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SiteKind::Mutex => "mutex",
+            SiteKind::RwLock => "rwlock",
+            SiteKind::Atomic => "atomic",
+            SiteKind::OnceLock => "oncelock",
+            SiteKind::Static => "static",
+        }
+    }
+}
+
+/// One shared-state site: a line that declares or constructs a
+/// synchronization primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedStateSite {
+    /// Workspace-relative source path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What kind of primitive the line involves.
+    pub kind: SiteKind,
+    /// The trimmed source line, for human review of the report.
+    pub declaration: String,
+    /// Whether the site sits inside `#[cfg(test)]` code.
+    pub in_test: bool,
+}
+
+/// Scans one file for shared-state sites, appending to `out`. At most one
+/// site is recorded per line (see [`SiteKind`] for the priority order).
+pub fn collect_file(file: &SourceFile, out: &mut Vec<SharedStateSite>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let kind = if declares(code, "Mutex") {
+            Some(SiteKind::Mutex)
+        } else if declares(code, "RwLock") {
+            Some(SiteKind::RwLock)
+        } else if word_prefix(code, "Atomic") {
+            Some(SiteKind::Atomic)
+        } else if declares(code, "OnceLock") {
+            Some(SiteKind::OnceLock)
+        } else if is_static_item(code) {
+            Some(SiteKind::Static)
+        } else {
+            None
+        };
+        if let Some(kind) = kind {
+            out.push(SharedStateSite {
+                path: file.path.clone(),
+                line: idx + 1,
+                kind,
+                declaration: line.raw.trim().to_string(),
+                in_test: line.in_test,
+            });
+        }
+    }
+}
+
+/// Whether `code` declares or constructs the named primitive: `Name<...>`
+/// or `Name::new(...)`. Bare mentions in `use` lists are not sites.
+fn declares(code: &str, name: &str) -> bool {
+    word_occurrence(code, name, |rest| {
+        rest.starts_with('<') || rest.starts_with("::new")
+    })
+}
+
+/// Whether `code` contains an identifier starting with `prefix` at a word
+/// boundary (catches `AtomicU64`, `AtomicBool`, ... without listing them).
+fn word_prefix(code: &str, prefix: &str) -> bool {
+    word_occurrence(code, prefix, |rest| {
+        rest.chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '<' || c == ':')
+    })
+}
+
+/// Finds `token` at a word boundary and tests the text after it.
+fn word_occurrence(code: &str, token: &str, follows: impl Fn(&str) -> bool) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(token) {
+        let abs = start + pos;
+        let boundary = abs == 0
+            || !code[..abs]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary && follows(&code[abs + token.len()..]) {
+            return true;
+        }
+        start = abs + token.len();
+    }
+    false
+}
+
+/// Whether the line declares a `static` item. Matching the keyword at the
+/// start of the trimmed line avoids `'static` lifetimes and `static` in
+/// trait bounds.
+fn is_static_item(code: &str) -> bool {
+    let trimmed = code.trim_start();
+    trimmed.starts_with("static ")
+        || trimmed.starts_with("pub static ")
+        || trimmed.starts_with("pub(crate) static ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(src: &str) -> Vec<SharedStateSite> {
+        let file = SourceFile::parse("fixture.rs", src);
+        let mut out = Vec::new();
+        collect_file(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn finds_each_primitive_kind() {
+        let src = "struct S { inner: Mutex<Vec<u8>> }\n\
+                   let l = RwLock::new(0);\n\
+                   static HITS: AtomicU64 = AtomicU64::new(0);\n\
+                   static REGISTRY: OnceLock<Registry> = OnceLock::new();\n\
+                   pub static NAME: &str = \"x\";\n";
+        let kinds: Vec<SiteKind> = collect(src).iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                SiteKind::Mutex,
+                SiteKind::RwLock,
+                SiteKind::Atomic,
+                SiteKind::OnceLock,
+                SiteKind::Static,
+            ]
+        );
+    }
+
+    #[test]
+    fn ignores_imports_lifetimes_and_comments() {
+        let src = "use std::sync::{Arc, Mutex};\n\
+                   fn f(x: &'static str) -> &'static str { x }\n\
+                   // a Mutex<u8> in a comment\n\
+                   let s = \"RwLock::new\";\n";
+        assert!(collect(src).is_empty());
+    }
+
+    #[test]
+    fn marks_test_sites_and_keeps_declarations() {
+        let src = "#[cfg(test)]\nmod tests {\n    static T: Mutex<u8> = Mutex::new(0);\n}\n";
+        let sites = collect(src);
+        assert_eq!(sites.len(), 1);
+        assert!(sites[0].in_test);
+        assert_eq!(sites[0].kind, SiteKind::Mutex);
+        assert!(sites[0].declaration.contains("static T"));
+    }
+}

@@ -2,10 +2,14 @@
 //!
 //! The paper's pipeline chains a hydraulic solver, compact thermal models
 //! and a simulated-annealing search; a stray panic or an unguarded NaN in
-//! any of them silently corrupts whole optimization runs. This crate scans
-//! the workspace's own sources for four repo-specific hazards
+//! any of them silently corrupts whole optimization runs — and the
+//! evaluation-reuse substrate (cache + worker pool) only stays correct if
+//! it is deterministic and poison-tolerant under concurrency. This crate
+//! scans the workspace's own sources for seven repo-specific hazards
 //! (see [`rules`]) and holds the counts to a committed ratchet baseline
-//! ([`baseline`]): violation counts may only go down over time.
+//! ([`baseline`]): violation counts may only go down over time. The same
+//! walk inventories every shared-state site ([`inventory`]) for the
+//! concurrency audit report.
 //!
 //! The crate is deliberately std-only so it builds offline and can never
 //! be broken by the dependency graph it polices. It is wired into tier-1
@@ -15,10 +19,12 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod inventory;
 pub mod report;
 pub mod rules;
 pub mod scan;
 
+use inventory::SharedStateSite;
 use rules::Violation;
 use scan::SourceFile;
 use std::path::{Path, PathBuf};
@@ -26,14 +32,25 @@ use std::path::{Path, PathBuf};
 /// Name of the committed ratchet file at the workspace root.
 pub const BASELINE_FILE: &str = "analyze_baseline.toml";
 
-/// Scans every `crates/*/src/**/*.rs` file under `root` and returns all
-/// lint violations, sorted by path and line.
+/// Everything one workspace scan produces: lint findings plus the
+/// shared-state inventory, both sorted by path and line.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All lint violations across the scanned crates.
+    pub violations: Vec<Violation>,
+    /// Every Mutex/RwLock/atomic/OnceLock/static site in the workspace.
+    pub shared_state: Vec<SharedStateSite>,
+}
+
+/// Scans every `crates/*/src/**/*.rs` file under `root`, running all
+/// in-scope lints and collecting the shared-state inventory.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from directory walks and file reads.
-pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
     let mut violations = Vec::new();
+    let mut shared_state = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
         .filter_map(|e| e.ok())
@@ -61,10 +78,15 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
                 .replace('\\', "/");
             let scanned = SourceFile::parse(&rel, &text);
             rules::check_file(name, &scanned, &mut violations);
+            inventory::collect_file(&scanned, &mut shared_state);
         }
     }
     violations.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
-    Ok(violations)
+    shared_state.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Ok(Analysis {
+        violations,
+        shared_state,
+    })
 }
 
 /// Recursively collects `.rs` files under `dir`.

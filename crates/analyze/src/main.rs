@@ -5,25 +5,70 @@
 //! cargo run -p coolnet-analyze                      # check
 //! cargo run -p coolnet-analyze -- --update-baseline # tighten the ratchet
 //! cargo run -p coolnet-analyze -- --root <dir>      # explicit workspace
+//! cargo run -p coolnet-analyze -- --format json     # machine-readable
+//! cargo run -p coolnet-analyze -- --explain <rule>  # rationale + fix
+//! cargo run -p coolnet-analyze -- --deny-warnings   # CI strictness
 //! ```
 
 #![forbid(unsafe_code)]
 
 use coolnet_analyze::report::{self, Outcome};
+use coolnet_analyze::rules::{self, ALL_LINTS};
 use coolnet_analyze::{analyze_workspace, baseline, find_root, BASELINE_FILE};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Output format for the comparison report.
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut update = false;
+    let mut deny_warnings = false;
+    let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--update-baseline" => update = true,
+            "--deny-warnings" => deny_warnings = true,
             "--root" => root = args.next().map(PathBuf::from),
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("coolnet-analyze: --format expects `text` or `json`, got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--explain" => {
+                return match args.next() {
+                    Some(rule) if ALL_LINTS.contains(&rule.as_str()) => {
+                        println!(
+                            "{rule} ({}): {}\n\n{}",
+                            rules::severity(&rule).as_str(),
+                            rules::describe(&rule),
+                            rules::explain(&rule)
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    other => {
+                        eprintln!(
+                            "coolnet-analyze: --explain expects one of: {}; got {other:?}",
+                            ALL_LINTS.join(", ")
+                        );
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             "--help" | "-h" => {
-                println!("usage: coolnet-analyze [--update-baseline] [--root <workspace-dir>]");
+                println!(
+                    "usage: coolnet-analyze [--update-baseline] [--root <workspace-dir>]\n\
+                     \x20                      [--format text|json] [--explain <rule>]\n\
+                     \x20                      [--deny-warnings]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -41,8 +86,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let violations = match analyze_workspace(&root) {
-        Ok(v) => v,
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("coolnet-analyze: scan failed: {e}");
             return ExitCode::FAILURE;
@@ -51,7 +96,7 @@ fn main() -> ExitCode {
 
     let baseline_path = root.join(BASELINE_FILE);
     if update {
-        let counts = report::count(&violations);
+        let counts = report::count(&analysis.violations);
         let rendered = baseline::render(&report::to_baseline(&counts));
         if let Err(e) = std::fs::write(&baseline_path, rendered) {
             eprintln!(
@@ -63,7 +108,7 @@ fn main() -> ExitCode {
         println!(
             "coolnet-analyze: wrote {} ({} violation(s) across {} bucket(s))",
             baseline_path.display(),
-            violations.len(),
+            analysis.violations.len(),
             counts.len()
         );
         return ExitCode::SUCCESS;
@@ -90,11 +135,18 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = report::compare(&violations, &parsed);
-    print!("{}", report.text);
+    let report = report::compare(&analysis.violations, &parsed);
+    match format {
+        Format::Text => print!("{}", report.text),
+        Format::Json => print!(
+            "{}",
+            report::render_json(&report, &analysis.violations, &analysis.shared_state)
+        ),
+    }
     match report.outcome {
         Outcome::Regressed => ExitCode::FAILURE,
-        Outcome::Clean | Outcome::Improved => ExitCode::SUCCESS,
+        Outcome::Warned if deny_warnings => ExitCode::FAILURE,
+        Outcome::Clean | Outcome::Improved | Outcome::Warned => ExitCode::SUCCESS,
     }
 }
 

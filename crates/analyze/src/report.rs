@@ -1,7 +1,9 @@
-//! Comparing a scan against the ratchet baseline and rendering the result.
+//! Comparing a scan against the ratchet baseline and rendering the result
+//! as text or machine-readable JSON.
 
 use crate::baseline::Baseline;
-use crate::rules::{Violation, ALL_LINTS};
+use crate::inventory::SharedStateSite;
+use crate::rules::{self, Severity, Violation, ALL_LINTS};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -38,8 +40,24 @@ pub enum Outcome {
     Clean,
     /// Some counts dropped below baseline — ratchet can be tightened.
     Improved,
-    /// At least one count exceeds its baseline.
+    /// Only warning-severity lints exceed baseline; fails the run under
+    /// `--deny-warnings` (CI and the tier-1 self-check both deny).
+    Warned,
+    /// An error-severity count exceeds its baseline.
     Regressed,
+}
+
+/// One `(lint, crate)` comparison cell.
+#[derive(Debug)]
+pub struct Bucket {
+    /// Lint name (one of [`ALL_LINTS`]).
+    pub lint: String,
+    /// Crate path key, e.g. `crates/opt`.
+    pub krate: String,
+    /// Violations found in this scan.
+    pub found: usize,
+    /// Violations the committed baseline tolerates.
+    pub allowed: usize,
 }
 
 /// The comparison result plus a rendered human-readable report.
@@ -49,49 +67,77 @@ pub struct Report {
     pub outcome: Outcome,
     /// Full text to print (diagnostics, then a summary table).
     pub text: String,
+    /// The per-bucket numbers behind the verdict (for JSON rendering).
+    pub buckets: Vec<Bucket>,
+}
+
+/// Collects every `(lint, crate)` bucket present in the scan or baseline,
+/// with found/allowed counts.
+fn buckets(counts: &Counts, baseline: &Baseline) -> Vec<Bucket> {
+    let mut keys: Vec<(String, String)> = counts.keys().cloned().collect();
+    for (lint, crates) in baseline {
+        for krate in crates.keys() {
+            keys.push((lint.clone(), krate.clone()));
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .map(|(lint, krate)| {
+            let found = counts
+                .get(&(lint.clone(), krate.clone()))
+                .copied()
+                .unwrap_or(0);
+            let allowed = baseline
+                .get(&lint)
+                .and_then(|c| c.get(&krate))
+                .copied()
+                .unwrap_or(0);
+            Bucket {
+                lint,
+                krate,
+                found,
+                allowed,
+            }
+        })
+        .collect()
 }
 
 /// Compares a scan against the baseline. Regressed `(lint, crate)` buckets
 /// list every violation as a `file:line` diagnostic so the offending edit
-/// is one click away; improved buckets get a one-line nudge.
+/// is one click away; improved buckets get a one-line nudge. Regressions in
+/// warning-severity lints produce [`Outcome::Warned`] rather than
+/// [`Outcome::Regressed`].
 pub fn compare(violations: &[Violation], baseline: &Baseline) -> Report {
     let counts = count(violations);
+    let buckets = buckets(&counts, baseline);
     let mut text = String::new();
     let mut outcome = Outcome::Clean;
 
-    // All buckets present in either the scan or the baseline.
-    let mut buckets: Vec<(String, String)> = counts.keys().cloned().collect();
-    for (lint, crates) in baseline {
-        for krate in crates.keys() {
-            buckets.push((lint.clone(), krate.clone()));
-        }
-    }
-    buckets.sort();
-    buckets.dedup();
-
-    for (lint, krate) in &buckets {
-        let found = counts
-            .get(&(lint.clone(), krate.clone()))
-            .copied()
-            .unwrap_or(0);
-        let allowed = baseline
-            .get(lint)
-            .and_then(|c| c.get(krate))
-            .copied()
-            .unwrap_or(0);
-        if found > allowed {
-            outcome = Outcome::Regressed;
+    for b in &buckets {
+        if b.found > b.allowed {
+            let severity = rules::severity(&b.lint);
+            outcome = match (severity, &outcome) {
+                (Severity::Error, _) => Outcome::Regressed,
+                (Severity::Warning, Outcome::Regressed) => Outcome::Regressed,
+                (Severity::Warning, _) => Outcome::Warned,
+            };
             let _ = writeln!(
                 text,
-                "error[{lint}]: {krate} has {found} violation(s), baseline allows {allowed}:"
+                "{}[{}]: {} has {} violation(s), baseline allows {}:",
+                severity.as_str(),
+                b.lint,
+                b.krate,
+                b.found,
+                b.allowed
             );
             for v in violations
                 .iter()
-                .filter(|v| v.lint == *lint && v.path.starts_with(krate.as_str()))
+                .filter(|v| v.lint == b.lint && v.path.starts_with(b.krate.as_str()))
             {
                 let _ = writeln!(text, "  {v}");
             }
-        } else if found < allowed && outcome != Outcome::Regressed {
+        } else if b.found < b.allowed && matches!(outcome, Outcome::Clean) {
             outcome = Outcome::Improved;
         }
     }
@@ -101,46 +147,171 @@ pub fn compare(violations: &[Violation], baseline: &Baseline) -> Report {
         "coolnet-analyze: {} lint(s) over the workspace",
         ALL_LINTS.len()
     );
-    for (lint, krate) in &buckets {
-        let found = counts
-            .get(&(lint.clone(), krate.clone()))
-            .copied()
-            .unwrap_or(0);
-        let allowed = baseline
-            .get(lint)
-            .and_then(|c| c.get(krate))
-            .copied()
-            .unwrap_or(0);
-        let verdict = match found.cmp(&allowed) {
-            std::cmp::Ordering::Greater => "REGRESSED",
+    for b in &buckets {
+        let verdict = match b.found.cmp(&b.allowed) {
+            std::cmp::Ordering::Greater => match rules::severity(&b.lint) {
+                Severity::Error => "REGRESSED",
+                Severity::Warning => "warned",
+            },
             std::cmp::Ordering::Less => "improved — run --update-baseline",
             std::cmp::Ordering::Equal => "at baseline",
         };
         let _ = writeln!(
             text,
-            "  {lint:>20} {krate:<16} {found:>3} / {allowed:<3} {verdict}"
+            "  {:>20} {:<16} {:>3} / {:<3} {verdict}",
+            b.lint, b.krate, b.found, b.allowed
         );
     }
-    Report { outcome, text }
+    Report {
+        outcome,
+        text,
+        buckets,
+    }
+}
+
+/// Renders the full analysis as a JSON document for CI consumption:
+/// a `summary` block, the per-bucket comparison, every violation, and the
+/// shared-state inventory. Hand-rolled because this crate is std-only.
+pub fn render_json(
+    report: &Report,
+    violations: &[Violation],
+    shared_state: &[SharedStateSite],
+) -> String {
+    let mut out = String::from("{\n");
+
+    let error_regressions = report
+        .buckets
+        .iter()
+        .filter(|b| b.found > b.allowed && rules::severity(&b.lint) == Severity::Error)
+        .count();
+    let warning_regressions = report
+        .buckets
+        .iter()
+        .filter(|b| b.found > b.allowed && rules::severity(&b.lint) == Severity::Warning)
+        .count();
+    let outcome = match report.outcome {
+        Outcome::Clean => "clean",
+        Outcome::Improved => "improved",
+        Outcome::Warned => "warned",
+        Outcome::Regressed => "regressed",
+    };
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"outcome\": \"{outcome}\", \"violations\": {}, \
+         \"error_regressions\": {error_regressions}, \
+         \"warning_regressions\": {warning_regressions}, \
+         \"shared_state_sites\": {}}},",
+        violations.len(),
+        shared_state.len()
+    );
+
+    out.push_str("  \"lints\": [\n");
+    for (i, lint) in ALL_LINTS.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"severity\": \"{}\", \"description\": {}}}{}",
+            json_str(lint),
+            rules::severity(lint).as_str(),
+            json_str(rules::describe(lint)),
+            comma(i, ALL_LINTS.len())
+        );
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"buckets\": [\n");
+    for (i, b) in report.buckets.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"lint\": {}, \"crate\": {}, \"found\": {}, \"allowed\": {}}}{}",
+            json_str(&b.lint),
+            json_str(&b.krate),
+            b.found,
+            b.allowed,
+            comma(i, report.buckets.len())
+        );
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"violations\": [\n");
+    for (i, v) in violations.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"lint\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}{}",
+            json_str(v.lint),
+            json_str(&v.path),
+            v.line,
+            json_str(&v.message),
+            comma(i, violations.len())
+        );
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"shared_state\": [\n");
+    for (i, s) in shared_state.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"path\": {}, \"line\": {}, \"kind\": \"{}\", \
+             \"in_test\": {}, \"declaration\": {}}}{}",
+            json_str(&s.path),
+            s.line,
+            s.kind.as_str(),
+            s.in_test,
+            json_str(&s.declaration),
+            comma(i, shared_state.len())
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// `,` between array elements, nothing after the last.
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::PANIC_FREE;
+    use crate::inventory::SiteKind;
+    use crate::rules::{DOC_COVERAGE, PANIC_FREE};
 
-    fn violation(path: &str) -> Violation {
+    fn violation(lint: &'static str, path: &str) -> Violation {
         Violation {
-            lint: PANIC_FREE,
+            lint,
             path: path.to_string(),
             line: 3,
-            message: "test".to_string(),
+            message: "test \"quoted\"".to_string(),
         }
     }
 
     #[test]
     fn regression_is_detected_and_lists_diagnostics() {
-        let v = vec![violation("crates/sparse/src/solve.rs")];
+        let v = vec![violation(PANIC_FREE, "crates/sparse/src/solve.rs")];
         let report = compare(&v, &Baseline::new());
         assert_eq!(report.outcome, Outcome::Regressed);
         assert!(report.text.contains("crates/sparse/src/solve.rs:3"));
@@ -148,12 +319,62 @@ mod tests {
 
     #[test]
     fn matching_baseline_is_clean_and_lower_is_improved() {
-        let v = vec![violation("crates/opt/src/sa.rs")];
+        let v = vec![violation(PANIC_FREE, "crates/opt/src/sa.rs")];
         let mut b = Baseline::new();
         b.entry(PANIC_FREE.into())
             .or_default()
             .insert("crates/opt".into(), 1);
         assert_eq!(compare(&v, &b).outcome, Outcome::Clean);
         assert_eq!(compare(&[], &b).outcome, Outcome::Improved);
+    }
+
+    #[test]
+    fn warning_lints_warn_and_errors_dominate() {
+        let doc = violation(DOC_COVERAGE, "crates/core/src/lib.rs");
+        let report = compare(std::slice::from_ref(&doc), &Baseline::new());
+        assert_eq!(report.outcome, Outcome::Warned);
+        assert!(report.text.contains("warning[doc-coverage]"));
+
+        let both = vec![doc, violation(PANIC_FREE, "crates/opt/src/sa.rs")];
+        assert_eq!(compare(&both, &Baseline::new()).outcome, Outcome::Regressed);
+    }
+
+    #[test]
+    fn json_report_has_the_expected_shape() {
+        let v = vec![violation(PANIC_FREE, "crates/opt/src/sa.rs")];
+        let sites = vec![SharedStateSite {
+            path: "crates/obs/src/lib.rs".to_string(),
+            line: 7,
+            kind: SiteKind::Mutex,
+            declaration: "inner: Mutex<State>,".to_string(),
+            in_test: false,
+        }];
+        let report = compare(&v, &Baseline::new());
+        let json = render_json(&report, &v, &sites);
+
+        // Golden structural checks: top-level keys, summary numbers, the
+        // escaped message, and the inventory entry.
+        for key in [
+            "\"summary\"",
+            "\"lints\"",
+            "\"buckets\"",
+            "\"violations\"",
+            "\"shared_state\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.contains("\"outcome\": \"regressed\""));
+        assert!(json.contains("\"error_regressions\": 1"));
+        assert!(json.contains("\"warning_regressions\": 0"));
+        assert!(json.contains("\"shared_state_sites\": 1"));
+        assert!(json.contains("\"test \\\"quoted\\\"\""));
+        assert!(json.contains("\"kind\": \"mutex\""));
+        assert!(json.contains("\"lint\": \"panic-free-solvers\""));
+        // All seven lints are described.
+        assert_eq!(json.matches("\"severity\":").count(), ALL_LINTS.len());
+        // Balanced braces/brackets — cheap well-formedness proxy that does
+        // not need a JSON parser in a std-only crate.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 }

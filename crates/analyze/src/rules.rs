@@ -1,10 +1,13 @@
-//! The four repo-specific lint rules.
+//! The seven repo-specific lint rules.
 //!
 //! Each rule takes a scanned [`SourceFile`] and appends [`Violation`]s.
 //! Rules are scoped to crate subsets (see [`lint_scope`]) chosen to match
 //! where the failure mode bites: panics in solver hot paths, raw `f64`s in
-//! physical interfaces, unguarded numerics at solver entry points, and
-//! undocumented public API in the foundation crates.
+//! physical interfaces, unguarded numerics at solver entry points,
+//! undocumented public API in the foundation crates, order-unstable or
+//! wall-clock-dependent constructs in replayable solver/opt code, bare
+//! (poison-propagating) lock acquisitions on shared state, and silently
+//! discarded `Result`s in solver code.
 
 use crate::scan::SourceFile;
 
@@ -16,9 +19,152 @@ pub const UNIT_DISCIPLINE: &str = "unit-discipline";
 pub const FINITE_GUARD: &str = "finite-guard";
 /// Lint: public items in foundation crates must carry doc comments.
 pub const DOC_COVERAGE: &str = "doc-coverage";
+/// Lint: no order-unstable / wall-clock / unseeded-RNG constructs in
+/// replayable solver and optimizer code.
+pub const DETERMINISM: &str = "determinism";
+/// Lint: lock acquisitions must tolerate poisoning
+/// (`unwrap_or_else(|p| p.into_inner())` or an explicit `match`).
+pub const SHARED_STATE: &str = "shared-state";
+/// Lint: no silently discarded `Result`s in solver/flow/thermal code.
+pub const ERROR_DISCIPLINE: &str = "error-discipline";
 
 /// All lints, in reporting order.
-pub const ALL_LINTS: [&str; 4] = [PANIC_FREE, UNIT_DISCIPLINE, FINITE_GUARD, DOC_COVERAGE];
+pub const ALL_LINTS: [&str; 7] = [
+    PANIC_FREE,
+    UNIT_DISCIPLINE,
+    FINITE_GUARD,
+    DOC_COVERAGE,
+    DETERMINISM,
+    SHARED_STATE,
+    ERROR_DISCIPLINE,
+];
+
+/// How a lint's regressions affect the analyzer's exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A regression past baseline fails the run.
+    Error,
+    /// A regression is reported loudly but only fails the run under
+    /// `--deny-warnings` (CI and the tier-1 self-check both deny).
+    Warning,
+}
+
+impl Severity {
+    /// Lower-case label used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// The severity of each lint. Everything that can corrupt results or wedge
+/// a shared substrate is an error; style-level lints are warnings.
+pub fn severity(lint: &str) -> Severity {
+    match lint {
+        DOC_COVERAGE => Severity::Warning,
+        _ => Severity::Error,
+    }
+}
+
+/// One-line description of a lint (shown in reports and `--format json`).
+pub fn describe(lint: &str) -> &'static str {
+    match lint {
+        PANIC_FREE => "no unwrap/expect/panic!/unreachable! in solver crates",
+        UNIT_DISCIPLINE => "physical quantities use coolnet-units newtypes, not bare f64",
+        FINITE_GUARD => "solve*/assemble* entry points guard against non-finite input",
+        DOC_COVERAGE => "public items in foundation crates carry doc comments",
+        DETERMINISM => {
+            "no order-unstable, wall-clock or unseeded-RNG constructs in solver/opt code"
+        }
+        SHARED_STATE => "lock acquisitions tolerate poisoning instead of propagating it",
+        ERROR_DISCIPLINE => "no silently discarded Results in solver/flow/thermal code",
+        _ => "unknown lint",
+    }
+}
+
+/// Long-form rationale and fix guidance for `--explain <lint>`.
+pub fn explain(lint: &str) -> &'static str {
+    match lint {
+        PANIC_FREE => {
+            "\
+A stray panic in the hydraulic solver, a thermal model or the SA search
+aborts a whole optimization run (or, inside a worker, silently costs a
+candidate). Solver crates must propagate typed errors instead.
+Fix: return the crate's error type; for infallible-by-invariant cases use
+a total rewrite (`map_or`, `let .. else`) or justify the invariant with
+`// analyze:allow(panic-free-solvers)`."
+        }
+        UNIT_DISCIPLINE => {
+            "\
+Bare `f64` parameters named like physical quantities (pressure, width,
+flow, ...) invite unit mix-ups — exactly the class of bug the grouped
+objective fix in PR 5 removed. Public interfaces must use the
+`coolnet-units` newtypes (Pascal, Kelvin, Watt, Meters).
+Fix: change the signature to the newtype; convert at the boundary."
+        }
+        FINITE_GUARD => {
+            "\
+NaNs entering a solver propagate silently and corrupt entire runs. Every
+`pub fn solve*` / `pub fn assemble*` must validate its numeric input,
+directly (`is_finite`) or via a named validator (`check_*`, `ensure_*`,
+`valid*`).
+Fix: add a finiteness guard at entry, or route through the solve ladder
+which guards inline."
+        }
+        DOC_COVERAGE => {
+            "\
+The foundation crates (units, sparse, core, obs) are the workspace's
+public API surface; undocumented items rot fastest. Every `pub` item
+needs a doc comment.
+Fix: add `///` above the item (attributes in between are fine)."
+        }
+        DETERMINISM => {
+            "\
+A design query must be bit-for-bit replayable: job spec + seed must give
+an identical DesignResult (the two-step evaluation of the source paper
+only reproduces under that contract, and the eval-cache transparency
+tests pin it). This lint flags constructs whose behavior can differ
+between runs in non-test solver/opt code: std HashMap/HashSet (iteration
+and drain order are randomized per process), wall-clock reads
+(Instant::now / SystemTime) feeding values, and unseeded RNG construction
+(thread_rng, from_entropy, OsRng).
+Fix: key ordered state on BTreeMap, derive RNGs from the job seed
+(StdRng::seed_from_u64), and keep wall-clock reads in bench/obs code. If
+order provably cannot leak into results, document why at the site and add
+`// analyze:allow(determinism)`."
+        }
+        SHARED_STATE => {
+            "\
+The EvalCache/WorkerPool substrate is shared across worker threads and is
+slated to be shared across concurrent jobs (coolnet-serve). A bare
+`.lock().unwrap()` turns one absorbed worker panic into a poisoned mutex
+that wedges every later user of the shared state. All lock acquisitions
+outside tests must tolerate poisoning:
+`lock().unwrap_or_else(|p| p.into_inner())` or an explicit match (the
+idiom already used by obs, sparse::resilience and the eval cache).
+The analyzer additionally inventories every Mutex/RwLock/atomic/static
+site across the workspace into the `shared_state` section of
+`--format json` — the seed artifact for the coolnet-serve Send+Sync
+audit.
+Fix: replace `.lock().unwrap()` with the poison-tolerant idiom."
+        }
+        ERROR_DISCIPLINE => {
+            "\
+`let _ = fallible_call(...)` and statement-final `.ok();` silence errors
+that solver, flow and thermal code must surface — a dropped solve failure
+turns into a wrong design, not a crash. This lint flags both discard
+shapes outside tests. Chained uses (`.ok()?`, `.ok().map(...)`) convert
+rather than discard and are not flagged.
+Fix: handle or propagate the error; when a discard is deliberate (e.g.
+crossbeam scope results whose only error is a worker panic that is
+already absorbed or resumed), document why and add
+`// analyze:allow(error-discipline)`."
+        }
+        _ => "unknown lint",
+    }
+}
 
 /// One finding, pointing at a workspace-relative `path:line`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +196,17 @@ pub fn lint_scope(lint: &str) -> &'static [&'static str] {
         UNIT_DISCIPLINE => &["flow", "thermal", "network"],
         FINITE_GUARD => &["sparse", "flow", "thermal", "opt"],
         DOC_COVERAGE => &["units", "sparse", "core", "obs"],
+        // Everything that feeds a replayable DesignResult: the solvers,
+        // the models, the network builders and the optimizer. bench and
+        // obs are deliberately out of scope (wall-clock is their job).
+        DETERMINISM => &["sparse", "flow", "thermal", "opt", "network"],
+        // Lock discipline applies workspace-wide: any crate can hold
+        // state shared across SA workers or future concurrent jobs.
+        SHARED_STATE => &[
+            "analyze", "bench", "cases", "core", "flow", "grid", "network", "obs", "opt", "sparse",
+            "thermal", "units",
+        ],
+        ERROR_DISCIPLINE => &["sparse", "flow", "thermal", "opt"],
         _ => &[],
     }
 }
@@ -68,6 +225,15 @@ pub fn check_file(crate_dir: &str, file: &SourceFile, out: &mut Vec<Violation>) 
     }
     if lint_scope(DOC_COVERAGE).contains(&crate_dir) {
         doc_coverage(file, out);
+    }
+    if lint_scope(DETERMINISM).contains(&crate_dir) {
+        determinism(file, out);
+    }
+    if lint_scope(SHARED_STATE).contains(&crate_dir) {
+        shared_state(file, out);
+    }
+    if lint_scope(ERROR_DISCIPLINE).contains(&crate_dir) {
+        error_discipline(file, out);
     }
 }
 
@@ -232,6 +398,150 @@ pub fn doc_coverage(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
+/// Order-unstable / wall-clock / unseeded-RNG tokens and their messages.
+const DETERMINISM_TOKENS: [(&str, &str); 6] = [
+    (
+        "HashMap",
+        "std HashMap order is unstable across runs; use BTreeMap for ordered state, \
+         or document why order cannot leak into results and allow",
+    ),
+    (
+        "HashSet",
+        "std HashSet order is unstable across runs; use BTreeSet, or document why \
+         order cannot leak into results and allow",
+    ),
+    (
+        "Instant::now",
+        "wall-clock read in replayable solver/opt code; timing belongs in bench/obs",
+    ),
+    (
+        "SystemTime",
+        "wall-clock read in replayable solver/opt code; timing belongs in bench/obs",
+    ),
+    (
+        "thread_rng",
+        "unseeded RNG; derive the generator from the job seed (StdRng::seed_from_u64)",
+    ),
+    (
+        "from_entropy",
+        "entropy-seeded RNG; derive the generator from the job seed \
+         (StdRng::seed_from_u64)",
+    ),
+];
+
+/// `determinism`: flags order-unstable constructs, wall-clock reads and
+/// unseeded RNG construction outside `#[cfg(test)]`.
+pub fn determinism(file: &SourceFile, out: &mut Vec<Violation>) {
+    token_lint(file, out, DETERMINISM, &DETERMINISM_TOKENS);
+}
+
+/// Poison-propagating lock acquisitions and their messages.
+const SHARED_STATE_TOKENS: [(&str, &str); 6] = [
+    (
+        ".lock().unwrap()",
+        "bare lock(): a poisoned mutex wedges every later user; use \
+         `.lock().unwrap_or_else(|p| p.into_inner())`",
+    ),
+    (
+        ".lock().expect(",
+        "bare lock(): a poisoned mutex wedges every later user; use \
+         `.lock().unwrap_or_else(|p| p.into_inner())`",
+    ),
+    (
+        ".read().unwrap()",
+        "bare read(): a poisoned RwLock wedges every later reader; use \
+         `.read().unwrap_or_else(|p| p.into_inner())`",
+    ),
+    (
+        ".read().expect(",
+        "bare read(): a poisoned RwLock wedges every later reader; use \
+         `.read().unwrap_or_else(|p| p.into_inner())`",
+    ),
+    (
+        ".write().unwrap()",
+        "bare write(): a poisoned RwLock wedges every later writer; use \
+         `.write().unwrap_or_else(|p| p.into_inner())`",
+    ),
+    (
+        ".write().expect(",
+        "bare write(): a poisoned RwLock wedges every later writer; use \
+         `.write().unwrap_or_else(|p| p.into_inner())`",
+    ),
+];
+
+/// `shared-state`: flags lock acquisitions that propagate poisoning
+/// outside `#[cfg(test)]`. (The matching workspace-wide *inventory* of
+/// shared-state sites lives in [`crate::inventory`].)
+pub fn shared_state(file: &SourceFile, out: &mut Vec<Violation>) {
+    token_lint(file, out, SHARED_STATE, &SHARED_STATE_TOKENS);
+}
+
+/// `error-discipline`: flags `let _ = call(...)` and statement-final
+/// `.ok();` — both silently discard a potential `Result` — outside
+/// `#[cfg(test)]`. Chained `.ok()` (`.ok()?`, `.ok().map(..)`) converts
+/// rather than discards and is not flagged.
+pub fn error_discipline(file: &SourceFile, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let line_no = idx + 1;
+        if file.allows(line_no, ERROR_DISCIPLINE) {
+            continue;
+        }
+        if contains_token(&line.code, ".ok();") {
+            out.push(Violation {
+                lint: ERROR_DISCIPLINE,
+                path: file.path.clone(),
+                line: line_no,
+                message: "statement-final `.ok();` discards an error; handle or propagate it"
+                    .to_string(),
+            });
+        }
+        // `let _ = <call>`: only flag when the right-hand side is a call
+        // (contains `(`) — `let _ = x;` silences an unused binding, which
+        // is noise, not a discarded Result.
+        if let Some(pos) = find_token(&line.code, "let _ =") {
+            if line.code[pos..].contains('(') {
+                out.push(Violation {
+                    lint: ERROR_DISCIPLINE,
+                    path: file.path.clone(),
+                    line: line_no,
+                    message: "`let _ =` discards a call result; bind and handle it \
+                              (or justify with an allow)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Shared body of the token-matching lints: flags every listed token on
+/// non-test lines not covered by an allow escape.
+fn token_lint(
+    file: &SourceFile,
+    out: &mut Vec<Violation>,
+    lint: &'static str,
+    tokens: &[(&str, &str)],
+) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let line_no = idx + 1;
+        for (token, message) in tokens {
+            if contains_token(&line.code, token) && !file.allows(line_no, lint) {
+                out.push(Violation {
+                    lint,
+                    path: file.path.clone(),
+                    line: line_no,
+                    message: message.to_string(),
+                });
+            }
+        }
+    }
+}
+
 /// Walks upward over attribute lines; true if a `///` or `#[doc` precedes.
 fn has_doc_above(file: &SourceFile, item_idx: usize) -> bool {
     let mut i = item_idx;
@@ -383,8 +693,14 @@ fn body_lines(file: &SourceFile, fn_idx: usize) -> Option<Vec<String>> {
 /// Tokens starting with `.` need no boundary (the receiver precedes them);
 /// word-like tokens must not be the tail of a longer identifier.
 fn contains_token(code: &str, token: &str) -> bool {
+    find_token(code, token).is_some()
+}
+
+/// Like [`contains_token`], but returns the byte offset of the first
+/// boundary-respecting match.
+fn find_token(code: &str, token: &str) -> Option<usize> {
     if token.starts_with('.') {
-        return code.contains(token);
+        return code.find(token);
     }
     let mut start = 0;
     while let Some(pos) = code[start..].find(token) {
@@ -395,11 +711,11 @@ fn contains_token(code: &str, token: &str) -> bool {
                 .next_back()
                 .is_some_and(|c| c.is_alphanumeric() || c == '_');
         if boundary {
-            return true;
+            return Some(abs);
         }
         start = abs + token.len();
     }
-    false
+    None
 }
 
 #[cfg(test)]
@@ -530,5 +846,116 @@ mod tests {\n\
     fn doc_coverage_honors_allow_escape() {
         let src = "// analyze:allow(doc-coverage)\npub fn undocumented() {}\n";
         assert!(run(doc_coverage, src).is_empty());
+    }
+
+    // -- determinism -------------------------------------------------------
+
+    #[test]
+    fn determinism_flags_hash_collections_and_clocks() {
+        let src = "use std::collections::HashMap;\n\
+                   let t = Instant::now();\n\
+                   let mut rng = rand::thread_rng();\n";
+        let v = run(determinism, src);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|f| f.lint == DETERMINISM));
+        assert!(v[0].message.contains("BTreeMap"));
+        assert!(v[1].message.contains("wall-clock"));
+        assert!(v[2].message.contains("seed"));
+    }
+
+    #[test]
+    fn determinism_ignores_tests_comments_and_longer_idents() {
+        let src = "// HashMap in a comment\n\
+                   let s = \"HashSet\";\n\
+                   struct MyHashMap;\n\
+                   let m: MyHashMap = MyHashMap;\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashMap;\n\
+                       fn t() { let _t = Instant::now(); }\n\
+                   }\n";
+        assert!(run(determinism, src).is_empty());
+    }
+
+    #[test]
+    fn determinism_honors_allow_escape() {
+        let src = "// analyze:allow(determinism)\n\
+                   type Map<K, V> = std::collections::HashMap<K, V>;\n";
+        assert!(run(determinism, src).is_empty());
+    }
+
+    // -- shared-state ------------------------------------------------------
+
+    #[test]
+    fn shared_state_flags_bare_lock_acquisitions() {
+        let src = "let g = state.lock().unwrap();\n\
+                   let r = map.read().expect(\"rw\");\n\
+                   let w = map.write().unwrap();\n";
+        let v = run(shared_state, src);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|f| f.lint == SHARED_STATE));
+        assert!(v[0].message.contains("into_inner"));
+    }
+
+    #[test]
+    fn shared_state_accepts_poison_tolerant_idiom_and_tests() {
+        let src = "let g = state.lock().unwrap_or_else(|p| p.into_inner());\n\
+                   let g = match state.lock() { Ok(g) => g, Err(p) => p.into_inner() };\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { let g = state.lock().unwrap(); drop(g); }\n\
+                   }\n";
+        assert!(run(shared_state, src).is_empty());
+    }
+
+    #[test]
+    fn shared_state_honors_allow_escape() {
+        let src = "// analyze:allow(shared-state)\n\
+                   let g = state.lock().unwrap();\n";
+        assert!(run(shared_state, src).is_empty());
+    }
+
+    // -- error-discipline --------------------------------------------------
+
+    #[test]
+    fn error_discipline_flags_discarded_results() {
+        let src = "let _ = do_work(input);\n\
+                   sender.send(msg).ok();\n";
+        let v = run(error_discipline, src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|f| f.lint == ERROR_DISCIPLINE));
+    }
+
+    #[test]
+    fn error_discipline_ignores_conversions_bindings_and_tests() {
+        let src = "let _ = unused_binding;\n\
+                   let idx = xs.binary_search(&k).ok().map(|i| i + 1);\n\
+                   let v = parse(s).ok()?;\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { let _ = do_work(input); sender.send(msg).ok(); }\n\
+                   }\n";
+        assert!(run(error_discipline, src).is_empty());
+    }
+
+    #[test]
+    fn error_discipline_honors_allow_escape() {
+        let src = "// analyze:allow(error-discipline)\n\
+                   let _ = crossbeam::scope(|s| run(s));\n";
+        assert!(run(error_discipline, src).is_empty());
+    }
+
+    // -- metadata ----------------------------------------------------------
+
+    #[test]
+    fn every_lint_has_metadata_and_scope() {
+        for lint in ALL_LINTS {
+            assert!(!lint_scope(lint).is_empty(), "{lint} has no scope");
+            assert_ne!(describe(lint), "unknown lint", "{lint} lacks describe()");
+            assert_ne!(explain(lint), "unknown lint", "{lint} lacks explain()");
+        }
+        assert_eq!(severity(DOC_COVERAGE), Severity::Warning);
+        assert_eq!(severity(DETERMINISM), Severity::Error);
+        assert_eq!(severity(SHARED_STATE), Severity::Error);
     }
 }

@@ -160,9 +160,11 @@ impl SourceFile {
                 }
                 i += 1;
             }
-            // Strings may not span lines in this scanner's model (the
-            // workspace has none); line comments always end here.
-            if matches!(state, State::Str | State::CharLit) {
+            // String literals (plain and raw) persist across lines — their
+            // continuation lines must stay blanked. A char literal never
+            // spans lines; resetting also recovers from a lifetime the
+            // lexer mistook for an unterminated char literal.
+            if matches!(state, State::CharLit) {
                 state = State::Code;
             }
             lines.push(Line {
@@ -182,24 +184,42 @@ impl SourceFile {
 
     /// Whether an `// analyze:allow(<lint>)` escape covers 1-based line
     /// `line_no` for `lint`: either on the line itself or on an immediately
-    /// preceding comment-only line.
+    /// preceding comment-only line. The marker accepts a comma-separated
+    /// list — `// analyze:allow(determinism, shared-state)` — so one escape
+    /// line can cover a site that trips several lints.
     pub fn allows(&self, line_no: usize, lint: &str) -> bool {
-        let marker = format!("analyze:allow({lint})");
         let idx = line_no.saturating_sub(1);
         if let Some(line) = self.lines.get(idx) {
-            if line.comment.contains(&marker) {
+            if comment_allows(&line.comment, lint) {
                 return true;
             }
         }
         if idx > 0 {
             if let Some(prev) = self.lines.get(idx - 1) {
-                if prev.code.trim().is_empty() && prev.comment.contains(&marker) {
+                if prev.code.trim().is_empty() && comment_allows(&prev.comment, lint) {
                     return true;
                 }
             }
         }
         false
     }
+}
+
+/// Whether `comment` carries an `analyze:allow(...)` marker naming `lint`
+/// (possibly among a comma-separated list of lints).
+fn comment_allows(comment: &str, lint: &str) -> bool {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("analyze:allow(") {
+        let after = &rest[pos + "analyze:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            return false;
+        };
+        if after[..close].split(',').any(|name| name.trim() == lint) {
+            return true;
+        }
+        rest = &after[close..];
+    }
+    false
 }
 
 /// Detects `r"`, `r#"`, `br"`, `br#"`, ... at `chars[i]`.
@@ -310,6 +330,15 @@ mod tests {
     }
 
     #[test]
+    fn multiline_strings_stay_blanked() {
+        let src = "let s = \"first line\n.unwrap() inside\nstill inside\"; after();";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[2].code.trim_start().starts_with('"'));
+        assert!(f.lines[2].code.contains("after()"));
+    }
+
+    #[test]
     fn raw_strings_are_blanked() {
         let f = SourceFile::parse("x.rs", "let s = r#\"has .unwrap() inside\"#; bar();");
         assert!(!f.lines[0].code.contains("unwrap"));
@@ -338,5 +367,16 @@ mod tests {
         assert!(f.allows(3, "panic-free-solvers"));
         assert!(!f.allows(4, "panic-free-solvers"));
         assert!(!f.allows(2, "doc-coverage"));
+    }
+
+    #[test]
+    fn allow_markers_accept_comma_separated_lists() {
+        let src = "// analyze:allow(determinism, shared-state)\nstate.lock().unwrap();";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allows(2, "determinism"));
+        assert!(f.allows(2, "shared-state"));
+        assert!(!f.allows(2, "error-discipline"));
+        // A lint name must match a whole list entry, not a substring.
+        assert!(!f.allows(2, "shared"));
     }
 }

@@ -5,6 +5,7 @@
 //! ```sh
 //! cargo run --release -p coolnet-bench --bin sa_bench
 //! cargo run --release -p coolnet-bench --bin sa_bench -- --quick
+//! cargo run --release -p coolnet-bench --bin sa_bench -- --threads-sweep
 //! ```
 //!
 //! Writes `BENCH_sa.json` into `--out` (default `target/experiments`).
@@ -20,6 +21,11 @@
 //! and — the transparency contract — whether the two designs are
 //! bit-for-bit identical. Cache and pool counters come from `coolnet-obs`
 //! snapshot deltas scoped to the reused arm.
+//!
+//! `--threads-sweep` additionally replays each problem at 1, 2 and 4
+//! worker threads (reuse on, candidate count fixed by the schedule) and
+//! records whether every count produced a bit-identical design — the
+//! dynamic evidence behind the multicore determinism claim.
 
 #![forbid(unsafe_code)]
 
@@ -58,6 +64,25 @@ struct RunResult {
     pool_tasks: u64,
 }
 
+/// One worker-thread determinism sweep (`--threads-sweep`): the same job
+/// scored by 1, 2 and 4 worker threads with the reuse layer on.
+#[derive(Debug, Serialize)]
+struct ThreadsSweep {
+    /// `problem1` or `problem2`.
+    problem: String,
+    /// ICCAD case id.
+    case: usize,
+    /// SA seed shared by every thread count.
+    seed: u64,
+    /// Worker-thread counts swept, in order.
+    threads: Vec<usize>,
+    /// Wall time per thread count, seconds (same order as `threads`).
+    wall_s: Vec<f64>,
+    /// The replay contract: every thread count produced bit-for-bit the
+    /// same design as the 1-thread reference.
+    identical: bool,
+}
+
 /// The artifact: enough context to compare runs across commits.
 #[derive(Debug, Serialize)]
 struct SaBench {
@@ -73,6 +98,8 @@ struct SaBench {
     flows: usize,
     /// Paired comparisons (problem 1 and problem 2).
     runs: Vec<RunResult>,
+    /// Worker-thread determinism sweeps (empty unless `--threads-sweep`).
+    threads_sweep: Vec<ThreadsSweep>,
     /// Overall wall-clock speedup: total plain time over total reused
     /// time (the acceptance number).
     speedup: f64,
@@ -164,9 +191,61 @@ fn run_pair(bench: &Benchmark, problem: Problem, case: usize, quick: bool, seed:
     result
 }
 
+/// Runs the same job at 1/2/4 worker threads (reuse on, candidate count
+/// fixed by the schedule) and checks the results are bit-identical.
+fn run_sweep(
+    bench: &Benchmark,
+    problem: Problem,
+    case: usize,
+    quick: bool,
+    seed: u64,
+) -> ThreadsSweep {
+    let counts = vec![1usize, 2, 4];
+    let mut wall_s = Vec::new();
+    let mut results = Vec::new();
+    for &threads in &counts {
+        let mut opts = schedule(quick, seed);
+        opts.reuse = ReuseOptions::with_worker_threads(threads);
+        let start = Instant::now();
+        results.push(TreeSearch::new(bench, opts).run(problem));
+        wall_s.push(start.elapsed().as_secs_f64());
+    }
+    let all_identical = match &results[0] {
+        Some(reference) => results[1..]
+            .iter()
+            .all(|r| r.as_ref().is_some_and(|b| identical(reference, b))),
+        None => results[1..].iter().all(|r| r.is_none()),
+    };
+    let sweep = ThreadsSweep {
+        problem: match problem {
+            Problem::PumpingPower => "problem1".to_owned(),
+            Problem::ThermalGradient => "problem2".to_owned(),
+        },
+        case,
+        seed,
+        threads: counts,
+        wall_s,
+        identical: all_identical,
+    };
+    println!(
+        "  {:9} case {}: threads {:?} -> {:?} s, identical: {}",
+        sweep.problem,
+        case,
+        sweep.threads,
+        sweep
+            .wall_s
+            .iter()
+            .map(|s| (s * 100.0).round() / 100.0)
+            .collect::<Vec<_>>(),
+        sweep.identical,
+    );
+    sweep
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut opts = HarnessOpts::from_args();
     let quick = opts.rest.iter().any(|a| a == "--quick");
+    let threads_sweep = opts.rest.iter().any(|a| a == "--threads-sweep");
     // Default to the small grid unless the caller asked for a specific
     // scale: the comparison is paired, so the speedup — not the absolute
     // times — is the measurement, and 21×21 keeps both arms tractable on
@@ -210,6 +289,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let speedup = total_plain / total_reused;
     println!("overall speedup: {speedup:.2}x");
 
+    let sweeps = if threads_sweep {
+        println!("worker-thread determinism sweep (1/2/4 threads, reuse on):");
+        vec![
+            run_sweep(
+                &Benchmark::iccad_scaled(1, opts.dims()),
+                Problem::PumpingPower,
+                1,
+                quick,
+                opts.seed,
+            ),
+            run_sweep(
+                &Benchmark::iccad_scaled(2, opts.dims()),
+                Problem::ThermalGradient,
+                2,
+                quick,
+                opts.seed,
+            ),
+        ]
+    } else {
+        Vec::new()
+    };
+
     let artifact = SaBench {
         schedule: if quick { "quick" } else { "reduced" }.to_owned(),
         grid: opts.grid,
@@ -217,6 +318,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         host_threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
         flows: sched.flows.len(),
         runs,
+        threads_sweep: sweeps,
         speedup,
         metrics: coolnet_obs::snapshot(),
     };

@@ -31,8 +31,15 @@ use coolnet_network::builders::tree::TreeConfig;
 use coolnet_network::CoolingNetwork;
 use coolnet_obs::LazyCounter;
 use coolnet_units::Pascal;
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+
+/// Cache maps are keyed HashMaps on purpose: every access is an exact-key
+/// lookup, and the one place iteration order could matter — LRU eviction —
+/// tie-breaks on `Slot::last_used` ticks, which are strictly monotonic and
+/// therefore unique, so `min_by_key` picks the same victim regardless of
+/// iteration order. Nothing order-dependent can leak into a DesignResult.
+// analyze:allow(determinism)
+type Map<K, V> = std::collections::HashMap<K, V>;
 
 /// Score lookups answered from the memo.
 static M_HITS: LazyCounter = LazyCounter::new("eval.cache_hits");
@@ -86,7 +93,7 @@ enum Built {
 
 struct Entry {
     built: Built,
-    scores: HashMap<ScoreKey, (f64, Option<Pascal>)>,
+    scores: Map<ScoreKey, (f64, Option<Pascal>)>,
 }
 
 struct Slot {
@@ -95,7 +102,7 @@ struct Slot {
 }
 
 struct LruMap {
-    map: HashMap<(TreeConfig, ModelChoice), Slot>,
+    map: Map<(TreeConfig, ModelChoice), Slot>,
     tick: u64,
 }
 
@@ -126,7 +133,7 @@ impl EvalCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             inner: Mutex::new(LruMap {
-                map: HashMap::new(),
+                map: Map::new(),
                 tick: 0,
             }),
             capacity: capacity.max(1),
@@ -213,7 +220,7 @@ impl EvalCache {
         }
         let entry = Arc::new(Mutex::new(Entry {
             built: Built::NotYet,
-            scores: HashMap::new(),
+            scores: Map::new(),
         }));
         inner.map.insert(
             key,

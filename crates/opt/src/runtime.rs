@@ -66,6 +66,8 @@ impl PowerTrace {
     }
 
     /// The power scale active at time `t` (last phase extends forever).
+    /// A phaseless trace — constructible via deserialization even though
+    /// [`PowerTrace::new`] rejects it — reads as nominal power.
     pub fn scale_at(&self, t: f64) -> f64 {
         let mut acc = 0.0;
         for &(d, s) in &self.phases {
@@ -74,7 +76,7 @@ impl PowerTrace {
                 return s;
             }
         }
-        self.phases.last().expect("nonempty").1
+        self.phases.last().map_or(1.0, |&(_, s)| s)
     }
 }
 

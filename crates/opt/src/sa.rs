@@ -168,6 +168,9 @@ where
     let chunk = items.len().div_ceil(threads);
     let n_chunks = items.len().div_ceil(chunk);
     let mut chunk_failures = vec![EvalFailures::default(); n_chunks];
+    // The scope's Err means a worker panicked, which catch_unwind above
+    // already converted into an infinite score; nothing is lost here.
+    // analyze:allow(error-discipline)
     let _ = crossbeam::scope(|scope| {
         for ((slot_chunk, item_chunk), failures) in out
             .chunks_mut(chunk)
@@ -212,6 +215,9 @@ where
     }
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let chunk = items.len().div_ceil(threads);
+    // The scope's Err means a worker panicked, which catch_unwind above
+    // already converted into the fallback value; nothing is lost here.
+    // analyze:allow(error-discipline)
     let _ = crossbeam::scope(|scope| {
         for (slot_chunk, item_chunk) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
             let run = &run;

@@ -67,14 +67,26 @@ pub struct ReuseOptions {
     /// Serve candidate scoring from one persistent worker pool per run
     /// instead of spawning a fresh thread scope every iteration.
     pub persistent_pool: bool,
+    /// Number of evaluation worker threads; `0` (the default) follows
+    /// [`TreeSearchOptions::parallelism`].
+    ///
+    /// This decouples *how many* candidates each iteration proposes
+    /// (`parallelism`, which shapes the RNG draw sequence and therefore
+    /// the search trajectory) from *how many threads* score them. Any
+    /// value yields a bit-identical [`DesignResult`] for a fixed job:
+    /// RNG draws happen on the coordinating thread, results are written
+    /// back by candidate index, and cache entries compute deterministically
+    /// — the thread-sweep determinism suite pins exactly this.
+    pub worker_threads: usize,
 }
 
 impl Default for ReuseOptions {
-    /// Cache 512 entries, persistent pool on.
+    /// Cache 512 entries, persistent pool on, threads follow parallelism.
     fn default() -> Self {
         Self {
             cache_capacity: 512,
             persistent_pool: true,
+            worker_threads: 0,
         }
     }
 }
@@ -86,6 +98,15 @@ impl ReuseOptions {
         Self {
             cache_capacity: 0,
             persistent_pool: false,
+            worker_threads: 0,
+        }
+    }
+
+    /// Like [`Default`], but scoring on exactly `threads` worker threads.
+    pub fn with_worker_threads(threads: usize) -> Self {
+        Self {
+            worker_threads: threads,
+            ..Self::default()
         }
     }
 }
@@ -378,19 +399,22 @@ impl<'a> TreeSearch<'a> {
         let cache = (self.opts.reuse.cache_capacity > 0)
             .then(|| EvalCache::new(self.opts.reuse.cache_capacity));
         let eval = |req: &EvalRequest| self.eval_request(problem, cache.as_ref(), req);
+        // Candidate count stays `parallelism` (it shapes the RNG draw
+        // sequence); only the scoring thread count follows the override.
+        let threads = match self.opts.reuse.worker_threads {
+            0 => self.opts.parallelism,
+            n => n,
+        };
         if self.opts.reuse.persistent_pool {
-            with_worker_pool(
-                self.opts.parallelism.max(1),
-                (f64::INFINITY, None),
-                eval,
-                |pool| self.run_all_flows(problem, &Exec::Pool(pool)),
-            )
+            with_worker_pool(threads.max(1), (f64::INFINITY, None), eval, |pool| {
+                self.run_all_flows(problem, &Exec::Pool(pool))
+            })
         } else {
             self.run_all_flows(
                 problem,
                 &Exec::Scoped {
                     eval: &eval,
-                    threads: self.opts.parallelism,
+                    threads,
                 },
             )
         }
@@ -970,9 +994,9 @@ mod tests {
         let eval = |req: &EvalRequest| -> EvalResponse {
             match req.kind {
                 EvalKind::Full => {
-                    let mut n = full_calls.lock().unwrap();
+                    let mut n = full_calls.lock().unwrap_or_else(|p| p.into_inner());
                     *n += 1;
-                    log.lock().unwrap().push('F');
+                    log.lock().unwrap_or_else(|p| p.into_inner()).push('F');
                     if *n <= 2 {
                         (100.0, Some(Pascal::new(5000.0)))
                     } else {
@@ -981,11 +1005,11 @@ mod tests {
                 }
                 EvalKind::ObjectiveAt(p) => {
                     assert_eq!(p.value(), 5000.0, "frozen pressure must be retained");
-                    log.lock().unwrap().push('O');
+                    log.lock().unwrap_or_else(|p| p.into_inner()).push('O');
                     (50.0, None)
                 }
                 EvalKind::GradientAt(_) => {
-                    log.lock().unwrap().push('G');
+                    log.lock().unwrap_or_else(|p| p.into_inner()).push('G');
                     (1.0, None)
                 }
             }
@@ -1004,7 +1028,7 @@ mod tests {
         };
         let _ = search.run_stage_round(&stage, &init, 42, &exec);
 
-        let log = log.into_inner().unwrap();
+        let log = log.into_inner().unwrap_or_else(|p| p.into_inner());
         // Full evaluations: the initial cost, the boundary refreshes at
         // iterations 0 and 4, and the boundary iterations' own candidates
         // (boundary candidates always evaluate fully). The infeasible

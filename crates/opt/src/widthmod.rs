@@ -169,11 +169,12 @@ impl OneDimModel {
 }
 
 fn nearest_row_index(rows: &[u16], y: u16) -> usize {
+    // `rows` is empty only for a zero-height grid, in which case no heat
+    // source maps to any row and the returned index is never used.
     rows.iter()
         .enumerate()
         .min_by_key(|(_, &r)| (r as i32 - y as i32).abs())
-        .map(|(i, _)| i)
-        .expect("at least one channel row")
+        .map_or(0, |(i, _)| i)
 }
 
 /// A width-modulated design produced by [`design`].
@@ -266,17 +267,18 @@ pub struct WidthModLimits {
 ///
 /// `width_choices` is the discrete menu of manufacturable widths (ascending).
 ///
-/// Returns `None` if even full-width channels cannot satisfy the
-/// constraints under the 1-D model.
+/// Returns `None` if `width_choices` is empty or even full-width channels
+/// cannot satisfy the constraints under the 1-D model.
 pub fn design(
     bench: &Benchmark,
     width_choices: &[f64],
     limits: WidthModLimits,
     max_rounds: usize,
 ) -> Option<WidthModDesign> {
-    assert!(!width_choices.is_empty(), "need at least one width choice");
+    // An empty width menu leaves nothing to design with — that is an
+    // infeasible input, not a programming error.
+    let w_max = *width_choices.last()?;
     let model = OneDimModel::new(bench);
-    let w_max = *width_choices.last().expect("nonempty");
     let mut widths = vec![w_max; model.num_channels()];
 
     let tune = |widths: &[f64]| -> Option<(Pascal, OneDimPrediction)> {

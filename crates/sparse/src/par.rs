@@ -144,6 +144,9 @@ pub fn spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64], part: &RowPartition) {
     // Split y into one disjoint slice per range; ranges are contiguous and
     // ordered, so a sweep of split_at_mut suffices. Worker panics propagate
     // through the scoped join, so the Ok-only result can be discarded.
+    // Err only reports worker panics, which the scoped join already
+    // resumed on this thread.
+    // analyze:allow(error-discipline)
     let _ = crossbeam::scope(|scope| {
         let mut rest = y;
         let mut offset = 0usize;
@@ -182,6 +185,9 @@ pub fn dot(a: &[f64], b: &[f64], threads: usize) -> f64 {
     }
     let blocks = blocks(a.len(), threads);
     let mut partial = vec![0.0f64; blocks.len()];
+    // Err only reports worker panics, which the scoped join already
+    // resumed on this thread.
+    // analyze:allow(error-discipline)
     let _ = crossbeam::scope(|scope| {
         for (slot, &(lo, hi)) in partial.iter_mut().zip(&blocks) {
             scope.spawn(move |_| *slot = ops::dot(&a[lo..hi], &b[lo..hi]));
@@ -207,6 +213,9 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64], threads: usize) {
         return;
     }
     let blocks = blocks(x.len(), threads);
+    // Err only reports worker panics, which the scoped join already
+    // resumed on this thread.
+    // analyze:allow(error-discipline)
     let _ = crossbeam::scope(|scope| {
         let mut rest = y;
         let mut offset = 0usize;
