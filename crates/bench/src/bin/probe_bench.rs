@@ -51,6 +51,17 @@ struct ConfigResult {
     /// Mean ladder attempts per probe (1.0 = first rung always
     /// converged; 0 under `--no-metrics`).
     mean_attempts: f64,
+    /// Attempts beyond the first per solve (`attempts - solves` delta):
+    /// the escalation tax paid in this configuration's window.
+    wasted_attempts: u64,
+    /// Escalations per solve in the window (0 under `--no-metrics`).
+    escalation_rate: f64,
+    /// Solves started on a sticky rung hint (delta of
+    /// `ladder.hinted_solves`).
+    hinted_solves: u64,
+    /// Solves the diagnostics gate routed straight to the dense rung
+    /// (delta of `ladder.diag_routed`).
+    diag_routed: u64,
 }
 
 /// The artifact: enough context to compare runs across commits.
@@ -122,6 +133,7 @@ fn measure(
     let iterations = after.histogram_sum_delta(&before, "ladder.iterations");
     let attempts = after.counter_delta(&before, "ladder.attempts");
     let escalations = after.counter_delta(&before, "ladder.escalations");
+    let solves = after.counter_delta(&before, "ladder.solves");
     let result = ConfigResult {
         name: name.to_owned(),
         solver_threads: config.solver_threads,
@@ -132,10 +144,25 @@ fn measure(
         mean_iterations: per_probe(iterations, probes),
         escalations,
         mean_attempts: per_probe(attempts, probes),
+        wasted_attempts: attempts.saturating_sub(solves),
+        escalation_rate: if solves == 0 {
+            0.0
+        } else {
+            escalations as f64 / solves as f64
+        },
+        hinted_solves: after.counter_delta(&before, "ladder.hinted_solves"),
+        diag_routed: after.counter_delta(&before, "ladder.diag_routed"),
     };
     println!(
-        "  {:12} {:7.2} probes/s   {:5.1} iters/probe   {} escalations   ({} probes, {:.2} s)",
-        result.name, result.probes_per_sec, result.mean_iterations, escalations, probes, elapsed_s
+        "  {:12} {:7.2} probes/s   {:5.1} iters/probe   {} escalations   {} wasted   \
+         ({} probes, {:.2} s)",
+        result.name,
+        result.probes_per_sec,
+        result.mean_iterations,
+        escalations,
+        result.wasted_attempts,
+        probes,
+        elapsed_s
     );
     Ok(result)
 }

@@ -62,6 +62,51 @@ struct RunResult {
     cache_misses: u64,
     cache_evictions: u64,
     pool_tasks: u64,
+    /// Solve-ladder escalation-tax diagnostics over the reused arm.
+    ladder: LadderSummary,
+}
+
+/// Escalation-tax accounting over a snapshot window: how many ladder
+/// attempts were spent beyond the first attempt of each solve, and how
+/// the adaptive ladder (sticky hints + diagnostics gate) avoided them.
+#[derive(Debug, Serialize)]
+struct LadderSummary {
+    /// Ladder solves in the window.
+    solves: u64,
+    /// Solver attempts actually run.
+    attempts: u64,
+    /// Solves needing more than one attempt.
+    escalations: u64,
+    /// Attempts beyond one per solve (`attempts - solves`): the
+    /// escalation tax this PR exists to kill.
+    wasted_attempts: u64,
+    /// `escalations / solves` (0 when no solves ran).
+    escalation_rate: f64,
+    /// Solves started on a sticky per-site rung hint.
+    hinted_solves: u64,
+    /// Solves the diagnostics gate routed straight to the dense rung.
+    diag_routed: u64,
+}
+
+impl LadderSummary {
+    fn delta(after: &MetricsSnapshot, before: &MetricsSnapshot) -> Self {
+        let solves = after.counter_delta(before, "ladder.solves");
+        let attempts = after.counter_delta(before, "ladder.attempts");
+        let escalations = after.counter_delta(before, "ladder.escalations");
+        Self {
+            solves,
+            attempts,
+            escalations,
+            wasted_attempts: attempts.saturating_sub(solves),
+            escalation_rate: if solves == 0 {
+                0.0
+            } else {
+                escalations as f64 / solves as f64
+            },
+            hinted_solves: after.counter_delta(before, "ladder.hinted_solves"),
+            diag_routed: after.counter_delta(before, "ladder.diag_routed"),
+        }
+    }
 }
 
 /// One worker-thread determinism sweep (`--threads-sweep`): the same job
@@ -103,6 +148,9 @@ struct SaBench {
     /// Overall wall-clock speedup: total plain time over total reused
     /// time (the acceptance number).
     speedup: f64,
+    /// Whole-process escalation-tax accounting (both arms plus sweeps):
+    /// the CI gate reads `wasted_attempts / attempts` from here.
+    ladder: LadderSummary,
     /// End-of-run snapshot of every `coolnet-obs` counter and histogram
     /// touched by the benchmark process.
     metrics: MetricsSnapshot,
@@ -175,6 +223,7 @@ fn run_pair(bench: &Benchmark, problem: Problem, case: usize, quick: bool, seed:
         cache_misses: after.counter_delta(&before, "eval.cache_misses"),
         cache_evictions: after.counter_delta(&before, "eval.cache_evictions"),
         pool_tasks: after.counter_delta(&before, "sa.pool_tasks"),
+        ladder: LadderSummary::delta(&after, &before),
     };
     println!(
         "  {:9} case {}: plain {:6.2} s, reused {:6.2} s, {:.2}x, identical: {}, \
@@ -187,6 +236,16 @@ fn run_pair(bench: &Benchmark, problem: Problem, case: usize, quick: bool, seed:
         identical,
         result.cache_hits,
         result.cache_misses,
+    );
+    println!(
+        "            ladder: {} solves, {} attempts ({} wasted), esc rate {:.4}, \
+         {} hinted, {} routed",
+        result.ladder.solves,
+        result.ladder.attempts,
+        result.ladder.wasted_attempts,
+        result.ladder.escalation_rate,
+        result.ladder.hinted_solves,
+        result.ladder.diag_routed,
     );
     result
 }
@@ -261,6 +320,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sched.parallelism,
     );
 
+    // Process-origin snapshot for the whole-run escalation-tax summary
+    // (taken before the warm-up so every solve in the process counts).
+    let origin = coolnet_obs::snapshot();
+
     // Untimed warm-up: first-touch global state (allocator, lazy metric
     // registration) lands outside both timed arms.
     let warm = Benchmark::iccad_scaled(1, opts.dims());
@@ -311,6 +374,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Vec::new()
     };
 
+    let metrics = coolnet_obs::snapshot();
+    let ladder = LadderSummary::delta(&metrics, &origin);
+    println!(
+        "escalation tax: {} solves, {} attempts, {} wasted (rate {:.4}), \
+         {} hinted, {} routed",
+        ladder.solves,
+        ladder.attempts,
+        ladder.wasted_attempts,
+        ladder.escalation_rate,
+        ladder.hinted_solves,
+        ladder.diag_routed,
+    );
     let artifact = SaBench {
         schedule: if quick { "quick" } else { "reduced" }.to_owned(),
         grid: opts.grid,
@@ -320,7 +395,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runs,
         threads_sweep: sweeps,
         speedup,
-        metrics: coolnet_obs::snapshot(),
+        ladder,
+        metrics,
     };
     write_json(&opts.out_path("BENCH_sa.json"), &artifact);
     Ok(())

@@ -257,6 +257,13 @@ impl LazyCounter {
     pub fn get(&self) -> u64 {
         self.metric().get()
     }
+
+    /// Resolves the handle so the metric appears in [`snapshot`]s even if
+    /// it never fires — an explicit `0` distinguishes "never incremented"
+    /// from "not instrumented". Works regardless of the enabled gate.
+    pub fn register(&self) {
+        let _ = self.metric();
+    }
 }
 
 /// A named histogram handle resolving its storage on first use.
@@ -297,6 +304,14 @@ impl LazyHistogram {
             return;
         }
         self.metric().record(value);
+    }
+
+    /// Resolves the handle so the histogram appears in [`snapshot`]s even
+    /// if it never records — an explicit empty histogram distinguishes
+    /// "never sampled" from "not instrumented". Works regardless of the
+    /// enabled gate.
+    pub fn register(&self) {
+        let _ = self.metric();
     }
 
     /// Starts a [`Span`] timing until drop; inert when disabled (one
@@ -369,8 +384,13 @@ impl MetricsSnapshot {
     }
 }
 
-/// Exports every registered metric. Works regardless of the enabled gate;
-/// metrics never touched by an enabled recording call are absent.
+/// Exports every registered metric. Works regardless of the enabled gate.
+///
+/// A metric is registered by its first recording call while enabled, or
+/// explicitly via [`LazyCounter::register`] / [`LazyHistogram::register`];
+/// registered-but-never-fired metrics export as explicit zeros, so a
+/// consumer can distinguish "never fired" from "not instrumented".
+/// Handles that were never resolved either way are absent.
 pub fn snapshot() -> MetricsSnapshot {
     let counters = lock(&registry().counters)
         .iter()
@@ -407,6 +427,47 @@ mod tests {
 
     fn guard() -> MutexGuard<'static, ()> {
         GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn registered_but_zero_metrics_export_as_explicit_zeros() {
+        let _g = guard();
+        set_enabled(true);
+        static C: LazyCounter = LazyCounter::new("test.registered_zero_counter");
+        static H: LazyHistogram = LazyHistogram::new("test.registered_zero_histogram");
+        C.register();
+        H.register();
+        // Never incremented / recorded — but present, as zeros, so jq
+        // gates and diagnosis can tell "never fired" from "not
+        // instrumented".
+        let snap = snapshot();
+        assert_eq!(
+            snap.counters.get("test.registered_zero_counter").copied(),
+            Some(0)
+        );
+        let h = snap.histogram("test.registered_zero_histogram").unwrap();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.sum, 0);
+        // register() is idempotent and keeps pointing at the same storage.
+        C.register();
+        C.inc();
+        assert_eq!(snapshot().counter("test.registered_zero_counter"), C.get());
+    }
+
+    #[test]
+    fn register_works_while_disabled() {
+        let _g = guard();
+        set_enabled(false);
+        static C: LazyCounter = LazyCounter::new("test.registered_while_disabled");
+        C.register();
+        assert_eq!(
+            snapshot()
+                .counters
+                .get("test.registered_while_disabled")
+                .copied(),
+            Some(0)
+        );
+        set_enabled(true);
     }
 
     #[test]

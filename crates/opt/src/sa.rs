@@ -326,7 +326,10 @@ where
     F: Fn(&S) -> R + Sync,
     B: FnOnce(&WorkerPool<S, R>) -> T,
 {
-    let workers = workers.max(1);
+    // Clamp to the hardware: extra workers on an oversubscribed host only
+    // add context-switch overhead (batch order is preserved regardless of
+    // the worker count, so the clamp cannot change results).
+    let workers = coolnet_sparse::par::effective_workers(workers);
     let (task_tx, task_rx) = mpsc::channel::<(usize, S)>();
     let (result_tx, result_rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
     let task_rx = Arc::new(Mutex::new(task_rx));
@@ -741,7 +744,9 @@ mod tests {
             -1.0f64,
             |x: &i64| (*x * 3) as f64,
             |pool| {
-                assert_eq!(pool.workers(), 4);
+                // The pool clamps to the hardware, so on small hosts fewer
+                // than the requested 4 workers serve the batches.
+                assert_eq!(pool.workers(), coolnet_sparse::par::effective_workers(4));
                 // Several batches through the same pool, including empty
                 // and single-item ones.
                 for batch in [0usize, 1, 17, 33] {

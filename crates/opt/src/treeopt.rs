@@ -400,11 +400,15 @@ impl<'a> TreeSearch<'a> {
             .then(|| EvalCache::new(self.opts.reuse.cache_capacity));
         let eval = |req: &EvalRequest| self.eval_request(problem, cache.as_ref(), req);
         // Candidate count stays `parallelism` (it shapes the RNG draw
-        // sequence); only the scoring thread count follows the override.
-        let threads = match self.opts.reuse.worker_threads {
-            0 => self.opts.parallelism,
-            n => n,
-        };
+        // sequence); only the scoring thread count follows the override,
+        // clamped to the hardware so a 1-core host never time-slices a
+        // 4-thread scoring pool (determinism is thread-count-independent,
+        // so the clamp changes wall time only).
+        let threads =
+            coolnet_sparse::par::effective_workers(match self.opts.reuse.worker_threads {
+                0 => self.opts.parallelism,
+                n => n,
+            });
         if self.opts.reuse.persistent_pool {
             with_worker_pool(threads.max(1), (f64::INFINITY, None), eval, |pool| {
                 self.run_all_flows(problem, &Exec::Pool(pool))

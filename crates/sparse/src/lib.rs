@@ -65,5 +65,8 @@ pub mod solve;
 pub use coo::TripletBuilder;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
-pub use resilience::{LadderError, LadderSolution, SolveLadder, SolveReport};
+pub use resilience::{
+    DiagnosticsGate, LadderError, LadderHint, LadderSolution, MatrixDiagnostics, SolveLadder,
+    SolveReport,
+};
 pub use solve::{Solution, SolveError, SolveStats, SolverOptions};

@@ -58,6 +58,36 @@ static M_RUNG_CONVERGED: [LazyCounter; 5] = [
     LazyCounter::new("ladder.rung3_converged"),
     LazyCounter::new("ladder.rung4plus_converged"),
 ];
+/// Solves that started on a sticky per-site rung hint ([`LadderHint`]).
+static M_HINTED: LazyCounter = LazyCounter::new("ladder.hinted_solves");
+/// Hints cleared, by decay (K consecutive hinted successes) or by a
+/// failure of the hinted starting rung.
+static M_HINT_RESETS: LazyCounter = LazyCounter::new("ladder.hint_resets");
+/// Solves the diagnostics gate routed straight to the terminal dense rung.
+static M_DIAG_ROUTED: LazyCounter = LazyCounter::new("ladder.diag_routed");
+
+/// Eagerly registers every ladder metric so snapshots report explicit
+/// zeros for counters that have not fired (e.g. `ladder.rung1_converged`
+/// on a run where no solve ever converged on rung 1). Without this,
+/// "never fired" and "not instrumented" are indistinguishable in an
+/// exported [`coolnet_obs::MetricsSnapshot`].
+fn register_metrics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        M_SOLVES.register();
+        M_ATTEMPTS.register();
+        M_ESCALATIONS.register();
+        M_EXHAUSTED.register();
+        M_INJECTED.register();
+        M_ITERATIONS.register();
+        for c in &M_RUNG_CONVERGED {
+            c.register();
+        }
+        M_HINTED.register();
+        M_HINT_RESETS.register();
+        M_DIAG_ROUTED.register();
+    });
+}
 
 /// Default dimension cap for the terminal dense-LU rung: above this the
 /// O(n³) factorization costs more than declaring the probe infeasible.
@@ -168,6 +198,220 @@ impl Default for RetryPolicy {
             tolerance_growth: 10.0,
             max_tolerance: 1e-4,
         }
+    }
+}
+
+/// Hinted successes before a sticky rung hint decays back to rung 0.
+pub const DEFAULT_HINT_DECAY: u32 = 8;
+
+/// Sticky per-call-site rung memory for [`SolveLadder::solve_hinted`].
+///
+/// A hint remembers the rung the ladder last escalated to at one call
+/// site, so the next solve from that site starts there instead of burning
+/// the rungs below it again. After `decay` consecutive hinted successes
+/// the hint falls back to rung 0, re-probing the cheap rungs so transient
+/// stiffness cannot pin a site on an expensive rung forever. A failure of
+/// the hinted starting rung (including an injected fault) clears the hint
+/// immediately and the solve escalates through the full ladder from
+/// rung 0.
+///
+/// Hints hold no clocks and no randomness: their evolution is a pure
+/// function of the sequence of solves made through them, so a site that
+/// replays the same systems replays the same hint states bit for bit.
+/// Each hint must be owned by exactly one deterministic call sequence
+/// (e.g. one probe cache, one transient integrator) — sharing a hint
+/// across concurrently scored candidates would make its state depend on
+/// the thread schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderHint {
+    rung: Option<usize>,
+    streak: u32,
+    decay: u32,
+}
+
+impl Default for LadderHint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LadderHint {
+    /// A cold hint (next solve starts at rung 0) with the default decay.
+    pub fn new() -> Self {
+        Self::with_decay(DEFAULT_HINT_DECAY)
+    }
+
+    /// A cold hint decaying after `decay` consecutive hinted successes
+    /// (clamped to at least 1).
+    pub fn with_decay(decay: u32) -> Self {
+        Self {
+            rung: None,
+            streak: 0,
+            decay: decay.max(1),
+        }
+    }
+
+    /// A hint already pointing at `rung`, as if the last solve through it
+    /// had escalated there (for tests and tuning experiments).
+    pub fn pinned(rung: usize) -> Self {
+        Self {
+            rung: Some(rung),
+            streak: 0,
+            decay: DEFAULT_HINT_DECAY,
+        }
+    }
+
+    /// The rung the next hinted solve will start at, if any.
+    pub fn rung(&self) -> Option<usize> {
+        self.rung
+    }
+
+    /// Clears the hint: the next solve starts at rung 0.
+    pub fn reset(&mut self) {
+        self.rung = None;
+        self.streak = 0;
+    }
+
+    /// Records a success on the hinted rung; returns `true` when the
+    /// streak reached the decay threshold and the hint was cleared.
+    fn note_hinted_success(&mut self) -> bool {
+        self.streak += 1;
+        if self.streak >= self.decay {
+            self.reset();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remembers `rung` as the sticky starting point.
+    fn stick(&mut self, rung: usize) {
+        self.rung = Some(rung);
+        self.streak = 0;
+    }
+}
+
+/// Cheap structural diagnostics of a system matrix, measured in one
+/// `O(nnz)` pass (negligible next to any Krylov solve on the same matrix).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatrixDiagnostics {
+    /// System dimension (rows).
+    pub dim: usize,
+    /// Smallest `|a_ii|` over all rows (`0` flags a structural zero pivot).
+    pub min_abs_diag: f64,
+    /// Largest `|a_ii|` over all rows.
+    pub max_abs_diag: f64,
+    /// Minimum per-row dominance `|a_ii| / Σ_{j≠i} |a_ij|`
+    /// (`∞` for rows without off-diagonals).
+    pub min_row_dominance: f64,
+    /// Net diagonal dominance `Σ_i (|a_ii| − Σ_{j≠i} |a_ij|) / Σ_i |a_ii|`
+    /// (`0` for an all-zero diagonal). Conservation-law operators (flow
+    /// and thermal balances alike) have interior rows that cancel exactly,
+    /// so this measures the *boundary* coupling that makes the system
+    /// solvable; values near zero flag a numerically singular system.
+    pub net_dominance: f64,
+}
+
+impl MatrixDiagnostics {
+    /// Measures `a`.
+    pub fn measure(a: &CsrMatrix) -> Self {
+        let n = a.rows();
+        let mut min_abs_diag = f64::INFINITY;
+        let mut max_abs_diag = 0.0_f64;
+        let mut min_row_dominance = f64::INFINITY;
+        let mut total_excess = 0.0_f64;
+        let mut total_diag = 0.0_f64;
+        for r in 0..n {
+            let (cols, vals) = a.row(r);
+            let mut d = 0.0;
+            let mut off = 0.0;
+            for (&c, &v) in cols.iter().zip(vals) {
+                if c as usize == r {
+                    d += v.abs();
+                } else {
+                    off += v.abs();
+                }
+            }
+            min_abs_diag = min_abs_diag.min(d);
+            max_abs_diag = max_abs_diag.max(d);
+            let dominance = if off > 0.0 { d / off } else { f64::INFINITY };
+            min_row_dominance = min_row_dominance.min(dominance);
+            total_excess += d - off;
+            total_diag += d;
+        }
+        let net_dominance = if total_diag > 0.0 {
+            total_excess / total_diag
+        } else {
+            0.0
+        };
+        Self {
+            dim: n,
+            min_abs_diag: if n == 0 { 0.0 } else { min_abs_diag },
+            max_abs_diag,
+            min_row_dominance,
+            net_dominance,
+        }
+    }
+}
+
+/// Routes pathological systems straight to the terminal dense rung instead
+/// of burning the Krylov rungs that cannot converge on them.
+///
+/// The gate is *conservative by construction*: it only fires on systems
+/// whose [`MatrixDiagnostics`] mark them numerically singular — where the
+/// Krylov rungs fail within any realistic budget and the escalation would
+/// have ended at the dense rung anyway. Routing therefore reproduces the
+/// escalated solve's solution bit for bit (dense LU ignores the initial
+/// guess and tolerance), just without the dead attempts. Systems the gate
+/// misses still escalate normally and are then covered by the caller's
+/// [`LadderHint`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosticsGate {
+    /// Whether the gate routes at all (default `true`).
+    #[serde(default = "default_gate_enabled")]
+    pub enabled: bool,
+    /// Systems with `|net_dominance|` below this are treated as
+    /// numerically singular. The default sits in the measured gap between
+    /// the workspace's escalating thermal probes (`≤ 2.3e-9`, conduction
+    /// Laplacians whose advection vanishes at the lowest probed pressures)
+    /// and the weakest healthy solves (`≥ 4.2e-9`).
+    #[serde(default = "default_singular_net_dominance")]
+    pub singular_net_dominance: f64,
+}
+
+fn default_gate_enabled() -> bool {
+    true
+}
+
+fn default_singular_net_dominance() -> f64 {
+    3e-9
+}
+
+impl Default for DiagnosticsGate {
+    fn default() -> Self {
+        Self {
+            enabled: default_gate_enabled(),
+            singular_net_dominance: default_singular_net_dominance(),
+        }
+    }
+}
+
+impl DiagnosticsGate {
+    /// A gate that never routes (pure escalation-ladder behavior).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Whether `d` marks a system this gate routes to the dense rung.
+    pub fn routes(&self, d: &MatrixDiagnostics) -> bool {
+        self.enabled
+            && d.dim > 0
+            && (d.min_abs_diag <= 0.0
+                || !d.net_dominance.is_finite()
+                || d.net_dominance.abs() < self.singular_net_dominance)
     }
 }
 
@@ -312,6 +556,11 @@ pub struct SolveLadder {
     pub rungs: Vec<Rung>,
     /// Within-rung retry/loosening policy.
     pub policy: RetryPolicy,
+    /// Diagnostics gate routing numerically singular systems straight to
+    /// the terminal dense rung (configs serialized before this field
+    /// existed deserialize to the default, enabled gate).
+    #[serde(default)]
+    pub gate: DiagnosticsGate,
 }
 
 impl Default for SolveLadder {
@@ -340,6 +589,7 @@ impl SolveLadder {
                 ),
             ],
             policy: RetryPolicy::default(),
+            gate: DiagnosticsGate::default(),
         }
     }
 
@@ -361,6 +611,7 @@ impl SolveLadder {
                 ),
             ],
             policy: RetryPolicy::default(),
+            gate: DiagnosticsGate::default(),
         }
     }
 
@@ -370,7 +621,10 @@ impl SolveLadder {
     /// use (typically a cached ILU(0) factorization); other specs build
     /// their own from `a`. Every candidate solution is checked for finite
     /// entries before being accepted, so NaN-poisoned arithmetic escalates
-    /// instead of propagating.
+    /// instead of propagating. The [`DiagnosticsGate`] still applies (it
+    /// is stateless), but no sticky hint is consulted or updated — use
+    /// [`solve_hinted`](Self::solve_hinted) from call sites that own a
+    /// [`LadderHint`].
     ///
     /// # Errors
     ///
@@ -383,115 +637,253 @@ impl SolveLadder {
         caller: &dyn Preconditioner,
         options: &SolverOptions,
     ) -> Result<LadderSolution, LadderError> {
+        // Output finiteness is guarded per attempt inside the rung loop;
+        // here only the system shape is validated.
+        assert_eq!(a.rows(), b.len(), "rhs length must match the system");
+        self.solve_inner(a, b, caller, options, None)
+    }
+
+    /// Like [`solve`](Self::solve), but consulting and updating the
+    /// caller's sticky [`LadderHint`]:
+    ///
+    /// * the [`DiagnosticsGate`] is checked first (it is a pure function
+    ///   of the matrix); when it routes, the hint is left untouched;
+    /// * otherwise, a warm hint starts the ladder at its remembered rung;
+    /// * a success on the hinted rung extends the streak (the hint decays
+    ///   back to rung 0 after its configured run of hinted successes);
+    /// * a failure of the hinted starting rung — injected or real —
+    ///   resets the hint and the solve escalates through the full ladder
+    ///   from rung 0;
+    /// * a cold solve that escalates (with no injected faults) sticks the
+    ///   hint to the rung that converged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LadderError`] with the full [`SolveReport`] when every
+    /// rung fails or is inapplicable.
+    pub fn solve_hinted(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        caller: &dyn Preconditioner,
+        options: &SolverOptions,
+        hint: &mut LadderHint,
+    ) -> Result<LadderSolution, LadderError> {
+        // Output finiteness is guarded per attempt inside the rung loop;
+        // here only the system shape is validated.
+        assert_eq!(a.rows(), b.len(), "rhs length must match the system");
+        self.solve_inner(a, b, caller, options, Some(hint))
+    }
+
+    /// The rung index the diagnostics gate may route to: the last rung,
+    /// provided it is a dense LU that accepts `n` unknowns.
+    fn terminal_dense_rung(&self, n: usize) -> Option<usize> {
+        let (ri, rung) = self.rungs.iter().enumerate().next_back()?;
+        match rung.solver {
+            SolverKind::DenseLu { max_dim } if n <= max_dim => Some(ri),
+            _ => None,
+        }
+    }
+
+    fn solve_inner(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        caller: &dyn Preconditioner,
+        options: &SolverOptions,
+        mut hint: Option<&mut LadderHint>,
+    ) -> Result<LadderSolution, LadderError> {
+        register_metrics();
         let plan = PlanState::current();
         let mut report = SolveReport::default();
-        let n = a.rows();
-        let attempts_per_rung = self.policy.attempts_per_rung.max(1);
-        let ceiling = self.policy.max_tolerance.max(options.tolerance);
 
-        for (ri, rung) in self.rungs.iter().enumerate() {
-            if let SolverKind::DenseLu { max_dim } = rung.solver {
-                if n > max_dim {
-                    report.attempts.push(Attempt {
-                        rung: ri,
-                        solver: rung.solver,
-                        precond: rung.precond,
-                        tolerance: options.tolerance,
-                        injected: false,
-                        outcome: AttemptOutcome::Skipped {
-                            reason: format!("{n} unknowns exceed the {max_dim}-unknown dense cap"),
-                        },
-                    });
-                    continue;
+        // Starting-rung selection: the stateless diagnostics gate first,
+        // then the caller's sticky hint.
+        let mut start = 0usize;
+        let mut hinted = false;
+        if self.gate.enabled {
+            if let Some(terminal) = self.terminal_dense_rung(a.rows()) {
+                if terminal > 0 && self.gate.routes(&MatrixDiagnostics::measure(a)) {
+                    start = terminal;
+                    M_DIAG_ROUTED.inc();
                 }
             }
-            let built: Option<Box<dyn Preconditioner>> = match rung.precond {
-                PrecondSpec::Caller => None,
-                PrecondSpec::Identity => Some(Box::new(Identity::new(n))),
-                PrecondSpec::Jacobi => Some(Box::new(Jacobi::new(a))),
-                PrecondSpec::Ilu0 => Some(Box::new(Ilu0::new(a))),
-            };
-            let m: &dyn Preconditioner = match &built {
-                Some(p) => p.as_ref(),
-                None => caller,
-            };
+        }
+        if start == 0 {
+            if let Some(r) = hint.as_deref().and_then(LadderHint::rung) {
+                if r > 0 && r < self.rungs.len() {
+                    start = r;
+                    hinted = true;
+                    M_HINTED.inc();
+                }
+            }
+        }
 
-            for retry in 0..attempts_per_rung {
-                let tolerance = (options.tolerance
-                    * rung.tolerance_factor
-                    * self.policy.tolerance_growth.powi(retry as i32))
-                .min(ceiling);
-                let mut opts = options.clone();
-                opts.tolerance = tolerance;
-                opts.max_iterations =
-                    (((options.cap(n) as f64) * rung.iteration_factor).ceil() as usize).max(1);
-
-                let inject = plan.next();
-                let injected = inject.is_some();
-                let result = match inject {
-                    Some(Inject::Fail(e)) => Err(e),
-                    other => run_rung(rung.solver, a, b, m, &opts).and_then(|mut sol| {
-                        if matches!(other, Some(Inject::Poison)) {
-                            if let Some(x0) = sol.solution.first_mut() {
-                                *x0 = f64::NAN;
-                            }
+        // Shortcut attempt at the selected rung.
+        if start > 0 {
+            if let Some(sol) = self.try_rung(start, a, b, caller, options, &plan, &mut report) {
+                if hinted {
+                    if let Some(h) = hint.as_deref_mut() {
+                        if h.note_hinted_success() {
+                            M_HINT_RESETS.inc();
                         }
-                        if sol.solution.iter().all(|v| v.is_finite()) {
-                            Ok(sol)
-                        } else {
-                            Err(SolveError::NonFinite)
-                        }
-                    }),
-                };
-                match result {
-                    Ok(sol) => {
-                        report.attempts.push(Attempt {
-                            rung: ri,
-                            solver: rung.solver,
-                            precond: rung.precond,
-                            tolerance,
-                            injected,
-                            outcome: AttemptOutcome::Converged {
-                                iterations: sol.stats.iterations,
-                                residual: sol.stats.residual,
-                            },
-                        });
-                        let stats = SolveStats {
-                            rung: ri,
-                            attempts: report.tried(),
-                            ..sol.stats
-                        };
-                        M_SOLVES.inc();
-                        M_ATTEMPTS.add(stats.attempts as u64);
-                        // add(0) keeps the metric registered (and thus
-                        // present in snapshots) on the no-escalation path.
-                        M_ESCALATIONS.add(u64::from(report.escalated()));
-                        M_INJECTED.add(report.injected_faults() as u64);
-                        M_ITERATIONS.record(stats.iterations as u64);
-                        M_RUNG_CONVERGED[ri.min(M_RUNG_CONVERGED.len() - 1)].inc();
-                        return Ok(LadderSolution {
-                            solution: sol.solution,
-                            stats,
-                            report,
-                        });
-                    }
-                    Err(e) => {
-                        report.attempts.push(Attempt {
-                            rung: ri,
-                            solver: rung.solver,
-                            precond: rung.precond,
-                            tolerance,
-                            injected,
-                            outcome: AttemptOutcome::Failed(e),
-                        });
                     }
                 }
+                return Ok(self.finish(sol, start, report));
+            }
+            // The shortcut failed (or was skipped): clear a consulted hint
+            // and fall back to the full ladder. The recovery cascade does
+            // not re-stick the hint — the next solve from this site starts
+            // cold again.
+            if hinted {
+                if let Some(h) = hint.as_deref_mut() {
+                    h.reset();
+                    M_HINT_RESETS.inc();
+                }
+            }
+            hint = None;
+        }
+
+        // The full escalation cascade from rung 0 (the only path taken
+        // when neither gate nor hint engaged — bit-identical to the
+        // pre-hint ladder).
+        for ri in 0..self.rungs.len() {
+            if let Some(sol) = self.try_rung(ri, a, b, caller, options, &plan, &mut report) {
+                if ri > 0 && report.injected_faults() == 0 {
+                    // A natural escalation: remember where it ended so the
+                    // next solve from this site starts there. Fault-forced
+                    // escalations (test harness) do not stick.
+                    if let Some(h) = hint.as_deref_mut() {
+                        h.stick(ri);
+                    }
+                }
+                return Ok(self.finish(sol, ri, report));
             }
         }
         M_EXHAUSTED.inc();
         M_ATTEMPTS.add(report.tried() as u64);
         M_INJECTED.add(report.injected_faults() as u64);
         Err(LadderError { report })
+    }
+
+    /// Runs every retry of rung `ri`, recording each attempt (or the skip)
+    /// in `report`; returns the solution if one attempt converged.
+    #[allow(clippy::too_many_arguments)]
+    fn try_rung(
+        &self,
+        ri: usize,
+        a: &CsrMatrix,
+        b: &[f64],
+        caller: &dyn Preconditioner,
+        options: &SolverOptions,
+        plan: &PlanState,
+        report: &mut SolveReport,
+    ) -> Option<Solution> {
+        let rung = &self.rungs[ri];
+        let n = a.rows();
+        let attempts_per_rung = self.policy.attempts_per_rung.max(1);
+        let ceiling = self.policy.max_tolerance.max(options.tolerance);
+        if let SolverKind::DenseLu { max_dim } = rung.solver {
+            if n > max_dim {
+                report.attempts.push(Attempt {
+                    rung: ri,
+                    solver: rung.solver,
+                    precond: rung.precond,
+                    tolerance: options.tolerance,
+                    injected: false,
+                    outcome: AttemptOutcome::Skipped {
+                        reason: format!("{n} unknowns exceed the {max_dim}-unknown dense cap"),
+                    },
+                });
+                return None;
+            }
+        }
+        let built: Option<Box<dyn Preconditioner>> = match rung.precond {
+            PrecondSpec::Caller => None,
+            PrecondSpec::Identity => Some(Box::new(Identity::new(n))),
+            PrecondSpec::Jacobi => Some(Box::new(Jacobi::new(a))),
+            PrecondSpec::Ilu0 => Some(Box::new(Ilu0::new(a))),
+        };
+        let m: &dyn Preconditioner = match &built {
+            Some(p) => p.as_ref(),
+            None => caller,
+        };
+
+        for retry in 0..attempts_per_rung {
+            let tolerance = (options.tolerance
+                * rung.tolerance_factor
+                * self.policy.tolerance_growth.powi(retry as i32))
+            .min(ceiling);
+            let mut opts = options.clone();
+            opts.tolerance = tolerance;
+            opts.max_iterations =
+                (((options.cap(n) as f64) * rung.iteration_factor).ceil() as usize).max(1);
+
+            let inject = plan.next();
+            let injected = inject.is_some();
+            let result = match inject {
+                Some(Inject::Fail(e)) => Err(e),
+                other => run_rung(rung.solver, a, b, m, &opts).and_then(|mut sol| {
+                    if matches!(other, Some(Inject::Poison)) {
+                        if let Some(x0) = sol.solution.first_mut() {
+                            *x0 = f64::NAN;
+                        }
+                    }
+                    if sol.solution.iter().all(|v| v.is_finite()) {
+                        Ok(sol)
+                    } else {
+                        Err(SolveError::NonFinite)
+                    }
+                }),
+            };
+            match result {
+                Ok(sol) => {
+                    report.attempts.push(Attempt {
+                        rung: ri,
+                        solver: rung.solver,
+                        precond: rung.precond,
+                        tolerance,
+                        injected,
+                        outcome: AttemptOutcome::Converged {
+                            iterations: sol.stats.iterations,
+                            residual: sol.stats.residual,
+                        },
+                    });
+                    return Some(sol);
+                }
+                Err(e) => {
+                    report.attempts.push(Attempt {
+                        rung: ri,
+                        solver: rung.solver,
+                        precond: rung.precond,
+                        tolerance,
+                        injected,
+                        outcome: AttemptOutcome::Failed(e),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Stamps stats, records the success metrics and packages the result.
+    fn finish(&self, sol: Solution, ri: usize, report: SolveReport) -> LadderSolution {
+        let stats = SolveStats {
+            rung: ri,
+            attempts: report.tried(),
+            ..sol.stats
+        };
+        M_SOLVES.inc();
+        M_ATTEMPTS.add(stats.attempts as u64);
+        M_ESCALATIONS.add(u64::from(report.escalated()));
+        M_INJECTED.add(report.injected_faults() as u64);
+        M_ITERATIONS.record(stats.iterations as u64);
+        M_RUNG_CONVERGED[ri.min(M_RUNG_CONVERGED.len() - 1)].inc();
+        LadderSolution {
+            solution: sol.solution,
+            stats,
+            report,
+        }
     }
 }
 
@@ -893,5 +1285,263 @@ mod tests {
         assert!(SolverKind::DenseLu { max_dim: 9 }.to_string().contains('9'));
         assert_eq!(SolverKind::Cg.to_string(), "cg");
         assert_eq!(SolverKind::Bicgstab.to_string(), "bicgstab");
+    }
+
+    /// Near-singular conduction-style Laplacian: every row sum is a tiny
+    /// `ε`, so `net_dominance ≈ ε/2` sits far below the gate threshold —
+    /// the shape of the workspace's escalating low-pressure thermal probes.
+    fn near_singular(n: usize) -> CsrMatrix {
+        let mut b = TripletBuilder::new(n, n);
+        for i in 0..n {
+            let neighbors = usize::from(i > 0) + usize::from(i + 1 < n);
+            b.add(i, i, neighbors as f64 + 1e-12);
+            if i + 1 < n {
+                b.add(i, i + 1, -1.0);
+                b.add(i + 1, i, -1.0);
+            }
+        }
+        b.to_csr()
+    }
+
+    #[test]
+    fn matrix_diagnostics_measure_matches_hand_computation() {
+        // [[ 4, -1], [-2, 2]]
+        let mut b = TripletBuilder::new(2, 2);
+        b.add(0, 0, 4.0);
+        b.add(0, 1, -1.0);
+        b.add(1, 0, -2.0);
+        b.add(1, 1, 2.0);
+        let d = MatrixDiagnostics::measure(&b.to_csr());
+        assert_eq!(d.dim, 2);
+        assert_eq!(d.min_abs_diag, 2.0);
+        assert_eq!(d.max_abs_diag, 4.0);
+        // Row dominances are 4/1 and 2/2.
+        assert_eq!(d.min_row_dominance, 1.0);
+        // Net: ((4-1) + (2-2)) / (4+2).
+        assert_eq!(d.net_dominance, 0.5);
+
+        let healthy = MatrixDiagnostics::measure(&advection(40, 2.0));
+        assert!(!DiagnosticsGate::default().routes(&healthy));
+        let sick = MatrixDiagnostics::measure(&near_singular(40));
+        assert!(sick.net_dominance.abs() < 3e-9);
+        assert!(DiagnosticsGate::default().routes(&sick));
+    }
+
+    #[test]
+    fn gate_routes_near_singular_system_to_dense_rung() {
+        let a = near_singular(25);
+        let b = rhs(25);
+        let plan = FaultPlan::none();
+        let scope = fault::inject(&plan);
+        let sol = SolveLadder::nonsymmetric()
+            .solve(&a, &b, &Ilu0::new(&a), &SolverOptions::default())
+            .unwrap();
+        drop(scope);
+        // One attempt, straight at the terminal dense rung: no escalation
+        // recorded, no Krylov budget burned.
+        assert_eq!(sol.stats.rung, 3);
+        assert_eq!(sol.report.tried(), 1);
+        assert_eq!(sol.report.attempts[0].rung, 3);
+        assert!(!sol.report.escalated());
+        // Bitwise-identical to what the full escalation cascade produces
+        // when forced to the same dense rung (dense LU ignores attempt
+        // history, the initial guess and the tolerance).
+        let mut unhinted = SolveLadder::nonsymmetric();
+        unhinted.gate = DiagnosticsGate::disabled();
+        let plan = FaultPlan::fail_first(3, FaultKind::Breakdown);
+        let _scope = fault::inject(&plan);
+        let cascade = unhinted
+            .solve(&a, &b, &Ilu0::new(&a), &SolverOptions::default())
+            .unwrap();
+        assert_eq!(cascade.stats.rung, 3);
+        assert!(cascade.report.escalated());
+        assert_eq!(sol.solution, cascade.solution);
+    }
+
+    #[test]
+    fn gate_stands_down_when_dense_rung_cannot_take_the_system() {
+        let a = near_singular(10);
+        let b = rhs(10);
+        let mut ladder = SolveLadder::nonsymmetric();
+        ladder.rungs[3].solver = SolverKind::DenseLu { max_dim: 4 };
+        let plan = FaultPlan::none();
+        let _scope = fault::inject(&plan);
+        // No dense rung available: the ladder escalates normally (and
+        // exhausts, since every Krylov rung stalls on a singular system).
+        let err = ladder
+            .solve(&a, &b, &Ilu0::new(&a), &SolverOptions::default())
+            .unwrap_err();
+        assert_eq!(err.report.attempts[0].rung, 0);
+        assert!(matches!(
+            err.report.attempts.last().unwrap().outcome,
+            AttemptOutcome::Skipped { .. }
+        ));
+    }
+
+    #[test]
+    fn disabled_gate_starts_at_rung_zero_even_on_singular_systems() {
+        let a = near_singular(25);
+        let b = rhs(25);
+        let mut ladder = SolveLadder::nonsymmetric();
+        ladder.gate = DiagnosticsGate::disabled();
+        let plan = FaultPlan::none();
+        let _scope = fault::inject(&plan);
+        // ILU(0) is exact on a tridiagonal matrix, so rung 0 still
+        // converges here; the point is that nothing was routed.
+        let sol = ladder
+            .solve(&a, &b, &Ilu0::new(&a), &SolverOptions::default())
+            .unwrap();
+        assert_eq!(sol.report.attempts[0].rung, 0);
+    }
+
+    #[test]
+    fn hinted_solve_starts_on_the_hinted_rung() {
+        let a = advection(40, 2.0);
+        let b = rhs(40);
+        let plan = FaultPlan::none();
+        let _scope = fault::inject(&plan);
+        let mut hint = LadderHint::pinned(2);
+        let sol = SolveLadder::nonsymmetric()
+            .solve_hinted(&a, &b, &Ilu0::new(&a), &SolverOptions::default(), &mut hint)
+            .unwrap();
+        assert_eq!(sol.stats.rung, 2);
+        assert_eq!(sol.report.tried(), 1);
+        assert_eq!(sol.report.attempts[0].rung, 2);
+        assert!(!sol.report.escalated());
+        assert_eq!(hint.rung(), Some(2));
+        check_close(&a, &sol.solution, &b);
+    }
+
+    #[test]
+    fn hint_decays_after_consecutive_hinted_successes() {
+        let a = advection(40, 2.0);
+        let b = rhs(40);
+        let plan = FaultPlan::none();
+        let _scope = fault::inject(&plan);
+        let ladder = SolveLadder::nonsymmetric();
+        let mut hint = LadderHint::with_decay(2);
+        hint.stick(1);
+        let opts = SolverOptions::default();
+        let first = ladder
+            .solve_hinted(&a, &b, &Ilu0::new(&a), &opts, &mut hint)
+            .unwrap();
+        assert_eq!(first.stats.rung, 1);
+        assert_eq!(hint.rung(), Some(1));
+        let second = ladder
+            .solve_hinted(&a, &b, &Ilu0::new(&a), &opts, &mut hint)
+            .unwrap();
+        assert_eq!(second.stats.rung, 1);
+        // The streak reached the decay threshold: back to rung 0.
+        assert_eq!(hint.rung(), None);
+        let third = ladder
+            .solve_hinted(&a, &b, &Ilu0::new(&a), &opts, &mut hint)
+            .unwrap();
+        assert_eq!(third.stats.rung, 0);
+    }
+
+    #[test]
+    fn fault_on_hinted_rung_resets_hint_and_escalates_from_rung_zero() {
+        let a = advection(40, 2.0);
+        let b = rhs(40);
+        let ladder = SolveLadder::nonsymmetric();
+        let mut hint = LadderHint::pinned(2);
+        let plan = FaultPlan::fail_first(1, FaultKind::Breakdown);
+        let _scope = fault::inject(&plan);
+        let sol = ladder
+            .solve_hinted(&a, &b, &Ilu0::new(&a), &SolverOptions::default(), &mut hint)
+            .unwrap();
+        // Attempt 0 is the hinted rung taking the injected fault; the
+        // recovery cascade then starts over at rung 0 and succeeds.
+        assert_eq!(sol.report.attempts[0].rung, 2);
+        assert!(sol.report.attempts[0].injected);
+        assert_eq!(sol.stats.rung, 0);
+        assert_eq!(sol.report.tried(), 2);
+        assert_eq!(plan.fired(), 1);
+        // The hint is cleared and the recovery does not re-stick it.
+        assert_eq!(hint.rung(), None);
+        check_close(&a, &sol.solution, &b);
+    }
+
+    #[test]
+    fn natural_escalation_sticks_the_hint_faulted_escalation_does_not() {
+        let a = advection(40, 2.0);
+        let b = rhs(40);
+        let ladder = SolveLadder::nonsymmetric();
+        // A one-iteration budget and an identity caller preconditioner
+        // starve the caller-preconditioned Krylov rungs naturally; the
+        // ladder escalates until a rung that builds its own (exact,
+        // tridiagonal) ILU(0) or the dense terminal rung succeeds.
+        let opts = SolverOptions {
+            max_iterations: 1,
+            ..SolverOptions::default()
+        };
+        let plan = FaultPlan::none();
+        let scope = fault::inject(&plan);
+        let mut hint = LadderHint::new();
+        let sol = ladder
+            .solve_hinted(&a, &b, &Identity::new(40), &opts, &mut hint)
+            .unwrap();
+        assert!(sol.stats.rung > 0, "expected a natural escalation");
+        assert_eq!(sol.report.injected_faults(), 0);
+        assert_eq!(
+            hint.rung(),
+            Some(sol.stats.rung),
+            "natural escalation must stick"
+        );
+        // The next solve starts straight at the stuck rung.
+        let again = ladder
+            .solve_hinted(&a, &b, &Identity::new(40), &opts, &mut hint)
+            .unwrap();
+        assert_eq!(again.report.tried(), 1);
+        assert_eq!(again.report.attempts[0].rung, sol.stats.rung);
+        drop(scope);
+
+        // The same escalation forced by injected faults must NOT stick:
+        // the test harness's fault schedule may not reflect the matrix.
+        let mut cold = LadderHint::new();
+        let plan = FaultPlan::fail_first(3, FaultKind::Breakdown);
+        let _scope = fault::inject(&plan);
+        let forced = ladder
+            .solve_hinted(&a, &b, &Ilu0::new(&a), &SolverOptions::default(), &mut cold)
+            .unwrap();
+        assert_eq!(forced.stats.rung, 3);
+        assert_eq!(cold.rung(), None, "faulted escalation must not stick");
+    }
+
+    #[test]
+    fn solve_and_cold_hinted_solve_are_bitwise_identical() {
+        let a = advection(40, 2.0);
+        let b = rhs(40);
+        let plan = FaultPlan::none();
+        let _scope = fault::inject(&plan);
+        let ladder = SolveLadder::nonsymmetric();
+        let opts = SolverOptions::default();
+        let plain = ladder.solve(&a, &b, &Ilu0::new(&a), &opts).unwrap();
+        let mut hint = LadderHint::new();
+        let hinted = ladder
+            .solve_hinted(&a, &b, &Ilu0::new(&a), &opts, &mut hint)
+            .unwrap();
+        assert_eq!(plain.solution, hinted.solution);
+        assert_eq!(plain.stats.rung, hinted.stats.rung);
+        // A rung-0 success is not an escalation, so the hint stays cold.
+        assert_eq!(hint.rung(), None);
+    }
+
+    #[test]
+    fn ladder_serde_defaults_gate_on_for_old_configs() {
+        let ladder = SolveLadder::nonsymmetric();
+        let json = serde_json::to_string(&ladder).unwrap();
+        assert!(json.contains("singular_net_dominance"));
+        let back: SolveLadder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.gate, ladder.gate);
+        // Pre-gate configs (no `gate` key) must still load, gate enabled.
+        let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        if let serde_json::Value::Object(map) = &mut value {
+            assert!(map.remove("gate").is_some());
+        }
+        let legacy: SolveLadder =
+            serde_json::from_str(&serde_json::to_string(&value).unwrap()).unwrap();
+        assert!(legacy.gate.enabled);
+        assert_eq!(legacy.gate, DiagnosticsGate::default());
     }
 }

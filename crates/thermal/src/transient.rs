@@ -13,7 +13,7 @@ use crate::fourrm::FourRm;
 use crate::solution::ThermalSolution;
 use crate::tworm::TwoRm;
 use coolnet_sparse::precond::Ilu0;
-use coolnet_sparse::{CsrMatrix, SolveStats, SolverOptions, TripletBuilder};
+use coolnet_sparse::{CsrMatrix, LadderHint, SolveStats, SolverOptions, TripletBuilder};
 use coolnet_units::Pascal;
 
 /// A transient integrator over one of the compact models.
@@ -38,6 +38,9 @@ pub struct Transient<'a> {
     dt: f64,
     time: f64,
     last_stats: SolveStats,
+    /// Sticky rung memory across the step sequence: an escalation on one
+    /// step starts the next steps on the rung that worked.
+    hint: LadderHint,
 }
 
 impl FourRm {
@@ -123,6 +126,7 @@ impl<'a> Transient<'a> {
             dt,
             time: 0.0,
             last_stats: SolveStats::default(),
+            hint: LadderHint::new(),
         })
     }
 
@@ -172,10 +176,13 @@ impl<'a> Transient<'a> {
             .collect();
         let mut options = SolverOptions::with_tolerance(self.config.tolerance);
         options.initial_guess = Some(self.temps.clone());
-        let sol = self
-            .config
-            .ladder
-            .solve(&self.matrix, &rhs, &self.precond, &options)?;
+        let sol = self.config.ladder.solve_hinted(
+            &self.matrix,
+            &rhs,
+            &self.precond,
+            &options,
+            &mut self.hint,
+        )?;
         self.temps = sol.solution;
         self.last_stats = sol.stats;
         self.time += self.dt;

@@ -128,3 +128,55 @@ fn disabled_layer_freezes_pipeline_counters() {
     let after = obs::snapshot();
     assert_eq!(after.counter_delta(&before, "eval.profiles"), 1);
 }
+
+/// Every registered ladder counter shows up in the snapshot as an
+/// explicit zero even when it never fired — a dashboard diffing two
+/// snapshots must see `ladder.rung2_converged: 0`, not a missing key —
+/// and the adaptive-ladder counters account for the diagnostics gate.
+#[test]
+fn ladder_counters_export_explicit_zeros_and_gate_routes_count() {
+    let _guard = metrics_lock();
+    let (bench, net) = setup();
+    let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
+    ev.profile(Pascal::from_kilopascals(10.0)).unwrap();
+
+    // One solve anywhere registers the whole ladder catalog.
+    let snap = obs::snapshot();
+    for name in [
+        "ladder.solves",
+        "ladder.attempts",
+        "ladder.escalations",
+        "ladder.exhausted",
+        "ladder.injected_faults",
+        "ladder.rung0_converged",
+        "ladder.rung1_converged",
+        "ladder.rung2_converged",
+        "ladder.rung3_converged",
+        "ladder.rung4plus_converged",
+        "ladder.hinted_solves",
+        "ladder.hint_resets",
+        "ladder.diag_routed",
+    ] {
+        assert!(
+            snap.counters.contains_key(name),
+            "registered counter {name} missing from snapshot"
+        );
+    }
+
+    // A healthy probe is neither hinted nor routed...
+    let before = obs::snapshot();
+    ev.profile(Pascal::from_kilopascals(12.0)).unwrap();
+    let mid = obs::snapshot();
+    assert_eq!(mid.counter_delta(&before, "ladder.diag_routed"), 0);
+    assert_eq!(mid.counter_delta(&before, "ladder.rung0_converged"), 1);
+
+    // ...while a vanishing-pressure probe makes the steady operator
+    // near-singular: the gate routes it straight to the dense rung, in
+    // one attempt, without ever counting as an escalation.
+    ev.profile(Pascal::new(1e-6)).unwrap();
+    let after = obs::snapshot();
+    assert_eq!(after.counter_delta(&mid, "ladder.diag_routed"), 1);
+    assert_eq!(after.counter_delta(&mid, "ladder.rung3_converged"), 1);
+    assert_eq!(after.counter_delta(&mid, "ladder.escalations"), 0);
+    assert_eq!(after.counter_delta(&mid, "ladder.attempts"), 1);
+}
