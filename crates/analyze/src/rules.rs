@@ -203,8 +203,8 @@ pub fn lint_scope(lint: &str) -> &'static [&'static str] {
         // Lock discipline applies workspace-wide: any crate can hold
         // state shared across SA workers or future concurrent jobs.
         SHARED_STATE => &[
-            "analyze", "bench", "cases", "core", "flow", "grid", "network", "obs", "opt", "sparse",
-            "thermal", "units",
+            "analyze", "bench", "cases", "core", "flow", "grid", "network", "obs", "opt", "serve",
+            "sparse", "thermal", "units",
         ],
         ERROR_DISCIPLINE => &["sparse", "flow", "thermal", "opt"],
         _ => &[],

@@ -103,8 +103,8 @@ pub mod prelude {
         ReuseOptions, Stage, StageMetric, TreeSearch, TreeSearchOptions,
     };
     pub use coolnet_opt::{
-        evaluate_problem1, evaluate_problem2, DesignResult, Evaluator, ModelChoice, NetworkScore,
-        Problem, Profile,
+        evaluate_problem1, evaluate_problem2, CancelToken, CutPoint, DesignResult, Evaluator,
+        ModelChoice, NetworkScore, Problem, Profile, SearchControl, SearchOutcome, StopReason,
     };
     pub use coolnet_thermal::{
         compare, AdvectionScheme, FourRm, PowerMap, Stack, ThermalConfig, ThermalError,

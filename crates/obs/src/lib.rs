@@ -31,6 +31,9 @@
 
 #![forbid(unsafe_code)]
 
+/// Poison-recovering lock helpers (the workspace's lock discipline).
+pub mod sync;
+
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -200,7 +203,7 @@ fn registry() -> &'static Registry {
 /// Poison-tolerant lock: the maps hold no invariants a panicking writer
 /// could break (insert-only, values are leaked statics).
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
+    sync::lock_recover(m)
 }
 
 /// A named counter handle resolving its storage on first use.
@@ -381,6 +384,71 @@ impl MetricsSnapshot {
         let now = self.histogram(name).map_or(0, |h| h.sum);
         let was = earlier.histogram(name).map_or(0, |h| h.sum);
         now.saturating_sub(was)
+    }
+
+    /// The growth of every metric since `earlier`, as a serializable
+    /// [`MetricsDelta`] with zero-growth entries dropped.
+    ///
+    /// This is the per-region (e.g. per-job) attribution primitive: take a
+    /// snapshot before and after a unit of work and keep only what moved.
+    /// Counters are process-global, so under concurrency the window also
+    /// contains activity from overlapping work — a delta attributes a
+    /// *window*, not a thread.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsDelta {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &now)| (name.clone(), now.saturating_sub(earlier.counter(name))))
+            .filter(|(_, grew)| *grew > 0)
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|(name, now)| {
+                let was = earlier.histogram(name);
+                let grew = HistogramDelta {
+                    count: now.count.saturating_sub(was.map_or(0, |h| h.count)),
+                    sum: now.sum.saturating_sub(was.map_or(0, |h| h.sum)),
+                };
+                (grew.count > 0 || grew.sum > 0).then(|| (name.clone(), grew))
+            })
+            .collect();
+        MetricsDelta {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Growth of one histogram across a [`MetricsSnapshot::delta_since`]
+/// window.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramDelta {
+    /// Samples recorded in the window.
+    pub count: u64,
+    /// Sample-sum growth in the window.
+    pub sum: u64,
+}
+
+/// Growth of every registered metric across one window, with zero-growth
+/// entries dropped. Produced by [`MetricsSnapshot::delta_since`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsDelta {
+    /// Counter growth by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram growth by metric name.
+    pub histograms: BTreeMap<String, HistogramDelta>,
+}
+
+impl MetricsDelta {
+    /// The growth of counter `name` in this window (`0` if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Whether nothing moved in the window.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
     }
 }
 
@@ -602,6 +670,36 @@ mod tests {
         // Restore state for sibling tests that measured before reset ran:
         // deltas saturate at zero, so nothing to do beyond re-enabling.
         set_enabled(true);
+    }
+
+    #[test]
+    fn delta_since_keeps_only_what_moved() {
+        let _g = guard();
+        set_enabled(true);
+        static C: LazyCounter = LazyCounter::new("test.window_moved");
+        static Z: LazyCounter = LazyCounter::new("test.window_still");
+        static H: LazyHistogram = LazyHistogram::new("test.window_hist");
+        C.register();
+        Z.register();
+        H.register();
+        let before = snapshot();
+        C.add(3);
+        H.record(10);
+        H.record(4);
+        let delta = snapshot().delta_since(&before);
+        assert_eq!(delta.counter("test.window_moved"), 3);
+        assert_eq!(delta.counter("test.window_still"), 0);
+        assert!(!delta.counters.contains_key("test.window_still"));
+        let h = delta.histograms.get("test.window_hist").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 14);
+        assert!(!delta.is_empty());
+        // An idle window is empty, and the delta round-trips through serde.
+        let idle = snapshot().delta_since(&snapshot());
+        assert!(idle.counter("test.window_moved") == 0);
+        let json = serde_json::to_string(&delta).unwrap();
+        let back: MetricsDelta = serde_json::from_str(&json).unwrap();
+        assert_eq!(delta, back);
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Cooperative search control: cancellation, logical budgets, and
+//! deterministic cut points.
+//!
+//! A production service must be able to stop a running search — because a
+//! tenant cancelled, a deadline passed, or a work budget ran out — without
+//! losing the work already done and without breaking the workspace's
+//! determinism contract (spec + seed → bit-identical result). Both goals
+//! are met by making interruption *logical*: the search calls
+//! [`SearchControl::checkpoint`] at fixed points of its control flow (round
+//! and iteration boundaries), each call advances a checkpoint counter, and
+//! a stop request only takes effect at the next checkpoint. The checkpoint
+//! index where a run stopped is its [`CutPoint`]; re-running the same spec
+//! with [`SearchControl::replay`] of that cut reproduces the interrupted
+//! run bit for bit, because the cut is expressed in the search's own
+//! deterministic time, not in wall-clock time.
+//!
+//! Wall clocks stay out of this crate entirely (the optimizer is in the
+//! analyzer's determinism scope): a deadline is enforced by an *external*
+//! watchdog — coolnet-serve's queue — that fires the shared [`CancelToken`]
+//! when the wall clock expires. The token crossing is the only
+//! nondeterministic input, and it is laundered into a deterministic
+//! artifact by recording the checkpoint at which it was observed.
+
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Why a search stopped before completing its schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The owner cancelled the search ([`CancelToken::cancel`]).
+    Cancelled,
+    /// An external deadline watchdog expired the search
+    /// ([`CancelToken::expire`]).
+    DeadlineExceeded,
+    /// The logical checkpoint budget ([`SearchControl::with_budget`]) ran
+    /// out.
+    BudgetExhausted,
+}
+
+/// Where a search stopped: the checkpoint index at which `reason` was
+/// observed. Recorded in result artifacts; replaying the same spec with
+/// [`SearchControl::replay`] of this cut reproduces the interrupted run
+/// bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CutPoint {
+    /// The checkpoint counter value at which the search stopped.
+    pub checkpoint: u64,
+    /// What stopped it.
+    pub reason: StopReason,
+}
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const EXPIRED: u8 = 2;
+
+/// A shared, cooperative stop signal.
+///
+/// Cloning shares the signal; any clone can fire it, and a fired token
+/// stays fired (the first reason wins). The search side never blocks on
+/// the token — it is polled at checkpoints via [`SearchControl`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A live (unfired) token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token as a cancellation. No-op if already fired.
+    pub fn cancel(&self) {
+        let _ = self
+            .state
+            .compare_exchange(LIVE, CANCELLED, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Fires the token as a deadline expiry. No-op if already fired.
+    pub fn expire(&self) {
+        let _ = self
+            .state
+            .compare_exchange(LIVE, EXPIRED, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// The reason the token fired, if it has.
+    pub fn fired(&self) -> Option<StopReason> {
+        match self.state.load(Ordering::Acquire) {
+            CANCELLED => Some(StopReason::Cancelled),
+            EXPIRED => Some(StopReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+}
+
+/// Per-run control state threaded through a search: the stop token, the
+/// logical budget, and the monotonically increasing checkpoint counter.
+///
+/// Not `Sync` on purpose (the counter is a [`Cell`]): exactly one
+/// coordinating thread owns a run's control flow, which is what makes the
+/// checkpoint sequence deterministic. Worker threads never see it.
+#[derive(Debug, Default)]
+pub struct SearchControl {
+    token: CancelToken,
+    budget: Option<u64>,
+    cancel_at: Option<u64>,
+    replay: Option<CutPoint>,
+    progress: Cell<u64>,
+}
+
+impl SearchControl {
+    /// A control that never stops the search (the plain
+    /// [`TreeSearch::run`](crate::treeopt::TreeSearch::run) behavior).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A control polling `token` at every checkpoint.
+    pub fn with_token(token: CancelToken) -> Self {
+        Self {
+            token,
+            ..Self::default()
+        }
+    }
+
+    /// A control that deterministically replays a recorded cut: the run
+    /// stops at `cut.checkpoint` with `cut.reason`, regardless of tokens
+    /// or budgets. This is the replay contract for degraded artifacts.
+    pub fn replay(cut: CutPoint) -> Self {
+        Self {
+            replay: Some(cut),
+            ..Self::default()
+        }
+    }
+
+    /// Caps the run at `budget` checkpoints (deterministic: the same spec
+    /// and budget always cut at the same place).
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Requests a deterministic cancellation at checkpoint `at` — a
+    /// cancellation whose timing is in logical time, so tests and batch
+    /// specs can script "cancelled mid-run" reproducibly.
+    pub fn with_cancel_at(mut self, at: u64) -> Self {
+        self.cancel_at = Some(at);
+        self
+    }
+
+    /// The token this control polls (clone it to cancel from outside).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Checkpoints passed so far.
+    pub fn progress(&self) -> u64 {
+        self.progress.get()
+    }
+
+    /// Passes one checkpoint: advances the counter, then reports whether
+    /// the search must stop here.
+    ///
+    /// Stop conditions are checked in a fixed priority order — replay cut,
+    /// scripted cancellation, token, budget — so a run that hits several
+    /// at once still records one deterministic [`CutPoint`]. The returned
+    /// cut always carries the *current* checkpoint index; callers record
+    /// it in the artifact and unwind to their best-so-far incumbent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CutPoint`] at which the search must stop.
+    pub fn checkpoint(&self) -> Result<(), CutPoint> {
+        let here = self.progress.get();
+        self.progress.set(here + 1);
+        if let Some(cut) = self.replay {
+            if here >= cut.checkpoint {
+                return Err(cut);
+            }
+            // A replayed run ignores live signals: it must reproduce the
+            // recorded trajectory even if the original tokens still exist.
+            return Ok(());
+        }
+        if let Some(at) = self.cancel_at {
+            if here >= at {
+                return Err(CutPoint {
+                    checkpoint: here,
+                    reason: StopReason::Cancelled,
+                });
+            }
+        }
+        if let Some(reason) = self.token.fired() {
+            return Err(CutPoint {
+                checkpoint: here,
+                reason,
+            });
+        }
+        if let Some(budget) = self.budget {
+            if here >= budget {
+                return Err(CutPoint {
+                    checkpoint: here,
+                    reason: StopReason::BudgetExhausted,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_control_never_stops() {
+        let control = SearchControl::unlimited();
+        for i in 0..1000 {
+            assert_eq!(control.progress(), i);
+            assert!(control.checkpoint().is_ok());
+        }
+        assert_eq!(control.progress(), 1000);
+    }
+
+    #[test]
+    fn budget_cuts_at_its_checkpoint() {
+        let control = SearchControl::unlimited().with_budget(3);
+        assert!(control.checkpoint().is_ok()); // 0
+        assert!(control.checkpoint().is_ok()); // 1
+        assert!(control.checkpoint().is_ok()); // 2
+        let cut = control.checkpoint().unwrap_err(); // 3
+        assert_eq!(cut.checkpoint, 3);
+        assert_eq!(cut.reason, StopReason::BudgetExhausted);
+        // Zero budget cuts at the very first checkpoint.
+        let zero = SearchControl::unlimited().with_budget(0);
+        assert_eq!(zero.checkpoint().unwrap_err().checkpoint, 0);
+    }
+
+    #[test]
+    fn token_fires_once_and_first_reason_wins() {
+        let token = CancelToken::new();
+        assert_eq!(token.fired(), None);
+        let shared = token.clone();
+        shared.cancel();
+        token.expire(); // too late: the cancellation already fired
+        assert_eq!(token.fired(), Some(StopReason::Cancelled));
+
+        let control = SearchControl::with_token(token);
+        assert!(control.checkpoint().is_err());
+        let cut = control.checkpoint().unwrap_err();
+        assert_eq!(cut.reason, StopReason::Cancelled);
+        assert_eq!(cut.checkpoint, 1, "counter advances even while fired");
+    }
+
+    #[test]
+    fn expired_token_reports_deadline() {
+        let control = SearchControl::unlimited();
+        assert!(control.checkpoint().is_ok());
+        control.token().expire();
+        let cut = control.checkpoint().unwrap_err();
+        assert_eq!(cut.reason, StopReason::DeadlineExceeded);
+        assert_eq!(cut.checkpoint, 1);
+    }
+
+    #[test]
+    fn scripted_cancellation_is_deterministic() {
+        let run = || {
+            let control = SearchControl::unlimited().with_cancel_at(5);
+            loop {
+                if let Err(cut) = control.checkpoint() {
+                    return cut;
+                }
+            }
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a.checkpoint, 5);
+        assert_eq!(a.reason, StopReason::Cancelled);
+    }
+
+    #[test]
+    fn replay_reproduces_a_recorded_cut_and_ignores_live_signals() {
+        let cut = CutPoint {
+            checkpoint: 4,
+            reason: StopReason::DeadlineExceeded,
+        };
+        let control = SearchControl::replay(cut);
+        control.token().cancel(); // must be ignored: replay owns the cut
+        let mut stopped_at = None;
+        for _ in 0..10 {
+            if let Err(c) = control.checkpoint() {
+                stopped_at = Some(c);
+                break;
+            }
+        }
+        assert_eq!(stopped_at, Some(cut));
+        assert_eq!(control.progress(), 5, "stops right after the cut index");
+    }
+
+    #[test]
+    fn cut_point_serde_round_trip() {
+        let cut = CutPoint {
+            checkpoint: 17,
+            reason: StopReason::Cancelled,
+        };
+        let json = serde_json::to_string(&cut).unwrap();
+        let back: CutPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(cut, back);
+    }
+}

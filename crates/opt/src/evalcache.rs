@@ -101,8 +101,15 @@ struct Slot {
     last_used: u64,
 }
 
+/// Full entry identity: tenant scope, configuration and model. The scope
+/// isolates tenants sharing one process-wide cache — two jobs with
+/// different benchmarks or pressure-search options produce different
+/// scores for the same `(config, model)`, so they must never share an
+/// entry (see [`EvalCache::eval_scoped`]).
+type EntryKey = (u64, TreeConfig, ModelChoice);
+
 struct LruMap {
-    map: Map<(TreeConfig, ModelChoice), Slot>,
+    map: Map<EntryKey, Slot>,
     tick: u64,
 }
 
@@ -121,10 +128,7 @@ pub struct EvalCache {
 /// Locks poison-tolerantly: a panic absorbed by the SA layer must not
 /// wedge the cache for the rest of the run.
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
+    coolnet_obs::sync::lock_recover(m)
 }
 
 impl EvalCache {
@@ -170,7 +174,31 @@ impl EvalCache {
         B: FnOnce() -> Option<BuiltEval>,
         C: FnOnce(&Evaluator) -> (f64, Option<Pascal>),
     {
-        let entry = self.slot(config, model);
+        self.eval_scoped(0, config, model, key, build, compute)
+    }
+
+    /// Like [`eval`](Self::eval), under an explicit tenant `scope`.
+    ///
+    /// A process-wide cache shared by heterogeneous jobs keys every entry
+    /// by scope in addition to `(config, model)`: the scope must cover
+    /// every score-affecting input outside the per-request key — the
+    /// benchmark and the pressure-search options — so two tenants share
+    /// hits exactly when their scores are interchangeable. Single-run
+    /// caches use scope `0` ([`eval`](Self::eval)).
+    pub fn eval_scoped<B, C>(
+        &self,
+        scope: u64,
+        config: &TreeConfig,
+        model: ModelChoice,
+        key: ScoreKey,
+        build: B,
+        compute: C,
+    ) -> (f64, Option<Pascal>)
+    where
+        B: FnOnce() -> Option<BuiltEval>,
+        C: FnOnce(&Evaluator) -> (f64, Option<Pascal>),
+    {
+        let entry = self.slot(scope, config, model);
         let mut entry = lock(&entry);
         if let Some(&memo) = entry.scores.get(&key) {
             M_HITS.inc();
@@ -194,13 +222,13 @@ impl EvalCache {
         value
     }
 
-    /// The entry for `(config, model)`, inserting (and evicting the LRU
-    /// entry if at capacity) when absent.
-    fn slot(&self, config: &TreeConfig, model: ModelChoice) -> Arc<Mutex<Entry>> {
+    /// The entry for `(scope, config, model)`, inserting (and evicting the
+    /// LRU entry if at capacity) when absent.
+    fn slot(&self, scope: u64, config: &TreeConfig, model: ModelChoice) -> Arc<Mutex<Entry>> {
         let mut inner = lock(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
-        let key = (config.clone(), model);
+        let key = (scope, config.clone(), model);
         if let Some(slot) = inner.map.get_mut(&key) {
             slot.last_used = tick;
             return Arc::clone(&slot.entry);
@@ -378,6 +406,59 @@ mod tests {
             |_| (0.0, None),
         );
         assert!(rebuilt, "evicted entry must rebuild");
+    }
+
+    #[test]
+    fn scopes_isolate_tenants_sharing_one_cache() {
+        // Two tenants (different benchmarks / psearch options) score the
+        // same (config, model, key) differently; under distinct scopes the
+        // shared cache must keep both computations and never cross-serve.
+        let cache = EvalCache::new(8);
+        let c = config(4, 10);
+        let key = ScoreKey::Full(Problem::PumpingPower);
+        let m = ModelChoice::fast();
+        let mut builds = 0;
+        let (a, _) = cache.eval_scoped(
+            1,
+            &c,
+            m,
+            key,
+            || {
+                builds += 1;
+                no_build()
+            },
+            |_| (0.0, None),
+        );
+        let (b, _) = cache.eval_scoped(
+            2,
+            &c,
+            m,
+            key,
+            || {
+                builds += 1;
+                no_build()
+            },
+            |_| (0.0, None),
+        );
+        assert_eq!(builds, 2, "distinct scopes must not share entries");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(a.to_bits(), b.to_bits());
+        // Same scope re-serves the memo without rebuilding.
+        cache.eval_scoped(
+            1,
+            &c,
+            m,
+            key,
+            || {
+                builds += 1;
+                no_build()
+            },
+            |_| (9.0, None),
+        );
+        assert_eq!(builds, 2);
+        // The unscoped entry point is scope 0 — distinct from both.
+        cache.eval(&c, m, key, no_build, |_| (0.0, None));
+        assert_eq!(cache.len(), 3);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::cell::RefCell;
 static M_PROFILES: LazyCounter = LazyCounter::new("eval.profiles");
 
 /// Which thermal model backs an [`Evaluator`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ModelChoice {
     /// The fast 2RM with `m × m`-cell coarsening (inner-loop searches).
     TwoRm {

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod control;
 pub mod evalcache;
 pub mod evaluate;
 pub mod netscore;
@@ -54,9 +55,11 @@ pub mod sa;
 pub mod treeopt;
 pub mod widthmod;
 
+pub use control::{CancelToken, CutPoint, SearchControl, StopReason};
 pub use evaluate::{Evaluator, ModelChoice, Profile};
 pub use netscore::{evaluate_problem1, evaluate_problem2, NetworkScore};
 pub use result::DesignResult;
+pub use treeopt::{EvalExec, EvalRequest, RequestScorer, SearchOutcome};
 
 use serde::{Deserialize, Serialize};
 

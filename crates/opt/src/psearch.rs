@@ -16,7 +16,7 @@ static M_PROBES: LazyCounter = LazyCounter::new("psearch.probes");
 
 /// Options for [`minimize_pressure_for_gradient`] (Algorithm 3) and the
 /// other searches.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PressureSearchOptions {
     /// Initial probe pressure `P_init` in Pa.
     pub p_init: f64,

@@ -353,7 +353,7 @@ mod tests {
     static METRICS: Mutex<()> = Mutex::new(());
 
     fn metrics_lock() -> MutexGuard<'static, ()> {
-        METRICS.lock().unwrap_or_else(|p| p.into_inner())
+        coolnet_obs::sync::lock_recover(&METRICS)
     }
 
     fn setup() -> (Benchmark, CoolingNetwork) {

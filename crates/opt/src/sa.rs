@@ -6,6 +6,7 @@
 //! threads, takes the best, and applies Metropolis acceptance against the
 //! incumbent.
 
+use crate::control::{CutPoint, SearchControl};
 use coolnet_obs::LazyCounter;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -345,13 +346,7 @@ where
                 // Lock only around the receive so workers can evaluate
                 // concurrently; a poisoned lock (another worker panicked
                 // outside the catch) still yields a usable receiver.
-                let task = {
-                    let guard = match task_rx.lock() {
-                        Ok(g) => g,
-                        Err(poisoned) => poisoned.into_inner(),
-                    };
-                    guard.recv()
-                };
+                let task = coolnet_obs::sync::lock_recover(&task_rx).recv();
                 let Ok((idx, item)) = task else {
                     break;
                 };
@@ -390,6 +385,9 @@ pub struct SaOutcome<S> {
     pub best_cost: f64,
     /// Evaluation failures absorbed across all iterations.
     pub failures: EvalFailures,
+    /// Where the run was interrupted, if it was ([`anneal_controlled`]).
+    /// `None` means the full schedule ran.
+    pub cut: Option<CutPoint>,
 }
 
 /// Runs simulated annealing from `init` (whose cost is `init_cost`).
@@ -428,6 +426,35 @@ where
     FN: Fn(&S, &mut StdRng) -> S,
     FC: Fn(&S) -> f64 + Sync,
 {
+    anneal_controlled(
+        init,
+        init_cost,
+        neighbor,
+        cost,
+        opts,
+        &SearchControl::unlimited(),
+    )
+}
+
+/// Like [`anneal_with_stats`], but interruptible: `control` is polled at
+/// every iteration head, and a fired stop signal ends the run at that
+/// deterministic boundary with the best-so-far incumbent and the
+/// [`CutPoint`] recorded in the outcome. The iterations completed before
+/// the cut are bit-identical to an uninterrupted run with the same seed,
+/// which is what makes recorded cuts replayable.
+pub fn anneal_controlled<S, FN, FC>(
+    init: S,
+    init_cost: f64,
+    neighbor: FN,
+    cost: FC,
+    opts: &SaOptions,
+    control: &SearchControl,
+) -> SaOutcome<S>
+where
+    S: Clone + Sync + Send,
+    FN: Fn(&S, &mut StdRng) -> S,
+    FC: Fn(&S) -> f64 + Sync,
+{
     let mut rng = StdRng::seed_from_u64(opts.seed);
     // A NaN initial cost is as infeasible as an infinite one.
     let init_cost = if init_cost.is_nan() {
@@ -455,8 +482,11 @@ where
     // once per run, not once per iteration. Batch semantics (ordering,
     // NaN/panic absorption) match the old parallel_map_counted exactly, so
     // the chain is unchanged for a fixed seed.
-    with_worker_pool(opts.parallelism.max(1), f64::INFINITY, &cost, |pool| {
+    let cut = with_worker_pool(opts.parallelism.max(1), f64::INFINITY, &cost, |pool| {
         for _ in 0..opts.iterations {
+            if let Err(cut) = control.checkpoint() {
+                return Some(cut);
+            }
             M_ITERATIONS.inc();
             let candidates: Vec<S> = (0..opts.parallelism.max(1))
                 .map(|_| neighbor(&current, &mut rng))
@@ -487,11 +517,13 @@ where
                 }
             }
         }
+        None
     });
     SaOutcome {
         best,
         best_cost,
         failures,
+        cut,
     }
 }
 
@@ -537,6 +569,39 @@ mod tests {
         );
         assert_eq!(best, 17, "cost = {cost}");
         assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn controlled_anneal_cuts_deterministically_and_keeps_prefix() {
+        let opts = SaOptions {
+            iterations: 200,
+            parallelism: 2,
+            initial_temperature: 50.0,
+            cooling: 0.97,
+            seed: 42,
+        };
+        let run = |control: &SearchControl| {
+            anneal_controlled(
+                0i64,
+                toy_cost(&0),
+                |x, rng| x + if rng.gen::<bool>() { 1 } else { -1 },
+                toy_cost,
+                &opts,
+                control,
+            )
+        };
+        let cut_run = run(&SearchControl::unlimited().with_budget(25));
+        let cut = cut_run.cut.expect("budget must interrupt the run");
+        assert_eq!(cut.checkpoint, 25);
+        // The interrupted run still surfaces its best-so-far incumbent...
+        assert!(cut_run.best_cost <= toy_cost(&0));
+        // ...and replaying the recorded cut reproduces it bit for bit.
+        let replayed = run(&SearchControl::replay(cut));
+        assert_eq!(replayed.cut, Some(cut));
+        assert_eq!(replayed.best, cut_run.best);
+        assert_eq!(replayed.best_cost.to_bits(), cut_run.best_cost.to_bits());
+        // An uninterrupted run reports no cut.
+        assert_eq!(run(&SearchControl::unlimited()).cut, None);
     }
 
     #[test]

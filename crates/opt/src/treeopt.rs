@@ -8,6 +8,7 @@
 //! directions are attempted and the best kept (§4.4); the three branch
 //! types are chosen by the caller to fit the chip size.
 
+use crate::control::{CutPoint, SearchControl};
 use crate::evalcache::{BuiltEval, EvalCache, ScoreKey};
 use crate::evaluate::{Evaluator, ModelChoice};
 use crate::netscore::{evaluate_problem1, evaluate_problem2, NetworkScore};
@@ -22,9 +23,11 @@ use coolnet_network::CoolingNetwork;
 use coolnet_units::Pascal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The cost metric of one SA stage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StageMetric {
     /// `ΔT` under a frozen `P_sys` — a single simulation per candidate
     /// (stage 1 of the Problem-1 schedule).
@@ -34,7 +37,7 @@ pub enum StageMetric {
 }
 
 /// One stage of the staged schedule (the paper's Table 1 rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Stage {
     /// SA iterations per round.
     pub iterations: usize,
@@ -58,7 +61,7 @@ pub struct Stage {
 /// transparent — a fixed seed yields the same [`DesignResult`] with them
 /// on or off — so these knobs trade memory and thread residency against
 /// wall-clock time only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ReuseOptions {
     /// Capacity of the per-run [`EvalCache`] (built networks, warm
     /// evaluators and memoized scores per `(config, model)`); `0` disables
@@ -112,7 +115,7 @@ impl ReuseOptions {
 }
 
 /// Options of the tree-network search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TreeSearchOptions {
     /// Stage schedule.
     pub stages: Vec<Stage>,
@@ -318,7 +321,7 @@ impl TreeSearchOptions {
 
 /// What one evaluation request computes for its configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum EvalKind {
+pub enum EvalKind {
     /// The full network evaluation: problem objective + optimal pressure.
     Full,
     /// `ΔT` at a frozen pressure — the rough stage-1 metric, deliberately
@@ -332,26 +335,45 @@ enum EvalKind {
     ObjectiveAt(Pascal),
 }
 
-/// One scoring request dispatched to the evaluation layer.
+/// One scoring request dispatched to the evaluation layer. Owns its
+/// configuration, so requests can cross thread boundaries into shared
+/// execution substrates.
 #[derive(Debug, Clone)]
-struct EvalRequest {
-    config: TreeConfig,
-    model: ModelChoice,
-    kind: EvalKind,
+pub struct EvalRequest {
+    /// The candidate tree configuration to score.
+    pub config: TreeConfig,
+    /// The thermal model to score it with.
+    pub model: ModelChoice,
+    /// What to compute.
+    pub kind: EvalKind,
 }
 
 /// `(cost, optimal pressure if a full evaluation found one)`.
-type EvalResponse = (f64, Option<Pascal>);
+pub type EvalResponse = (f64, Option<Pascal>);
+
+/// An external batch-execution substrate for candidate scoring — the seam
+/// a multi-job service plugs its process-wide solver pool into (see
+/// [`TreeSearch::run_with_exec`]).
+///
+/// Implementations must preserve item order and absorb per-item failures
+/// as `(f64::INFINITY, None)`; determinism of the search only relies on
+/// *values*, never on scoring latency or thread placement.
+pub trait EvalExec: Sync {
+    /// Scores one batch of requests, preserving order.
+    fn score_batch(&self, reqs: Vec<EvalRequest>) -> Vec<EvalResponse>;
+}
 
 /// How candidate batches are executed: through the run's persistent
-/// worker pool, or on a fresh thread scope per batch (the pre-reuse
-/// behavior, kept for comparison benchmarks).
+/// worker pool, on a fresh thread scope per batch (the pre-reuse
+/// behavior, kept for comparison benchmarks), or through an external
+/// shared substrate ([`EvalExec`]).
 enum Exec<'a> {
     Pool(&'a WorkerPool<EvalRequest, EvalResponse>),
     Scoped {
         eval: &'a (dyn Fn(&EvalRequest) -> EvalResponse + Sync),
         threads: usize,
     },
+    External(&'a dyn EvalExec),
 }
 
 impl Exec<'_> {
@@ -361,6 +383,14 @@ impl Exec<'_> {
             Exec::Pool(pool) => pool.map(reqs),
             Exec::Scoped { eval, threads } => {
                 scoped_map(&reqs, |r| eval(r), *threads, (f64::INFINITY, None))
+            }
+            Exec::External(exec) => {
+                let n = reqs.len();
+                let mut out = exec.score_batch(reqs);
+                // A misbehaving substrate must not desynchronize the
+                // candidate/cost pairing; pad short batches as failures.
+                out.resize(n, (f64::INFINITY, None));
+                out
             }
         }
     }
@@ -373,6 +403,224 @@ impl Exec<'_> {
             .next()
             .unwrap_or((f64::INFINITY, None))
     }
+}
+
+/// A self-contained scoring engine for [`EvalRequest`]s: everything needed
+/// to build and score candidate configurations for one `(benchmark,
+/// problem)` pair, owning its inputs so it is `Send + Sync + 'static`.
+///
+/// [`TreeSearch`] builds one per run; a multi-job service holds one per
+/// job in an `Arc` and scores requests from pooled worker threads shared
+/// across jobs. When a cache is attached, scores are memoized under the
+/// scorer's scope key, so heterogeneous jobs can share one process-wide
+/// [`EvalCache`] without cross-contamination.
+pub struct RequestScorer {
+    bench: Benchmark,
+    psearch: PressureSearchOptions,
+    problem: Problem,
+    cache: Option<Arc<EvalCache>>,
+    scope: u64,
+}
+
+impl RequestScorer {
+    /// A scorer for `problem` on `bench` (cloned), uncached.
+    pub fn new(bench: &Benchmark, psearch: PressureSearchOptions, problem: Problem) -> Self {
+        Self {
+            bench: bench.clone(),
+            psearch,
+            problem,
+            cache: None,
+            scope: 0,
+        }
+    }
+
+    /// Attaches a (possibly shared) cache; `scope` must uniquely identify
+    /// every input that affects scores beyond the per-request key — in
+    /// practice a hash of the benchmark and pressure-search options. Two
+    /// scorers may share a cache with the same scope only if they would
+    /// produce identical scores for identical requests.
+    pub fn with_cache(mut self, cache: Arc<EvalCache>, scope: u64) -> Self {
+        self.cache = Some(cache);
+        self.scope = scope;
+        self
+    }
+
+    /// Scores one request, through the cache when one is attached. NaN
+    /// costs are absorbed as `+∞` (matching the SA layer's contract).
+    pub fn score(&self, req: &EvalRequest) -> EvalResponse {
+        let (value, p) = match &self.cache {
+            Some(cache) => {
+                let key = match req.kind {
+                    EvalKind::Full => ScoreKey::Full(self.problem),
+                    EvalKind::GradientAt(p) => ScoreKey::gradient_at(p),
+                    EvalKind::ObjectiveAt(p) => ScoreKey::objective_at(self.problem, p),
+                };
+                cache.eval_scoped(
+                    self.scope,
+                    &req.config,
+                    req.model,
+                    key,
+                    || self.build_eval(&req.config, req.model),
+                    |ev| self.compute(req.kind, ev),
+                )
+            }
+            None => match self.build_eval(&req.config, req.model) {
+                Some(built) => self.compute(req.kind, &built.ev),
+                None => (f64::INFINITY, None),
+            },
+        };
+        if value.is_nan() {
+            (f64::INFINITY, p)
+        } else {
+            (value, p)
+        }
+    }
+
+    /// Builds the network and evaluator for a configuration (the cache
+    /// miss path; `None` marks the configuration unbuildable).
+    fn build_eval(&self, config: &TreeConfig, model: ModelChoice) -> Option<BuiltEval> {
+        let net = tree::build(
+            self.bench.dims,
+            &self.bench.tsv,
+            &self.bench.restricted,
+            config,
+        )
+        .ok()?;
+        let ev = Evaluator::new(&self.bench, &net, model).ok()?;
+        Some(BuiltEval { net, ev })
+    }
+
+    /// Computes one request's value on an evaluator. This is the single
+    /// scoring function of the staged SA; every metric variant lives here
+    /// so the cached and uncached paths cannot drift apart.
+    fn compute(&self, kind: EvalKind, ev: &Evaluator) -> EvalResponse {
+        match kind {
+            EvalKind::Full => match self.full_score(ev) {
+                Some(NetworkScore::Feasible {
+                    p_sys, objective, ..
+                }) => (objective, Some(p_sys)),
+                _ => (f64::INFINITY, None),
+            },
+            EvalKind::GradientAt(p) => match ev.profile(p) {
+                Ok(profile) => (profile.delta_t.value(), None),
+                Err(_) => (f64::INFINITY, None),
+            },
+            // Grouped iterations score with the *problem's* metric at the
+            // frozen pressure, so in-group costs are commensurable with
+            // the full objectives set at group boundaries. (Scoring ΔT in
+            // kelvin here while boundaries set W_pump in watts let the
+            // Metropolis test compare incommensurable quantities for
+            // Problem 1 — the grouped-objective mixing bug.)
+            EvalKind::ObjectiveAt(p) => match ev.profile(p) {
+                Ok(profile) => match self.problem {
+                    Problem::PumpingPower => {
+                        if profile.delta_t <= self.bench.delta_t_limit
+                            && profile.t_max <= self.bench.t_max_limit
+                        {
+                            (ev.w_pump(p).value(), None)
+                        } else {
+                            (f64::INFINITY, None)
+                        }
+                    }
+                    Problem::ThermalGradient => (profile.delta_t.value(), None),
+                },
+                Err(_) => (f64::INFINITY, None),
+            },
+        }
+    }
+
+    fn full_score(&self, ev: &Evaluator) -> Option<NetworkScore> {
+        match self.problem {
+            Problem::PumpingPower => evaluate_problem1(
+                ev,
+                self.bench.delta_t_limit,
+                self.bench.t_max_limit,
+                &self.psearch,
+            )
+            .ok(),
+            Problem::ThermalGradient => evaluate_problem2(
+                ev,
+                self.bench.w_pump_limit(),
+                self.bench.t_max_limit,
+                &self.psearch,
+            )
+            .ok(),
+        }
+    }
+}
+
+impl std::fmt::Debug for RequestScorer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestScorer")
+            .field("problem", &self.problem)
+            .field("scope", &self.scope)
+            .field("cached", &self.cache.is_some())
+            .finish()
+    }
+}
+
+/// How a staged search ended: the explicit replacement for the old
+/// `Option<DesignResult>` return, distinguishing "ran the full schedule"
+/// from "was interrupted with a best-so-far incumbent" and "proved
+/// infeasible".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SearchOutcome {
+    /// The full schedule ran and found a feasible design.
+    Completed(DesignResult),
+    /// The search was stopped at `cut` (cancellation, deadline, or
+    /// budget); `best` is the incumbent at the cut, measured with the
+    /// final stage's model — `None` when no feasible incumbent existed
+    /// yet.
+    Degraded {
+        /// Best-so-far design at the cut, if any was feasible.
+        best: Option<DesignResult>,
+        /// Where and why the search stopped; feeding it to
+        /// [`SearchControl::replay`] reproduces this outcome bit for bit.
+        cut: CutPoint,
+    },
+    /// The full schedule ran and no feasible tree-like network was found
+    /// (the paper's case-5 situation).
+    Infeasible,
+}
+
+impl SearchOutcome {
+    /// The design carried by this outcome, if any.
+    pub fn design(&self) -> Option<&DesignResult> {
+        match self {
+            SearchOutcome::Completed(d) => Some(d),
+            SearchOutcome::Degraded { best, .. } => best.as_ref(),
+            SearchOutcome::Infeasible => None,
+        }
+    }
+
+    /// Consumes the outcome into its design, if any.
+    pub fn into_design(self) -> Option<DesignResult> {
+        match self {
+            SearchOutcome::Completed(d) => Some(d),
+            SearchOutcome::Degraded { best, .. } => best,
+            SearchOutcome::Infeasible => None,
+        }
+    }
+
+    /// The cut point, when the search was interrupted.
+    pub fn cut(&self) -> Option<CutPoint> {
+        match self {
+            SearchOutcome::Degraded { cut, .. } => Some(*cut),
+            _ => None,
+        }
+    }
+
+    /// Whether the full schedule ran to completion with a feasible design.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, SearchOutcome::Completed(_))
+    }
+}
+
+/// The per-flow result: a measured design (if the flow produced one) plus
+/// the cut that interrupted it (if one did).
+struct FlowRun {
+    result: Option<DesignResult>,
+    cut: Option<CutPoint>,
 }
 
 /// The staged tree-network search (the outer level of Algorithm 1).
@@ -392,13 +640,30 @@ impl<'a> TreeSearch<'a> {
     /// measured with the final stage's model, or `None` if no feasible
     /// tree-like network was found (the paper's case-5 situation).
     ///
+    /// Thin wrapper over [`run_controlled`](Self::run_controlled) with an
+    /// unlimited [`SearchControl`] — an uninterrupted run's outcome always
+    /// collapses losslessly into this `Option`.
+    pub fn run(&self, problem: Problem) -> Option<DesignResult> {
+        self.run_controlled(problem, &SearchControl::unlimited())
+            .into_design()
+    }
+
+    /// Runs the search for `problem` under `control`: cancellation,
+    /// deadline-token and budget crossings are observed at round and
+    /// iteration boundaries (deterministic checkpoints) and degrade the
+    /// run to its best-so-far incumbent instead of discarding it.
+    ///
     /// The evaluation-reuse layer ([`ReuseOptions`]) is set up here: one
     /// [`EvalCache`] and (optionally) one persistent worker pool serve the
     /// whole run, across every flow direction, stage, round and iteration.
-    pub fn run(&self, problem: Problem) -> Option<DesignResult> {
-        let cache = (self.opts.reuse.cache_capacity > 0)
-            .then(|| EvalCache::new(self.opts.reuse.cache_capacity));
-        let eval = |req: &EvalRequest| self.eval_request(problem, cache.as_ref(), req);
+    pub fn run_controlled(&self, problem: Problem, control: &SearchControl) -> SearchOutcome {
+        let mut scorer = RequestScorer::new(self.bench, self.opts.psearch, problem);
+        if self.opts.reuse.cache_capacity > 0 {
+            let cache = Arc::new(EvalCache::new(self.opts.reuse.cache_capacity));
+            // A private per-run cache needs no distinguishing scope.
+            scorer = scorer.with_cache(cache, 0);
+        }
+        let eval = |req: &EvalRequest| scorer.score(req);
         // Candidate count stays `parallelism` (it shapes the RNG draw
         // sequence); only the scoring thread count follows the override,
         // clamped to the hardware so a 1-core host never time-slices a
@@ -411,11 +676,12 @@ impl<'a> TreeSearch<'a> {
             });
         if self.opts.reuse.persistent_pool {
             with_worker_pool(threads.max(1), (f64::INFINITY, None), eval, |pool| {
-                self.run_all_flows(problem, &Exec::Pool(pool))
+                self.run_all_flows(problem, control, &Exec::Pool(pool))
             })
         } else {
             self.run_all_flows(
                 problem,
+                control,
                 &Exec::Scoped {
                     eval: &eval,
                     threads,
@@ -424,21 +690,51 @@ impl<'a> TreeSearch<'a> {
         }
     }
 
-    fn run_all_flows(&self, problem: Problem, exec: &Exec<'_>) -> Option<DesignResult> {
+    /// Like [`run_controlled`](Self::run_controlled), but scoring every
+    /// candidate through an external [`EvalExec`] substrate instead of a
+    /// run-private pool — the entry point for a multi-job service sharing
+    /// one process-wide solver pool and [`EvalCache`] across tenants. The
+    /// caller owns caching (attach one to the [`RequestScorer`] behind
+    /// `exec`); per-run state (RNG, incumbents, frozen pressures) stays in
+    /// this call's frame, so concurrent jobs cannot observe each other.
+    pub fn run_with_exec(
+        &self,
+        problem: Problem,
+        control: &SearchControl,
+        exec: &dyn EvalExec,
+    ) -> SearchOutcome {
+        self.run_all_flows(problem, control, &Exec::External(exec))
+    }
+
+    fn run_all_flows(
+        &self,
+        problem: Problem,
+        control: &SearchControl,
+        exec: &Exec<'_>,
+    ) -> SearchOutcome {
         let mut best: Option<DesignResult> = None;
+        let mut cut: Option<CutPoint> = None;
         for (fi, &flow) in self.opts.flows.iter().enumerate() {
-            let Some(result) = self.run_flow(problem, flow, fi as u64, exec) else {
-                continue;
-            };
-            let better = match &best {
-                None => true,
-                Some(b) => result.objective(problem) < b.objective(problem),
-            };
-            if better {
-                best = Some(result);
+            let flow_run = self.run_flow(problem, flow, fi as u64, control, exec);
+            if let Some(result) = flow_run.result {
+                let better = match &best {
+                    None => true,
+                    Some(b) => result.objective(problem) < b.objective(problem),
+                };
+                if better {
+                    best = Some(result);
+                }
+            }
+            if flow_run.cut.is_some() {
+                cut = flow_run.cut;
+                break;
             }
         }
-        best
+        match (cut, best) {
+            (Some(cut), best) => SearchOutcome::Degraded { best, cut },
+            (None, Some(best)) => SearchOutcome::Completed(best),
+            (None, None) => SearchOutcome::Infeasible,
+        }
     }
 
     /// The along-axis length for a flow direction.
@@ -481,107 +777,6 @@ impl<'a> TreeSearch<'a> {
         .ok()
     }
 
-    /// Builds the network and evaluator for a configuration (the cache
-    /// miss path; `None` marks the configuration unbuildable).
-    fn build_eval(&self, config: &TreeConfig, model: ModelChoice) -> Option<BuiltEval> {
-        let net = self.build(config)?;
-        let ev = Evaluator::new(self.bench, &net, model).ok()?;
-        Some(BuiltEval { net, ev })
-    }
-
-    /// Computes one request's value on an evaluator. This is the single
-    /// scoring function of the staged SA; every metric variant lives here
-    /// so the cached and uncached paths cannot drift apart.
-    fn compute(&self, problem: Problem, kind: EvalKind, ev: &Evaluator) -> EvalResponse {
-        match kind {
-            EvalKind::Full => match self.full_score(problem, ev) {
-                Some(NetworkScore::Feasible {
-                    p_sys, objective, ..
-                }) => (objective, Some(p_sys)),
-                _ => (f64::INFINITY, None),
-            },
-            EvalKind::GradientAt(p) => match ev.profile(p) {
-                Ok(profile) => (profile.delta_t.value(), None),
-                Err(_) => (f64::INFINITY, None),
-            },
-            // Grouped iterations score with the *problem's* metric at the
-            // frozen pressure, so in-group costs are commensurable with
-            // the full objectives set at group boundaries. (Scoring ΔT in
-            // kelvin here while boundaries set W_pump in watts let the
-            // Metropolis test compare incommensurable quantities for
-            // Problem 1 — the grouped-objective mixing bug.)
-            EvalKind::ObjectiveAt(p) => match ev.profile(p) {
-                Ok(profile) => match problem {
-                    Problem::PumpingPower => {
-                        if profile.delta_t <= self.bench.delta_t_limit
-                            && profile.t_max <= self.bench.t_max_limit
-                        {
-                            (ev.w_pump(p).value(), None)
-                        } else {
-                            (f64::INFINITY, None)
-                        }
-                    }
-                    Problem::ThermalGradient => (profile.delta_t.value(), None),
-                },
-                Err(_) => (f64::INFINITY, None),
-            },
-        }
-    }
-
-    /// Resolves one request, through the cache when one is active. NaN
-    /// costs are absorbed as `+∞` (matching the SA layer's contract).
-    fn eval_request(
-        &self,
-        problem: Problem,
-        cache: Option<&EvalCache>,
-        req: &EvalRequest,
-    ) -> EvalResponse {
-        let (value, p) = match cache {
-            Some(cache) => {
-                let key = match req.kind {
-                    EvalKind::Full => ScoreKey::Full(problem),
-                    EvalKind::GradientAt(p) => ScoreKey::gradient_at(p),
-                    EvalKind::ObjectiveAt(p) => ScoreKey::objective_at(problem, p),
-                };
-                cache.eval(
-                    &req.config,
-                    req.model,
-                    key,
-                    || self.build_eval(&req.config, req.model),
-                    |ev| self.compute(problem, req.kind, ev),
-                )
-            }
-            None => match self.build_eval(&req.config, req.model) {
-                Some(built) => self.compute(problem, req.kind, &built.ev),
-                None => (f64::INFINITY, None),
-            },
-        };
-        if value.is_nan() {
-            (f64::INFINITY, p)
-        } else {
-            (value, p)
-        }
-    }
-
-    fn full_score(&self, problem: Problem, ev: &Evaluator) -> Option<NetworkScore> {
-        match problem {
-            Problem::PumpingPower => evaluate_problem1(
-                ev,
-                self.bench.delta_t_limit,
-                self.bench.t_max_limit,
-                &self.opts.psearch,
-            )
-            .ok(),
-            Problem::ThermalGradient => evaluate_problem2(
-                ev,
-                self.bench.w_pump_limit(),
-                self.bench.t_max_limit,
-                &self.opts.psearch,
-            )
-            .ok(),
-        }
-    }
-
     fn perturb(&self, config: &TreeConfig, step: u16, rng: &mut StdRng) -> TreeConfig {
         let along = self.along_len(config.flow) as i32;
         let step = step.max(2) as i32;
@@ -606,22 +801,63 @@ impl<'a> TreeSearch<'a> {
         problem: Problem,
         flow: GlobalFlow,
         flow_seed: u64,
+        control: &SearchControl,
         exec: &Exec<'_>,
-    ) -> Option<DesignResult> {
-        let mut current = self.initial_config(flow)?;
+    ) -> FlowRun {
+        let none = FlowRun {
+            result: None,
+            cut: None,
+        };
+        let Some(mut current) = self.initial_config(flow) else {
+            return none;
+        };
         // Reject flows whose uniform initialization cannot even be drawn.
-        self.build(&current)?;
+        if self.build(&current).is_none() {
+            return none;
+        }
 
-        for (si, stage) in self.opts.stages.iter().enumerate() {
+        let mut cut: Option<CutPoint> = None;
+        'stages: for (si, stage) in self.opts.stages.iter().enumerate() {
             let mut round_winners: Vec<(TreeConfig, f64)> = Vec::new();
             for round in 0..stage.rounds {
+                // Round-boundary checkpoint: cancellation/deadline/budget
+                // crossings take effect here (and at the finer iteration
+                // checkpoints inside the round), never mid-evaluation, so
+                // the cut index is a pure function of the spec and seed.
+                if let Err(c) = control.checkpoint() {
+                    cut = Some(c);
+                    break;
+                }
                 let seed = self
                     .opts
                     .seed
                     .wrapping_mul(0x9E37)
                     .wrapping_add(flow_seed * 1000 + (si * 64 + round) as u64);
-                let winner = self.run_stage_round(stage, &current, seed, exec);
+                let (winner, round_cut) =
+                    self.run_stage_round(stage, &current, seed, control, exec);
                 round_winners.push(winner);
+                if round_cut.is_some() {
+                    cut = round_cut;
+                    break;
+                }
+            }
+            if cut.is_some() {
+                // Interrupted: keep the best incumbent seen so far without
+                // paying for a rescoring pass. Winners of one stage share a
+                // metric, so their own costs are directly comparable; an
+                // empty winner list keeps the previous stage's incumbent.
+                let mut best_idx: Option<usize> = None;
+                for (i, (_, c)) in round_winners.iter().enumerate() {
+                    match best_idx {
+                        None => best_idx = Some(i),
+                        Some(b) if c.total_cmp(&round_winners[b].1).is_lt() => best_idx = Some(i),
+                        Some(_) => {}
+                    }
+                }
+                if let Some(b) = best_idx {
+                    current = round_winners[b].0.clone();
+                }
+                break 'stages;
             }
             if round_winners.is_empty() {
                 continue;
@@ -666,39 +902,46 @@ impl<'a> TreeSearch<'a> {
                 && round_winners.iter().all(|(_, c)| c.is_infinite())
                 && rescored.iter().all(|c| c.is_infinite())
             {
-                return None;
+                return none;
             }
         }
 
         // Final measurement with the last stage's model (paper: stage 4 is
-        // 4RM, so the reported numbers come from the accurate model).
+        // 4RM, so the reported numbers come from the accurate model). An
+        // interrupted flow measures its best-so-far incumbent the same way,
+        // so a degraded artifact reports accurate-model numbers too.
         let final_model = self
             .opts
             .stages
             .last()
             .map_or(ModelChoice::FourRm, |s| s.model);
-        let net = self.build(&current)?;
-        DesignResult::measure_with_model(
-            self.bench,
-            &net,
-            problem,
-            format!("tree-like SA ({flow})"),
-            &self.opts.psearch,
-            final_model,
-        )
-        .ok()
-        .flatten()
+        let result = self.build(&current).and_then(|net| {
+            DesignResult::measure_with_model(
+                self.bench,
+                &net,
+                problem,
+                format!("tree-like SA ({flow})"),
+                &self.opts.psearch,
+                final_model,
+            )
+            .ok()
+            .flatten()
+        });
+        FlowRun { result, cut }
     }
 
     /// One SA round of one stage. The problem being solved is bound
-    /// inside `exec`'s evaluation closure.
+    /// inside `exec`'s evaluation closure. Returns the round winner plus
+    /// the cut that interrupted the round, if one did (the winner is then
+    /// the best-so-far incumbent at the cut).
     fn run_stage_round(
         &self,
         stage: &Stage,
         init: &TreeConfig,
         seed: u64,
+        control: &SearchControl,
         exec: &Exec<'_>,
-    ) -> (TreeConfig, f64) {
+    ) -> ((TreeConfig, f64), Option<CutPoint>) {
         let mut rng = StdRng::seed_from_u64(seed);
         // Fixed pressure for cheap metrics: from a full evaluation of the
         // initial configuration (fallback: the search default).
@@ -736,6 +979,12 @@ impl<'a> TreeSearch<'a> {
         let mut best_cost = init_cost;
 
         for it in 0..stage.iterations {
+            // Iteration-boundary checkpoint: between candidate batches is
+            // the finest grain at which a stop can land without making the
+            // cut index depend on scoring latency.
+            if let Err(c) = control.checkpoint() {
+                return ((best, best_cost), Some(c));
+            }
             // Grouping (§5, adaptation 2): refresh the frozen pressure
             // from a full evaluation of the incumbent at each group
             // boundary.
@@ -810,7 +1059,7 @@ impl<'a> TreeSearch<'a> {
                 }
             }
         }
-        (best, best_cost)
+        ((best, best_cost), None)
     }
 }
 
@@ -894,32 +1143,26 @@ mod tests {
         // unit. The pre-fix code scored them as ΔT at the frozen pressure
         // (kelvin), so Metropolis compared incommensurable quantities.
         let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
-        let search = TreeSearch::new(&bench, TreeSearchOptions::quick(3));
+        let opts = TreeSearchOptions::quick(3);
+        let scorer = RequestScorer::new(&bench, opts.psearch, Problem::PumpingPower);
+        let search = TreeSearch::new(&bench, opts);
         let config = search.initial_config(GlobalFlow::WestToEast).unwrap();
         let model = ModelChoice::fast();
-        let (obj, p) = search.eval_request(
-            Problem::PumpingPower,
-            None,
-            &EvalRequest {
-                config: config.clone(),
-                model,
-                kind: EvalKind::Full,
-            },
-        );
+        let (obj, p) = scorer.score(&EvalRequest {
+            config: config.clone(),
+            model,
+            kind: EvalKind::Full,
+        });
         let p = p.expect("initial config must be feasible on case 1");
         assert!(obj.is_finite() && obj > 0.0);
         // At the frozen optimal pressure, the in-group score must equal
         // the full objective exactly (it is W_pump at the same pressure,
         // and the constraints hold there by construction).
-        let (grouped, _) = search.eval_request(
-            Problem::PumpingPower,
-            None,
-            &EvalRequest {
-                config: config.clone(),
-                model,
-                kind: EvalKind::ObjectiveAt(p),
-            },
-        );
+        let (grouped, _) = scorer.score(&EvalRequest {
+            config: config.clone(),
+            model,
+            kind: EvalKind::ObjectiveAt(p),
+        });
         assert!(
             (grouped - obj).abs() <= 1e-9 * obj,
             "grouped in-group score {grouped} must equal the full objective {obj} \
@@ -927,15 +1170,11 @@ mod tests {
         );
         // And a constraint-violating frozen pressure must score +∞, not a
         // small ΔT: freeze far below the feasible pressure.
-        let (starved, _) = search.eval_request(
-            Problem::PumpingPower,
-            None,
-            &EvalRequest {
-                config,
-                model,
-                kind: EvalKind::ObjectiveAt(Pascal::new(p.value() / 64.0)),
-            },
-        );
+        let (starved, _) = scorer.score(&EvalRequest {
+            config,
+            model,
+            kind: EvalKind::ObjectiveAt(Pascal::new(p.value() / 64.0)),
+        });
         assert!(
             starved.is_infinite(),
             "infeasible frozen pressure must be +∞, got {starved}"
@@ -947,28 +1186,22 @@ mod tests {
         // Problem 2's objective *is* ΔT, so the in-group score at the
         // frozen pressure stays the plain gradient (the §5 grouping).
         let bench = Benchmark::iccad_scaled(2, GridDims::new(21, 21));
-        let search = TreeSearch::new(&bench, TreeSearchOptions::quick(3));
+        let opts = TreeSearchOptions::quick(3);
+        let scorer = RequestScorer::new(&bench, opts.psearch, Problem::ThermalGradient);
+        let search = TreeSearch::new(&bench, opts);
         let config = search.initial_config(GlobalFlow::WestToEast).unwrap();
         let model = ModelChoice::fast();
         let p = Pascal::from_kilopascals(8.0);
-        let (objective_at, _) = search.eval_request(
-            Problem::ThermalGradient,
-            None,
-            &EvalRequest {
-                config: config.clone(),
-                model,
-                kind: EvalKind::ObjectiveAt(p),
-            },
-        );
-        let (gradient_at, _) = search.eval_request(
-            Problem::ThermalGradient,
-            None,
-            &EvalRequest {
-                config,
-                model,
-                kind: EvalKind::GradientAt(p),
-            },
-        );
+        let (objective_at, _) = scorer.score(&EvalRequest {
+            config: config.clone(),
+            model,
+            kind: EvalKind::ObjectiveAt(p),
+        });
+        let (gradient_at, _) = scorer.score(&EvalRequest {
+            config,
+            model,
+            kind: EvalKind::GradientAt(p),
+        });
         assert_eq!(objective_at.to_bits(), gradient_at.to_bits());
     }
 
@@ -1030,7 +1263,9 @@ mod tests {
             metric: StageMetric::Full,
             group: 4,
         };
-        let _ = search.run_stage_round(&stage, &init, 42, &exec);
+        let ((_, _), cut) =
+            search.run_stage_round(&stage, &init, 42, &SearchControl::unlimited(), &exec);
+        assert!(cut.is_none());
 
         let log = log.into_inner().unwrap_or_else(|p| p.into_inner());
         // Full evaluations: the initial cost, the boundary refreshes at
@@ -1066,6 +1301,120 @@ mod tests {
                 assert_eq!(a.delta_t.value().to_bits(), b.delta_t.value().to_bits());
             }
             (a, b) => assert_eq!(a.is_some(), b.is_some(), "feasibility must agree"),
+        }
+    }
+
+    fn assert_same_design(a: &DesignResult, b: &DesignResult) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.p_sys.value().to_bits(), b.p_sys.value().to_bits());
+        assert_eq!(a.w_pump.value().to_bits(), b.w_pump.value().to_bits());
+        assert_eq!(a.t_max.value().to_bits(), b.t_max.value().to_bits());
+        assert_eq!(a.delta_t.value().to_bits(), b.delta_t.value().to_bits());
+    }
+
+    #[test]
+    fn budget_cut_degrades_to_best_so_far_and_replays_bitwise() {
+        let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
+        let mut opts = TreeSearchOptions::quick(3);
+        opts.parallelism = 2;
+        opts.flows = vec![GlobalFlow::WestToEast];
+        let search = TreeSearch::new(&bench, opts);
+
+        let outcome = search.run_controlled(
+            Problem::PumpingPower,
+            &SearchControl::unlimited().with_budget(4),
+        );
+        let SearchOutcome::Degraded { best, cut } = outcome else {
+            panic!("a 4-checkpoint budget must interrupt the quick schedule");
+        };
+        assert_eq!(cut.reason, crate::control::StopReason::BudgetExhausted);
+        assert_eq!(cut.checkpoint, 4);
+        let best = best.expect("case 1's incumbent is feasible from the start");
+
+        // The replay contract: feeding the recorded cut back reproduces
+        // the degraded run bit for bit.
+        let replay = search.run_controlled(Problem::PumpingPower, &SearchControl::replay(cut));
+        let SearchOutcome::Degraded {
+            best: replayed,
+            cut: replay_cut,
+        } = replay
+        else {
+            panic!("replaying a cut must degrade again");
+        };
+        assert_eq!(replay_cut, cut);
+        assert_same_design(
+            &best,
+            &replayed.expect("replay must find the same incumbent"),
+        );
+    }
+
+    #[test]
+    fn zero_budget_still_measures_the_initial_incumbent() {
+        // The extreme degradation (a deadline that already passed at job
+        // start): the very first checkpoint cuts, and the artifact still
+        // carries a real design — the measured initial configuration.
+        let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
+        let mut opts = TreeSearchOptions::quick(3);
+        opts.parallelism = 1;
+        opts.flows = vec![GlobalFlow::WestToEast];
+        let outcome = TreeSearch::new(&bench, opts).run_controlled(
+            Problem::PumpingPower,
+            &SearchControl::unlimited().with_budget(0),
+        );
+        let SearchOutcome::Degraded { best, cut } = outcome else {
+            panic!("zero budget must degrade");
+        };
+        assert_eq!(cut.checkpoint, 0);
+        assert!(
+            best.is_some(),
+            "case 1's uniform initial config is feasible and must be measured"
+        );
+    }
+
+    #[test]
+    fn cancelled_token_degrades_instead_of_discarding() {
+        let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
+        let mut opts = TreeSearchOptions::quick(5);
+        opts.parallelism = 1;
+        opts.flows = vec![GlobalFlow::WestToEast];
+        let control = SearchControl::unlimited();
+        control.token().cancel();
+        let outcome = TreeSearch::new(&bench, opts).run_controlled(Problem::PumpingPower, &control);
+        match outcome {
+            SearchOutcome::Degraded { cut, .. } => {
+                assert_eq!(cut.reason, crate::control::StopReason::Cancelled);
+            }
+            other => panic!("pre-cancelled token must degrade, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_exec_matches_in_run_scoring_bitwise() {
+        // The serve-style execution seam must be score-transparent: a
+        // trivial EvalExec over a RequestScorer yields the same design as
+        // the run-private pool path.
+        struct SerialExec(RequestScorer);
+        impl EvalExec for SerialExec {
+            fn score_batch(&self, reqs: Vec<EvalRequest>) -> Vec<EvalResponse> {
+                reqs.iter().map(|r| self.0.score(r)).collect()
+            }
+        }
+        let bench = Benchmark::iccad_scaled(1, GridDims::new(21, 21));
+        let mut opts = TreeSearchOptions::quick(7);
+        opts.parallelism = 2;
+        opts.flows = vec![GlobalFlow::WestToEast];
+        let scorer = RequestScorer::new(&bench, opts.psearch, Problem::PumpingPower)
+            .with_cache(Arc::new(EvalCache::new(256)), 9);
+        let search = TreeSearch::new(&bench, opts);
+        let external = search.run_with_exec(
+            Problem::PumpingPower,
+            &SearchControl::unlimited(),
+            &SerialExec(scorer),
+        );
+        let internal = search.run(Problem::PumpingPower);
+        match (external, internal) {
+            (SearchOutcome::Completed(a), Some(b)) => assert_same_design(&a, &b),
+            (a, b) => panic!("outcomes must agree and complete: {a:?} vs {b:?}"),
         }
     }
 

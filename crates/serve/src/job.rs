@@ -1,0 +1,456 @@
+//! Job specs in, result artifacts out: the serde surface of the service.
+//!
+//! A [`JobSpec`] is everything needed to reproduce a design run — the
+//! benchmark case, the problem, the search options and the seed — plus
+//! the robustness envelope: logical budget, wall-clock deadline, scripted
+//! cancellation, and (for chaos drills) fault injection. A [`JobArtifact`]
+//! is what comes back: the outcome status, the design summary, the cut
+//! point of an interrupted run, and per-job observability deltas.
+//!
+//! The artifact splits into a **deterministic core** and a **telemetry
+//! shell**. The core ([`JobArtifact::deterministic_core`]) is a pure
+//! function of the spec: outcome, cut point, attempts, and the design
+//! summary with objectives carried as exact `f64` bit patterns. Identical
+//! specs produce byte-identical cores at any queue concurrency, which is
+//! the service's replay contract (gated in CI). The shell — wall time and
+//! metrics deltas — reports what the run cost and is excluded from the
+//! contract.
+
+use coolnet_cases::Benchmark;
+use coolnet_grid::GridDims;
+use coolnet_obs::MetricsDelta;
+use coolnet_opt::treeopt::TreeSearchOptions;
+use coolnet_opt::{CutPoint, DesignResult, Problem, SearchOutcome, StopReason};
+use serde::{Deserialize, Serialize};
+
+/// Reduced benchmark grid for a job (`Benchmark::iccad_scaled`); the
+/// default 21×21 keeps batch jobs interactive. Must be at least 11×11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Grid width in basic cells.
+    pub width: u16,
+    /// Grid height in basic cells.
+    pub height: u16,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        Self {
+            width: 21,
+            height: 21,
+        }
+    }
+}
+
+impl GridSpec {
+    pub(crate) fn dims(self) -> GridDims {
+        GridDims::new(self.width, self.height)
+    }
+}
+
+/// Named search schedules, so a `jobs.json` does not have to spell out a
+/// full [`TreeSearchOptions`] stage table (it still can, via
+/// [`JobSpec::options`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchPreset {
+    /// [`TreeSearchOptions::quick`] — the test/smoke schedule.
+    Quick,
+    /// [`TreeSearchOptions::reduced`] — the mid-effort harness schedule.
+    Reduced,
+    /// The paper schedule for the job's problem
+    /// ([`TreeSearchOptions::paper_problem1`] / `paper_problem2`).
+    Paper,
+}
+
+// Manual impl: the vendored serde derive does not parse a
+// variant-level `#[default]` attribute.
+#[allow(clippy::derivable_impls)]
+impl Default for SearchPreset {
+    fn default() -> Self {
+        Self::Quick
+    }
+}
+
+/// Deterministic fault injection for chaos drills: panic the job's
+/// coordinating thread at a chosen point, for a chosen number of
+/// attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Zero-based index of the scoring batch whose dispatch panics.
+    pub at_batch: u64,
+    /// How many leading attempts the fault fires on: `1` exercises
+    /// retry-recovery (attempt 2 completes), a value at or above the
+    /// queue's `max_attempts` forces a final `Failed` artifact.
+    pub attempts: u32,
+}
+
+/// One design job: a complete, self-describing request for a staged SA
+/// design run plus its robustness envelope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Caller-chosen identifier, echoed in the artifact.
+    pub id: String,
+    /// ICCAD-style benchmark case, `1..=5`.
+    pub case: usize,
+    /// Which §3 problem to solve.
+    pub problem: Problem,
+    /// Base RNG seed of the search.
+    pub seed: u64,
+    /// Benchmark grid (default 21×21 scaled).
+    #[serde(default)]
+    pub grid: GridSpec,
+    /// Search schedule preset (default [`SearchPreset::Quick`]).
+    #[serde(default)]
+    pub preset: SearchPreset,
+    /// Full search options, overriding `preset` when present (`seed` from
+    /// this spec still wins, so the artifact is always reproducible from
+    /// the spec alone).
+    #[serde(default)]
+    pub options: Option<TreeSearchOptions>,
+    /// Logical checkpoint budget; the run degrades to best-so-far at the
+    /// budget boundary.
+    #[serde(default)]
+    pub budget: Option<u64>,
+    /// Wall-clock deadline in milliseconds, enforced by the queue's
+    /// watchdog; `0` expires before the first checkpoint, which makes the
+    /// resulting cut deterministic (checkpoint 0).
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// Scripted cancellation at a logical checkpoint — "cancelled mid-run"
+    /// as a reproducible batch input (live cancellation uses
+    /// [`JobHandle::cancel`](crate::queue::JobHandle::cancel)).
+    #[serde(default)]
+    pub cancel_at: Option<u64>,
+    /// Deterministic fault injection (chaos drills only).
+    #[serde(default)]
+    pub fault: Option<FaultSpec>,
+}
+
+impl JobSpec {
+    /// A minimal healthy job: `case` with the quick schedule.
+    pub fn quick(id: impl Into<String>, case: usize, problem: Problem, seed: u64) -> Self {
+        Self {
+            id: id.into(),
+            case,
+            problem,
+            seed,
+            grid: GridSpec::default(),
+            preset: SearchPreset::default(),
+            options: None,
+            budget: None,
+            deadline_ms: None,
+            cancel_at: None,
+            fault: None,
+        }
+    }
+
+    /// Validates the spec without running it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.id.is_empty() {
+            return Err("job id must not be empty".into());
+        }
+        if !(1..=5).contains(&self.case) {
+            return Err(format!("case {} is not in 1..=5", self.case));
+        }
+        if self.grid.width < 11 || self.grid.height < 11 {
+            return Err(format!(
+                "grid {}x{} is below the 11x11 benchmark minimum",
+                self.grid.width, self.grid.height
+            ));
+        }
+        if let Some(opts) = &self.options {
+            if opts.stages.is_empty() {
+                return Err("options.stages must not be empty".into());
+            }
+            if opts.flows.is_empty() {
+                return Err("options.flows must not be empty".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// The benchmark this spec runs on.
+    pub(crate) fn benchmark(&self) -> Benchmark {
+        Benchmark::iccad_scaled(self.case, self.grid.dims())
+    }
+
+    /// The resolved search options: explicit `options` if given, else the
+    /// preset — with this spec's `seed` applied either way.
+    pub(crate) fn search_options(&self) -> TreeSearchOptions {
+        let mut opts = match &self.options {
+            Some(explicit) => explicit.clone(),
+            None => match self.preset {
+                SearchPreset::Quick => TreeSearchOptions::quick(self.seed),
+                SearchPreset::Reduced => TreeSearchOptions::reduced(self.seed),
+                SearchPreset::Paper => match self.problem {
+                    Problem::PumpingPower => TreeSearchOptions::paper_problem1(self.seed),
+                    Problem::ThermalGradient => TreeSearchOptions::paper_problem2(self.seed),
+                },
+            },
+        };
+        opts.seed = self.seed;
+        opts
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutcome {
+    /// The full schedule ran and produced a feasible design.
+    Completed,
+    /// The run was interrupted (cancelled / deadline / budget) and
+    /// degraded to its best-so-far incumbent; `reason` mirrors the cut.
+    Degraded {
+        /// Why the run stopped early.
+        reason: StopReason,
+    },
+    /// The full schedule ran and found no feasible design.
+    Infeasible,
+    /// The job could not produce an outcome: invalid spec, or every
+    /// attempt panicked.
+    Failed {
+        /// Human-readable cause.
+        error: String,
+    },
+}
+
+/// A compact, exactly-reproducible summary of a designed system. The
+/// `*_bits` fields are the IEEE-754 bit patterns of the reported
+/// quantities: two artifacts describe the same design iff their bits
+/// match, independent of any float formatting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSummary {
+    /// Design label from the search.
+    pub label: String,
+    /// Operating pressure in pascals (bit pattern).
+    pub p_sys_bits: u64,
+    /// Pumping power in watts (bit pattern).
+    pub w_pump_bits: u64,
+    /// Peak temperature in kelvin (bit pattern).
+    pub t_max_bits: u64,
+    /// Thermal gradient in kelvin (bit pattern).
+    pub delta_t_bits: u64,
+    /// The objective value for the job's problem, in display units.
+    pub objective: f64,
+    /// Liquid-cell count of the designed network (a cheap topology
+    /// fingerprint).
+    pub liquid_cells: usize,
+}
+
+impl DesignSummary {
+    pub(crate) fn from_result(design: &DesignResult, problem: Problem) -> Self {
+        Self {
+            label: design.label.clone(),
+            p_sys_bits: design.p_sys.value().to_bits(),
+            w_pump_bits: design.w_pump.value().to_bits(),
+            t_max_bits: design.t_max.value().to_bits(),
+            delta_t_bits: design.delta_t.value().to_bits(),
+            objective: design.objective(problem),
+            liquid_cells: design.network.num_liquid_cells(),
+        }
+    }
+}
+
+/// The result artifact of one job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobArtifact {
+    /// The spec's id.
+    pub id: String,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Where an interrupted run stopped; replaying the spec with this cut
+    /// reproduces the artifact's deterministic core bit for bit.
+    pub cut: Option<CutPoint>,
+    /// Summary of the produced design, if any (completed and degraded
+    /// jobs both carry one when an incumbent existed).
+    pub design: Option<DesignSummary>,
+    /// Attempts consumed (1 for a first-try success; >1 after retries).
+    pub attempts: u32,
+    /// Result of the replay check when the queue ran with verification:
+    /// `Some(true)` iff re-running the spec with the recorded cut
+    /// reproduced the deterministic core exactly.
+    pub replay_identical: Option<bool>,
+    /// Wall-clock time of the job (telemetry shell, not part of the
+    /// deterministic core).
+    pub wall_ms: u64,
+    /// Observability counters this job moved (telemetry shell).
+    pub metrics: MetricsDelta,
+}
+
+impl JobArtifact {
+    pub(crate) fn failed(id: &str, error: impl Into<String>, attempts: u32) -> Self {
+        Self {
+            id: id.to_string(),
+            outcome: JobOutcome::Failed {
+                error: error.into(),
+            },
+            cut: None,
+            design: None,
+            attempts,
+            replay_identical: None,
+            wall_ms: 0,
+            metrics: MetricsDelta::default(),
+        }
+    }
+
+    pub(crate) fn from_outcome(
+        id: &str,
+        outcome: &SearchOutcome,
+        problem: Problem,
+        attempts: u32,
+    ) -> Self {
+        let (job_outcome, cut, design) = match outcome {
+            SearchOutcome::Completed(d) => (
+                JobOutcome::Completed,
+                None,
+                Some(DesignSummary::from_result(d, problem)),
+            ),
+            SearchOutcome::Degraded { best, cut } => (
+                JobOutcome::Degraded { reason: cut.reason },
+                Some(*cut),
+                best.as_ref()
+                    .map(|d| DesignSummary::from_result(d, problem)),
+            ),
+            SearchOutcome::Infeasible => (JobOutcome::Infeasible, None, None),
+        };
+        Self {
+            id: id.to_string(),
+            outcome: job_outcome,
+            cut,
+            design,
+            attempts,
+            replay_identical: None,
+            wall_ms: 0,
+            metrics: MetricsDelta::default(),
+        }
+    }
+
+    /// The deterministic core: the part of the artifact that is a pure
+    /// function of the spec (same spec + seed → byte-identical core at
+    /// any concurrency, with or without faults that retries absorbed).
+    pub fn deterministic_core(&self) -> DeterministicCore {
+        DeterministicCore {
+            id: self.id.clone(),
+            outcome: self.outcome.clone(),
+            cut: self.cut,
+            design: self.design.clone(),
+        }
+    }
+}
+
+/// See [`JobArtifact::deterministic_core`]. `attempts` is deliberately
+/// excluded: how many times a *fault drill* made the queue retry is part
+/// of the envelope, not of the reproducible result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeterministicCore {
+    /// The spec's id.
+    pub id: String,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Where an interrupted run stopped.
+    pub cut: Option<CutPoint>,
+    /// Summary of the produced design.
+    pub design: Option<DesignSummary>,
+}
+
+/// The batch report the CLI writes: every artifact in input order plus
+/// roll-up counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Artifacts, in the order their specs were submitted.
+    pub jobs: Vec<JobArtifact>,
+    /// Jobs that completed their full schedule.
+    pub completed: usize,
+    /// Jobs that degraded to a best-so-far incumbent.
+    pub degraded: usize,
+    /// Jobs that ran to completion without a feasible design.
+    pub infeasible: usize,
+    /// Jobs that failed outright.
+    pub failed: usize,
+}
+
+impl BatchReport {
+    /// Builds the report (and its counts) from artifacts.
+    pub fn new(jobs: Vec<JobArtifact>) -> Self {
+        let mut report = Self {
+            jobs,
+            completed: 0,
+            degraded: 0,
+            infeasible: 0,
+            failed: 0,
+        };
+        for job in &report.jobs {
+            match &job.outcome {
+                JobOutcome::Completed => report.completed += 1,
+                JobOutcome::Degraded { .. } => report.degraded += 1,
+                JobOutcome::Infeasible => report.infeasible += 1,
+                JobOutcome::Failed { .. } => report.failed += 1,
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation_rejects_bad_inputs() {
+        let good = JobSpec::quick("a", 1, Problem::PumpingPower, 7);
+        assert!(good.validate().is_ok());
+        let mut bad = good.clone();
+        bad.case = 6;
+        assert!(bad.validate().unwrap_err().contains("case 6"));
+        let mut bad = good.clone();
+        bad.grid = GridSpec {
+            width: 9,
+            height: 21,
+        };
+        assert!(bad.validate().unwrap_err().contains("11x11"));
+        let mut bad = good;
+        bad.id.clear();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn spec_serde_round_trip_with_defaults() {
+        let json = r#"{
+            "id": "smoke",
+            "case": 2,
+            "problem": "ThermalGradient",
+            "seed": 11,
+            "deadline_ms": 250
+        }"#;
+        let spec: JobSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(spec.grid, GridSpec::default());
+        assert_eq!(spec.preset, SearchPreset::Quick);
+        assert_eq!(spec.deadline_ms, Some(250));
+        assert!(spec.options.is_none() && spec.fault.is_none());
+        let back: JobSpec = serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(back.id, "smoke");
+        assert_eq!(back.seed, 11);
+    }
+
+    #[test]
+    fn seed_in_spec_overrides_explicit_options() {
+        let mut spec = JobSpec::quick("s", 1, Problem::PumpingPower, 99);
+        spec.options = Some(TreeSearchOptions::quick(3));
+        assert_eq!(spec.search_options().seed, 99);
+    }
+
+    #[test]
+    fn outcome_serde_shapes_are_jq_friendly() {
+        let completed = serde_json::to_string(&JobOutcome::Completed).unwrap();
+        assert_eq!(completed, "\"Completed\"");
+        let degraded = serde_json::to_string(&JobOutcome::Degraded {
+            reason: StopReason::DeadlineExceeded,
+        })
+        .unwrap();
+        assert!(degraded.contains("Degraded") && degraded.contains("DeadlineExceeded"));
+    }
+}

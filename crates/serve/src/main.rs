@@ -1,0 +1,111 @@
+//! `coolnet-serve` — the batch transport of the design-job service.
+//!
+//! ```text
+//! coolnet-serve --jobs jobs.json [--concurrency N] [--out report.json]
+//!               [--pool-threads N] [--cache-capacity N]
+//!               [--max-attempts N] [--backoff-ms N] [--verify-replay]
+//! ```
+//!
+//! Reads a JSON array of job specs, runs them on a [`JobQueue`], and
+//! writes a [`BatchReport`] (JSON) to `--out` or stdout. The process
+//! exits 0 as long as the batch itself ran — individual job failures are
+//! data, reported in the artifacts and gated by the caller (CI uses jq).
+
+#![forbid(unsafe_code)]
+
+use coolnet_serve::{BatchReport, JobQueue, JobSpec, QueueOptions};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: coolnet-serve --jobs <jobs.json> [--concurrency N] \
+[--out <report.json>] [--pool-threads N] [--cache-capacity N] [--max-attempts N] \
+[--backoff-ms N] [--verify-replay]";
+
+struct Cli {
+    jobs_path: String,
+    out_path: Option<String>,
+    opts: QueueOptions,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut jobs_path = None;
+    let mut out_path = None;
+    let mut opts = QueueOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--jobs" => jobs_path = Some(value("--jobs")?),
+            "--out" => out_path = Some(value("--out")?),
+            "--concurrency" => opts.concurrency = parse_num(&value("--concurrency")?)?,
+            "--pool-threads" => opts.pool_threads = parse_num(&value("--pool-threads")?)?,
+            "--cache-capacity" => opts.cache_capacity = parse_num(&value("--cache-capacity")?)?,
+            "--max-attempts" => {
+                opts.max_attempts = u32::try_from(parse_num(&value("--max-attempts")?)?)
+                    .map_err(|_| "--max-attempts out of range".to_string())?;
+            }
+            "--backoff-ms" => {
+                opts.backoff_ms = parse_num(&value("--backoff-ms")?)? as u64;
+            }
+            "--verify-replay" => opts.verify_replay = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    let jobs_path = jobs_path.ok_or_else(|| format!("--jobs is required\n{USAGE}"))?;
+    Ok(Cli {
+        jobs_path,
+        out_path,
+        opts,
+    })
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse::<usize>()
+        .map_err(|_| format!("`{s}` is not a non-negative integer"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args)?;
+    let text = std::fs::read_to_string(&cli.jobs_path)
+        .map_err(|e| format!("reading {}: {e}", cli.jobs_path))?;
+    let specs: Vec<JobSpec> =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {}: {e}", cli.jobs_path))?;
+    eprintln!(
+        "coolnet-serve: {} job(s), concurrency {}, verify_replay {}",
+        specs.len(),
+        cli.opts.concurrency,
+        cli.opts.verify_replay,
+    );
+    let queue = JobQueue::new(cli.opts);
+    let report: BatchReport = queue.run_batch(specs);
+    for job in &report.jobs {
+        eprintln!(
+            "  {:<20} {:?} (attempts {}, {} ms)",
+            job.id, job.outcome, job.attempts, job.wall_ms
+        );
+    }
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("encoding report: {e}"))?;
+    match &cli.out_path {
+        Some(path) => {
+            std::fs::write(path, json.as_bytes()).map_err(|e| format!("writing {path}: {e}"))?
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

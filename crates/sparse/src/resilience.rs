@@ -1058,7 +1058,7 @@ pub mod fault {
     fn lock_active() -> MutexGuard<'static, Option<Arc<FaultPlan>>> {
         // Poisoning is harmless here: the registry holds no invariants
         // beyond "some plan or none", so take the lock over.
-        ACTIVE.lock().unwrap_or_else(|p| p.into_inner())
+        coolnet_obs::sync::lock_recover(&ACTIVE)
     }
 
     /// The currently active plan, if any.
@@ -1071,7 +1071,7 @@ pub mod fault {
     /// The scope holds a process-wide gate, serializing fault-injected
     /// sections across test threads; drop it to deactivate the plan.
     pub fn inject(plan: &Arc<FaultPlan>) -> FaultScope {
-        let gate = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        let gate = coolnet_obs::sync::lock_recover(&GATE);
         *lock_active() = Some(Arc::clone(plan));
         FaultScope { _gate: gate }
     }

@@ -246,10 +246,7 @@ impl Assembled {
     /// state a freshly built cache starts from (used by evaluator reuse to
     /// keep repeated evaluations bitwise-identical to fresh ones).
     pub(crate) fn reset_probe_history(&self) {
-        let mut guard = match self.cache.0.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut guard = coolnet_obs::sync::lock_recover(&self.cache.0);
         if let Some(cache) = guard.as_mut() {
             cache.reset_history();
         }
@@ -306,17 +303,16 @@ impl Assembled {
         options.threads = config.solver_threads;
 
         if !config.cold_rebuild {
-            // Lock poisoning only happens if a panic escaped mid-refresh;
-            // the cache is rebuilt from scratch below in that case, so the
-            // poisoned state is safe to take over.
-            let mut guard = match self.cache.0.lock() {
-                Ok(g) => g,
-                Err(poisoned) => {
-                    let mut g = poisoned.into_inner();
-                    *g = None;
-                    g
-                }
-            };
+            // Lock poisoning only happens if a panic escaped mid-refresh,
+            // which may have left a partially refreshed cache behind: drop
+            // the cached state (forcing the from-scratch rebuild below) and
+            // clear the flag so later calls warm-start normally again.
+            let poisoned = self.cache.0.is_poisoned();
+            let mut guard = coolnet_obs::sync::lock_recover(&self.cache.0);
+            if poisoned {
+                *guard = None;
+                self.cache.0.clear_poison();
+            }
             let rebuild = match guard.as_ref() {
                 Some(c) => c.threads != config.solver_threads,
                 None => true,

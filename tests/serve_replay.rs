@@ -1,0 +1,142 @@
+//! Determinism contract of the job service: the same batch of specs
+//! produces byte-identical deterministic cores at any queue concurrency,
+//! and interrupted jobs replay bit-for-bit from their recorded cuts.
+
+use coolnet_opt::{Problem, StopReason};
+use coolnet_serve::{JobOutcome, JobQueue, JobSpec, QueueOptions};
+
+fn batch() -> Vec<JobSpec> {
+    let healthy = JobSpec::quick("healthy", 1, Problem::PumpingPower, 42);
+    let mut deadline = JobSpec::quick("deadline", 2, Problem::ThermalGradient, 7);
+    deadline.deadline_ms = Some(0);
+    let mut cancelled = JobSpec::quick("cancelled", 1, Problem::ThermalGradient, 9);
+    cancelled.cancel_at = Some(2);
+    let mut budgeted = JobSpec::quick("budgeted", 3, Problem::PumpingPower, 11);
+    budgeted.budget = Some(4);
+    vec![healthy, deadline, cancelled, budgeted]
+}
+
+fn queue(concurrency: usize, verify_replay: bool) -> JobQueue {
+    JobQueue::new(QueueOptions {
+        concurrency,
+        pool_threads: 2,
+        backoff_ms: 0,
+        verify_replay,
+        ..QueueOptions::default()
+    })
+}
+
+fn cores(concurrency: usize) -> String {
+    let report = queue(concurrency, false).run_batch(batch());
+    assert_eq!(report.jobs.len(), 4);
+    serde_json::to_string(
+        &report
+            .jobs
+            .iter()
+            .map(coolnet_serve::JobArtifact::deterministic_core)
+            .collect::<Vec<_>>(),
+    )
+    .expect("cores serialize")
+}
+
+#[test]
+fn batch_cores_are_identical_across_concurrency_levels() {
+    let c1 = cores(1);
+    let c2 = cores(2);
+    let c4 = cores(4);
+    assert_eq!(c1, c2, "concurrency 1 vs 2 diverged");
+    assert_eq!(c1, c4, "concurrency 1 vs 4 diverged");
+}
+
+#[test]
+fn batch_outcomes_match_their_envelopes_and_replay_verifies() {
+    let report = queue(2, true).run_batch(batch());
+    let by_id = |id: &str| {
+        report
+            .jobs
+            .iter()
+            .find(|j| j.id == id)
+            .unwrap_or_else(|| panic!("job {id} missing from report"))
+    };
+
+    let healthy = by_id("healthy");
+    assert_eq!(healthy.outcome, JobOutcome::Completed);
+    assert!(healthy.cut.is_none());
+    let design = healthy.design.as_ref().expect("completed job has a design");
+    assert!(design.objective.is_finite() && design.objective > 0.0);
+    assert_eq!(healthy.attempts, 1);
+    // Completed jobs have no cut to replay; the check is N/A.
+    assert_eq!(healthy.replay_identical, None);
+
+    let deadline = by_id("deadline");
+    assert_eq!(
+        deadline.outcome,
+        JobOutcome::Degraded {
+            reason: StopReason::DeadlineExceeded
+        }
+    );
+    let cut = deadline.cut.expect("degraded job records its cut");
+    assert_eq!(
+        cut.checkpoint, 0,
+        "deadline_ms=0 expires before checkpoint 0"
+    );
+    assert!(
+        deadline.design.is_some(),
+        "a checkpoint-0 cut still measures the initial incumbent"
+    );
+    assert_eq!(deadline.replay_identical, Some(true));
+
+    let cancelled = by_id("cancelled");
+    assert_eq!(
+        cancelled.outcome,
+        JobOutcome::Degraded {
+            reason: StopReason::Cancelled
+        }
+    );
+    assert_eq!(cancelled.cut.expect("cut").checkpoint, 2);
+    assert_eq!(cancelled.replay_identical, Some(true));
+
+    let budgeted = by_id("budgeted");
+    assert_eq!(
+        budgeted.outcome,
+        JobOutcome::Degraded {
+            reason: StopReason::BudgetExhausted
+        }
+    );
+    assert_eq!(budgeted.cut.expect("cut").checkpoint, 4);
+    assert_eq!(budgeted.replay_identical, Some(true));
+
+    // Per-job observability: every job moved at least one counter.
+    for job in &report.jobs {
+        assert!(
+            !job.metrics.is_empty(),
+            "job {} reported no metrics delta",
+            job.id
+        );
+    }
+}
+
+#[test]
+fn shared_cache_is_scoped_not_poisoned_across_tenants() {
+    // Two tenants with different benchmarks (case 1 vs case 2) and one
+    // with a repeated spec: the repeat must reproduce its sibling's core
+    // even though all three share one cache.
+    let specs = vec![
+        JobSpec::quick("t1", 1, Problem::PumpingPower, 42),
+        JobSpec::quick("t2", 2, Problem::PumpingPower, 42),
+        JobSpec::quick("t1-again", 1, Problem::PumpingPower, 42),
+    ];
+    let q = queue(2, false);
+    let report = q.run_batch(specs);
+    assert!(
+        !q.cache().expect("cache configured").is_empty(),
+        "jobs populate the shared cache"
+    );
+    let core = |i: usize| {
+        let mut c = report.jobs[i].deterministic_core();
+        c.id = String::new(); // ids differ by construction
+        serde_json::to_string(&c).expect("core serializes")
+    };
+    assert_eq!(core(0), core(2), "repeat spec must reproduce its sibling");
+    assert_ne!(core(0), core(1), "different cases must differ");
+}
