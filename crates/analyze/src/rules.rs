@@ -195,7 +195,9 @@ pub fn lint_scope(lint: &str) -> &'static [&'static str] {
         PANIC_FREE => &["sparse", "flow", "thermal", "opt"],
         UNIT_DISCIPLINE => &["flow", "thermal", "network"],
         FINITE_GUARD => &["sparse", "flow", "thermal", "opt"],
-        DOC_COVERAGE => &["units", "sparse", "core", "obs"],
+        // `cases` earns its place with the scenario engine: preset specs
+        // and floorplan generators are user-facing API now.
+        DOC_COVERAGE => &["units", "sparse", "core", "obs", "cases"],
         // Everything that feeds a replayable DesignResult: the solvers,
         // the models, the network builders and the optimizer. bench and
         // obs are deliberately out of scope (wall-clock is their job).

@@ -69,6 +69,58 @@ pub fn synthetic(dims: GridDims, total: f64, seed: u64, hotspot_fraction: f64) -
     map
 }
 
+/// Generates a migrating-hotspot power map: a uniform background carrying
+/// 25% of `total` plus a single hotspot block carrying the remaining 75%
+/// in one quadrant of the die. RNG-free and fully determined by its
+/// arguments — the scenario engine's hotspot-migration events rotate
+/// `quadrant` through `0..4` to model thread migration.
+///
+/// Quadrants are numbered clockwise from the low-`x`/low-`y` corner:
+/// `0` → (low x, low y), `1` → (high x, low y), `2` → (high x, high y),
+/// `3` → (low x, high y).
+///
+/// # Panics
+///
+/// Panics if `total < 0`, `quadrant > 3`, or the die is smaller than
+/// 2×2 cells (no quadrant to place the hotspot in).
+///
+/// # Examples
+///
+/// ```
+/// use coolnet_cases::floorplan;
+/// use coolnet_grid::GridDims;
+///
+/// let p = floorplan::hotspot_quadrant(GridDims::new(20, 20), 8.0, 2);
+/// assert!((p.total().value() - 8.0).abs() < 1e-9);
+/// // 75% of the power sits in the high-x/high-y quadrant.
+/// assert!((p.block_total(10, 10, 19, 19) - 0.25 * 8.0 / 4.0 - 0.75 * 8.0).abs() < 1e-9);
+/// ```
+pub fn hotspot_quadrant(dims: GridDims, total: f64, quadrant: u8) -> PowerMap {
+    assert!(total >= 0.0, "total power must be non-negative");
+    assert!(quadrant < 4, "quadrant must be in 0..4");
+    assert!(
+        dims.width() >= 2 && dims.height() >= 2,
+        "die must be at least 2x2 cells"
+    );
+    let mut map = PowerMap::zeros(dims);
+    if total == 0.0 {
+        return map;
+    }
+    let (w, h) = (dims.width(), dims.height());
+    map.add_block(0, 0, w - 1, h - 1, 0.25 * total);
+    let (xm, ym) = (w / 2, h / 2);
+    let (x0, x1) = match quadrant {
+        0 | 3 => (0, xm - 1),
+        _ => (xm, w - 1),
+    };
+    let (y0, y1) = match quadrant {
+        0 | 1 => (0, ym - 1),
+        _ => (ym, h - 1),
+    };
+    map.add_block(x0, y0, x1, y1, 0.75 * total);
+    map
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +175,45 @@ mod tests {
     #[should_panic(expected = "hotspot fraction")]
     fn bad_fraction_is_rejected() {
         synthetic(GridDims::new(21, 21), 1.0, 0, 1.5);
+    }
+
+    #[test]
+    fn hotspot_quadrant_concentrates_power_where_asked() {
+        let dims = GridDims::new(21, 21); // odd: quadrants are unequal
+        for q in 0..4u8 {
+            let p = hotspot_quadrant(dims, 12.0, q);
+            assert!((p.total().value() - 12.0).abs() < 1e-9, "quadrant {q}");
+            // The hottest cell must sit in the requested quadrant.
+            let (idx, _) = p
+                .values()
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap();
+            let (x, y) = (idx % 21, idx / 21);
+            let (right, bottom) = (x >= 10, y >= 10);
+            let want = match q {
+                0 => (false, false),
+                1 => (true, false),
+                2 => (true, true),
+                _ => (false, true),
+            };
+            assert_eq!((right, bottom), want, "quadrant {q}: peak at ({x}, {y})");
+        }
+        // Deterministic: same arguments, same map.
+        assert_eq!(
+            hotspot_quadrant(dims, 12.0, 1),
+            hotspot_quadrant(dims, 12.0, 1)
+        );
+        assert_ne!(
+            hotspot_quadrant(dims, 12.0, 1),
+            hotspot_quadrant(dims, 12.0, 3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quadrant")]
+    fn bad_quadrant_is_rejected() {
+        hotspot_quadrant(GridDims::new(21, 21), 1.0, 4);
     }
 }

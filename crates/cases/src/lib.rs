@@ -21,7 +21,12 @@
 
 #![forbid(unsafe_code)]
 
+/// Reading and writing benchmark cases in the ICCAD-2015-style file
+/// format (power maps, TSV masks, limits).
 pub mod files;
+/// Deterministic synthetic power-map generators: seeded MPSoC-style
+/// floorplans and the RNG-free migrating-hotspot maps the scenario
+/// engine's presets rotate through.
 pub mod floorplan;
 
 use coolnet_grid::{tsv, CellMask, GridDims};

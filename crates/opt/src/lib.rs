@@ -18,6 +18,11 @@
 //! * **Baselines** — [`baseline`] evaluates the straight-channel networks
 //!   of Tables 3–4 and the manual gallery standing in for the contest's
 //!   first place;
+//! * **Run-time management** — [`runtime`] closes a proportional flow
+//!   controller around the transient plant under DVFS power traces, and
+//!   [`scenario`] generalizes it to declarative timed-event scenarios
+//!   (hotspot migration, pump failure/recovery, inlet excursions) with a
+//!   scored, replayable trace;
 //! * **Evaluation reuse** — [`evalcache`] memoizes built networks, warm
 //!   evaluators and computed scores behind a bounded LRU cache, and
 //!   [`sa::with_worker_pool`] replaces per-iteration thread spawns with a
@@ -52,6 +57,7 @@ pub mod psearch;
 pub mod result;
 pub mod runtime;
 pub mod sa;
+pub mod scenario;
 pub mod treeopt;
 pub mod widthmod;
 
@@ -59,6 +65,9 @@ pub use control::{CancelToken, CutPoint, SearchControl, StopReason};
 pub use evaluate::{Evaluator, ModelChoice, Profile};
 pub use netscore::{evaluate_problem1, evaluate_problem2, NetworkScore};
 pub use result::DesignResult;
+pub use scenario::{
+    run_scenario, EventAction, ScenarioError, ScenarioEvent, ScenarioSpec, ScenarioTrace,
+};
 pub use treeopt::{EvalExec, EvalRequest, RequestScorer, SearchOutcome};
 
 use serde::{Deserialize, Serialize};

@@ -120,10 +120,15 @@ pub struct RuntimeSample {
     pub t_max: Kelvin,
     /// Pumping power during this interval.
     pub w_pump: Watt,
+    /// Actual simulated length of this interval in seconds. Equal to
+    /// `dt · control_interval` except for the final interval of a trace
+    /// whose duration is not an exact multiple, which is clamped to the
+    /// trace remainder.
+    pub interval_s: f64,
 }
 
 /// Options of a run-time simulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeOptions {
     /// Integrator time step in seconds.
     pub dt: f64,
@@ -133,30 +138,50 @@ pub struct RuntimeOptions {
     pub model: ModelChoice,
     /// Initial pump pressure.
     pub p_initial: Pascal,
+    /// Thermal configuration of the plant (solver ladder, threads,
+    /// tolerance, inlet temperature).
+    pub thermal: ThermalConfig,
 }
 
 impl Default for RuntimeOptions {
-    /// 1 ms steps, control every 10 steps, 2RM plant, 5 kPa start.
+    /// 1 ms steps, control every 10 steps, 2RM plant, 5 kPa start,
+    /// default thermal configuration.
     fn default() -> Self {
         Self {
             dt: 1e-3,
             control_interval: 10,
             model: ModelChoice::fast(),
             p_initial: Pascal::from_kilopascals(5.0),
+            thermal: ThermalConfig::default(),
         }
     }
 }
 
-enum Plant {
+/// The thermal plant behind a run-time simulation — shared with the
+/// scenario engine ([`crate::scenario`]), which drives the same transient
+/// integrators under richer event schedules.
+pub(crate) enum Plant {
     Two(TwoRm),
     Four(FourRm),
 }
 
 impl Plant {
+    /// Builds the plant for `stack` under the chosen thermal model.
+    pub(crate) fn new(
+        stack: &coolnet_thermal::Stack,
+        model: ModelChoice,
+        config: &ThermalConfig,
+    ) -> Result<Self, ThermalError> {
+        Ok(match model {
+            ModelChoice::TwoRm { m } => Plant::Two(TwoRm::new(stack, m, config)?),
+            ModelChoice::FourRm => Plant::Four(FourRm::new(stack, config)?),
+        })
+    }
+
     /// Builds a transient integrator at pressure `p` — a full triplet
     /// reassembly plus an ILU(0) factorization, the expensive part of a
     /// control action.
-    fn integrator(
+    pub(crate) fn integrator(
         &self,
         p: Pascal,
         dt: f64,
@@ -170,15 +195,15 @@ impl Plant {
     }
 }
 
-/// Number of control intervals covering `duration`.
+/// Number of integrator steps covering `duration`.
 ///
-/// The naive `(duration / (dt · interval)).ceil()` is float-sensitive: an
-/// exact-ratio trace like `duration = 0.1, dt = 1e-3, interval = 10`
-/// evaluates to `10.000000000000002` and would simulate a spurious 11th
-/// interval. Ratios within a relative epsilon of an integer snap to
-/// `round()`; genuine partial intervals still `ceil()`.
-fn control_steps(duration: f64, dt: f64, control_interval: usize) -> usize {
-    let ratio = duration / (dt * control_interval as f64);
+/// The naive `(duration / dt).ceil()` is float-sensitive: an exact-ratio
+/// trace like `duration = 0.1, dt = 1e-3` evaluates to
+/// `100.00000000000001` and would simulate a spurious extra step. Ratios
+/// within a relative epsilon of an integer snap to `round()`; genuine
+/// partial steps still `ceil()`.
+pub(crate) fn sim_steps(duration: f64, dt: f64) -> usize {
+    let ratio = duration / dt;
     let rounded = ratio.round();
     let steps = if (ratio - rounded).abs() < 1e-9 * rounded.max(1.0) {
         rounded
@@ -186,6 +211,12 @@ fn control_steps(duration: f64, dt: f64, control_interval: usize) -> usize {
         ratio.ceil()
     };
     steps as usize
+}
+
+/// Number of control intervals covering `duration` (the last one may be
+/// partial; the run loop clamps it to the trace remainder).
+pub(crate) fn control_steps(duration: f64, dt: f64, control_interval: usize) -> usize {
+    sim_steps(duration, dt).div_ceil(control_interval)
 }
 
 /// A run-time simulation failure, carrying where in the trace it happened
@@ -268,16 +299,10 @@ pub fn simulate_adaptive_flow(
         Ok(s) => s,
         Err(e) => return Err(fail(ctx, e)),
     };
-    let config = ThermalConfig::default();
-    let plant = match opts.model {
-        ModelChoice::TwoRm { m } => match TwoRm::new(&stack, m, &config) {
-            Ok(s) => Plant::Two(s),
-            Err(e) => return Err(fail(ctx, e)),
-        },
-        ModelChoice::FourRm => match FourRm::new(&stack, &config) {
-            Ok(s) => Plant::Four(s),
-            Err(e) => return Err(fail(ctx, e)),
-        },
+    let config = opts.thermal.clone();
+    let plant = match Plant::new(&stack, opts.model, &config) {
+        Ok(p) => p,
+        Err(e) => return Err(fail(ctx, e)),
     };
     // W_pump via the hydraulic model.
     let flow_cfg = crate::evaluate::Evaluator::flow_config_for(bench);
@@ -288,6 +313,7 @@ pub fn simulate_adaptive_flow(
 
     M_RUNS.inc();
     let mut snapshot: Option<coolnet_thermal::ThermalSolution> = None;
+    let total_sim_steps = sim_steps(trace.duration(), opts.dt);
     let steps_total = control_steps(trace.duration(), opts.dt, opts.control_interval);
 
     // The integrator persists across control steps and is rebuilt only
@@ -299,6 +325,7 @@ pub fn simulate_adaptive_flow(
         Err(e) => return Err(fail(ctx, e)),
     };
     let mut built_p = ctx.p;
+    let mut steps_done = 0usize;
 
     for step in 0..steps_total {
         ctx.step = step;
@@ -307,18 +334,28 @@ pub fn simulate_adaptive_flow(
         let scale = trace.scale_at(t_start);
         let p = ctx.p;
         if p != built_p {
-            // Warm-start the new operator from the latest field.
+            // Warm-start the new operator from the latest field, keeping
+            // the sticky rung hint: a pressure change rebuilds the
+            // operator, not the difficulty of the solves, so the learned
+            // rung must survive the rebuild.
+            let hint = tr.take_hint();
             tr = match plant.integrator(p, opts.dt, snapshot.as_ref()) {
                 Ok(tr) => tr,
                 Err(e) => return Err(fail(ctx, e)),
             };
+            tr.restore_hint(hint);
             built_p = p;
         }
         tr.set_power_scale(scale);
-        if let Err(e) = tr.run(opts.control_interval) {
+        // The final interval of a non-exact-ratio trace is clamped to the
+        // remainder: a 0.105 s trace simulates 105 steps, not 110.
+        let steps_this = opts.control_interval.min(total_sim_steps - steps_done);
+        if let Err(e) = tr.run(steps_this) {
             return Err(fail(ctx, e));
         }
-        ctx.time = t_start + opts.dt * opts.control_interval as f64;
+        steps_done += steps_this;
+        let interval_s = opts.dt * steps_this as f64;
+        ctx.time = t_start + interval_s;
         let snap = tr.snapshot();
         let t_max = snap.max_temperature();
         ctx.samples.push(RuntimeSample {
@@ -327,6 +364,7 @@ pub fn simulate_adaptive_flow(
             p_sys: p,
             t_max,
             w_pump: flow.pumping_power(p),
+            interval_s,
         });
         ctx.p = controller.update(p, t_max);
         snapshot = Some(snap);
@@ -334,10 +372,14 @@ pub fn simulate_adaptive_flow(
     Ok(ctx.samples)
 }
 
-/// Total pumping energy of a sampled run (trapezoid-free: piecewise
-/// constant intervals).
-pub fn pumping_energy(samples: &[RuntimeSample], interval: f64) -> f64 {
-    samples.iter().map(|s| s.w_pump.value() * interval).sum()
+/// Total pumping energy of a sampled run: piecewise-constant pumping
+/// power over each sample's actual simulated interval (the final interval
+/// of a non-exact-ratio trace is shorter than the rest).
+pub fn pumping_energy(samples: &[RuntimeSample]) -> f64 {
+    samples
+        .iter()
+        .map(|s| s.w_pump.value() * s.interval_s)
+        .sum()
 }
 
 #[cfg(test)]
@@ -454,14 +496,10 @@ mod tests {
             p_min: Pascal::from_kilopascals(0.5),
             p_max: Pascal::from_kilopascals(10.0),
         };
-        let interval = opts.dt * opts.control_interval as f64;
-        let e_fixed = pumping_energy(
-            &simulate_adaptive_flow(&bench, &net, &trace, &fixed, &opts).unwrap(),
-            interval,
-        );
+        let e_fixed =
+            pumping_energy(&simulate_adaptive_flow(&bench, &net, &trace, &fixed, &opts).unwrap());
         let e_adaptive = pumping_energy(
             &simulate_adaptive_flow(&bench, &net, &trace, &adaptive, &opts).unwrap(),
-            interval,
         );
         assert!(
             e_adaptive < e_fixed,
@@ -486,6 +524,121 @@ mod tests {
         // Genuine partial intervals still round up.
         assert_eq!(control_steps(0.105, 1e-3, 10), 11);
         assert_eq!(control_steps(0.001, 1e-3, 10), 1);
+        // Step-level accounting behind them.
+        assert_eq!(sim_steps(0.105, 1e-3), 105);
+        assert_eq!(sim_steps(0.1, 1e-3), 100);
+        assert_eq!(sim_steps(0.0015, 1e-3), 2);
+    }
+
+    #[test]
+    fn partial_final_interval_is_clamped_to_the_trace_remainder() {
+        // Regression for the trace-end overrun: a 0.105 s trace used to
+        // simulate 11 full intervals = 0.110 s, and `pumping_energy`
+        // charged a full 0.010 s for the 0.005 s remainder. Post-fix the
+        // final interval runs exactly the 5 remaining steps.
+        let _guard = metrics_lock();
+        let (bench, net) = setup();
+        let trace = PowerTrace::new(vec![(0.105, 1.0)]);
+        let opts = RuntimeOptions {
+            dt: 1e-3,
+            control_interval: 10,
+            p_initial: Pascal::from_kilopascals(10.0),
+            ..RuntimeOptions::default()
+        };
+        let clamped = FlowController {
+            target: Kelvin::new(320.0),
+            gain: 0.0,
+            p_min: Pascal::from_kilopascals(10.0),
+            p_max: Pascal::from_kilopascals(10.0),
+        };
+        let samples = simulate_adaptive_flow(&bench, &net, &trace, &clamped, &opts).unwrap();
+        assert_eq!(samples.len(), 11);
+        for s in &samples[..10] {
+            assert!((s.interval_s - 0.010).abs() < 1e-12, "{s:?}");
+        }
+        let last = samples.last().unwrap();
+        assert!(
+            (last.interval_s - 0.005).abs() < 1e-12,
+            "final interval simulated {} s, want the 0.005 s remainder \
+             (pre-fix behavior: a full 0.010 s)",
+            last.interval_s
+        );
+        // Total simulated time and charged energy match the trace.
+        let simulated: f64 = samples.iter().map(|s| s.interval_s).sum();
+        assert!((simulated - 0.105).abs() < 1e-12);
+        let w = samples[0].w_pump.value();
+        let energy = pumping_energy(&samples);
+        assert!(
+            (energy - w * 0.105).abs() < 1e-9 * w.max(1.0),
+            "energy {energy} != w_pump x duration {}",
+            w * 0.105
+        );
+    }
+
+    #[test]
+    fn ladder_hint_survives_integrator_rebuilds() {
+        // Regression for the hint-loss bug: `Plant::integrator` built a
+        // fresh `Transient` (and with it a fresh `LadderHint`) on every
+        // pressure change, so a moving controller re-paid the full
+        // escalation cascade each interval. With a deliberately broken
+        // rung 0 (1-iteration budget) every solve escalates to rung 1;
+        // once hinted, later solves must *start* there — across rebuilds.
+        // Pre-fix: `ladder.hinted_solves` delta stayed 0 on a moving run
+        // and every interval's first solve burned rung 0 again.
+        use coolnet_sparse::resilience::{PrecondSpec, Rung, SolverKind};
+
+        let _guard = metrics_lock();
+        let (bench, net) = setup();
+        let trace = PowerTrace::new(vec![(0.05, 1.0)]);
+        let mut thermal = ThermalConfig::default();
+        // Rung 0 cannot converge in one iteration; rung 1 keeps the
+        // normal budget. Every solve therefore escalates 0 -> 1 until the
+        // hint pins the start at rung 1.
+        thermal.ladder.rungs[0] = Rung {
+            solver: SolverKind::Bicgstab,
+            precond: PrecondSpec::Identity,
+            tolerance_factor: 1.0,
+            iteration_factor: 1e-9,
+        };
+        let opts = RuntimeOptions {
+            dt: 1e-3,
+            // One step per interval: the controller moves the pressure
+            // before every solve, forcing a rebuild per interval.
+            control_interval: 1,
+            p_initial: Pascal::from_kilopascals(5.0),
+            thermal,
+            ..RuntimeOptions::default()
+        };
+        // A low gain keeps the pressure rising a few hundred pascals per
+        // step for the whole trace without ever clamping at a bound, so
+        // every interval rebuilds the integrator.
+        let hot = FlowController {
+            target: Kelvin::new(300.5),
+            gain: 20.0,
+            p_min: Pascal::from_kilopascals(0.5),
+            p_max: Pascal::from_kilopascals(60.0),
+        };
+        let before = coolnet_obs::snapshot();
+        let samples = simulate_adaptive_flow(&bench, &net, &trace, &hot, &opts).unwrap();
+        let after = coolnet_obs::snapshot();
+        assert_eq!(samples.len(), 50);
+        let rebuilds = after.counter_delta(&before, "runtime.integrator_rebuilds");
+        assert!(
+            rebuilds >= 45,
+            "need a rebuild per interval, got {rebuilds}"
+        );
+        // Most of the 50 solves must start on the carried hint; only the
+        // cold first solve and the periodic decay re-probes (every
+        // DEFAULT_HINT_DECAY hinted successes) escalate from rung 0. The
+        // threshold tolerates concurrent tests in this binary inflating
+        // the process-global ladder counters — they can only add hinted
+        // solves, never remove them, and pre-fix this run contributed 0.
+        let hinted = after.counter_delta(&before, "ladder.hinted_solves");
+        assert!(
+            hinted >= 20,
+            "only {hinted} hinted solves across {rebuilds} rebuilds \
+             (pre-fix behavior: 0 — the hint died with every rebuild)"
+        );
     }
 
     #[test]

@@ -20,6 +20,13 @@
 
 use crate::csr::CsrMatrix;
 use crate::ops;
+use coolnet_obs::LazyCounter;
+
+/// Sparse matrix–vector products that actually fanned out across workers
+/// (multi-range partition); the evidence that a configured thread count
+/// reached the parallel kernels instead of silently falling back to the
+/// serial path.
+static M_SPMV_PARALLEL: LazyCounter = LazyCounter::new("par.spmv_parallel");
 
 /// Below this stored-nonzero count a matrix kernel runs serially: one
 /// scoped-thread spawn (~10–50 µs) costs more than the whole sweep.
@@ -141,6 +148,7 @@ pub fn spmv(a: &CsrMatrix, x: &[f64], y: &mut [f64], part: &RowPartition) {
         a.mul_vec_into(x, y);
         return;
     }
+    M_SPMV_PARALLEL.inc();
     // Split y into one disjoint slice per range; ranges are contiguous and
     // ordered, so a sweep of split_at_mut suffices. Worker panics propagate
     // through the scoped join, so the Ok-only result can be discarded.

@@ -94,6 +94,31 @@ impl SourceLayerTemps {
     pub fn values(&self) -> &[f64] {
         &self.temps
     }
+
+    /// Maximum adjacent-node temperature difference `max |T_i − T_j|` over
+    /// 4-neighbor pairs of this layer's own grid (fine or coarse) — a
+    /// thermal-stress proxy: thermo-mechanical stress scales with the
+    /// *local* in-plane gradient, which `ΔT_i` (a global range) washes
+    /// out. A single-node layer has zero gradient.
+    pub fn max_spatial_gradient(&self) -> Kelvin {
+        let (w, h) = match self.resolution {
+            Resolution::Fine => (self.dims.width() as usize, self.dims.height() as usize),
+            Resolution::Coarse(c) => (c.coarse_width() as usize, c.coarse_height() as usize),
+        };
+        let mut worst = 0.0f64;
+        for y in 0..h {
+            for x in 0..w {
+                let t = self.temps[y * w + x];
+                if x + 1 < w {
+                    worst = worst.max((t - self.temps[y * w + x + 1]).abs());
+                }
+                if y + 1 < h {
+                    worst = worst.max((t - self.temps[(y + 1) * w + x]).abs());
+                }
+            }
+        }
+        Kelvin::new(worst)
+    }
 }
 
 /// A steady-state (or one transient snapshot) thermal solution.
@@ -145,6 +170,16 @@ impl ThermalSolution {
             .fold(Kelvin::new(f64::NEG_INFINITY), Kelvin::max)
     }
 
+    /// Per-die thermal-stress proxy: the
+    /// [`max_spatial_gradient`](SourceLayerTemps::max_spatial_gradient) of
+    /// each source layer, bottom die first.
+    pub fn stress_proxy(&self) -> Vec<Kelvin> {
+        self.source_layers
+            .iter()
+            .map(SourceLayerTemps::max_spatial_gradient)
+            .collect()
+    }
+
     /// Every node temperature of the underlying model (diagnostics).
     pub fn all_temperatures(&self) -> &[f64] {
         &self.all_temperatures
@@ -180,6 +215,44 @@ mod tests {
         let sol = ThermalSolution::new(vec![a, b], vec![], SolveStats::default());
         assert_eq!(sol.gradient().value(), 25.0);
         assert_eq!(sol.max_temperature().value(), 325.0);
+    }
+
+    #[test]
+    fn max_spatial_gradient_finds_the_steepest_neighbor_pair() {
+        // 3x2 grid: the steepest 4-neighbor step is 303 -> 330 (horizontal).
+        let l = layer(vec![300.0, 302.0, 305.0, 301.0, 303.0, 330.0], 3, 2);
+        assert_eq!(l.max_spatial_gradient().value(), 27.0);
+        // Range (30 K) is larger than the local gradient on a smooth ramp.
+        let ramp = layer(vec![300.0, 310.0, 320.0, 330.0], 4, 1);
+        assert_eq!(ramp.max_spatial_gradient().value(), 10.0);
+        assert_eq!(ramp.range().value(), 30.0);
+        // Single node: no neighbor pairs.
+        assert_eq!(layer(vec![300.0], 1, 1).max_spatial_gradient().value(), 0.0);
+    }
+
+    #[test]
+    fn max_spatial_gradient_uses_the_coarse_grid() {
+        let dims = GridDims::new(4, 4);
+        let c = Coarsening::new(dims, 2);
+        // 2x2 coarse grid; steepest step is 300 -> 312 (vertical).
+        let l = SourceLayerTemps::new(
+            0,
+            dims,
+            Resolution::Coarse(c),
+            vec![300.0, 304.0, 312.0, 311.0],
+        );
+        assert_eq!(l.max_spatial_gradient().value(), 12.0);
+    }
+
+    #[test]
+    fn stress_proxy_reports_one_value_per_die() {
+        let a = layer(vec![300.0, 310.0], 2, 1);
+        let b = SourceLayerTemps::new(3, GridDims::new(2, 1), Resolution::Fine, vec![300.0, 325.0]);
+        let sol = ThermalSolution::new(vec![a, b], vec![], SolveStats::default());
+        let proxy = sol.stress_proxy();
+        assert_eq!(proxy.len(), 2);
+        assert_eq!(proxy[0].value(), 10.0);
+        assert_eq!(proxy[1].value(), 25.0);
     }
 
     #[test]

@@ -47,7 +47,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p_initial: Pascal::from_kilopascals(12.0),
         ..RuntimeOptions::default()
     };
-    let interval = opts.dt * opts.control_interval as f64;
 
     println!(
         "workload: {:?} s DVFS square trace, T_max target {target}",
@@ -59,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|s| s.t_max.value())
             .fold(f64::NEG_INFINITY, f64::max);
-        let energy = pumping_energy(&samples, interval);
+        let energy = pumping_energy(&samples);
         println!("\n--- {name} ---");
         println!("   t (ms)  scale   P (kPa)   T_max (K)   W_pump (mW)");
         for s in samples.iter().step_by(2) {

@@ -1,0 +1,144 @@
+//! Scenario replay contract: `(spec, substrate) → bit-identical trace`.
+//!
+//! The dynamic-scenario engine promises that a [`ScenarioSpec`] replays
+//! bit-for-bit — across repeated runs in one process, across a serde
+//! round trip of the spec, and across `solver_threads` counts. The
+//! thread-count claim rests on two mechanisms pinned by unit tests
+//! elsewhere and proven end-to-end here: the spmv row partition keeps
+//! per-row accumulation order fixed regardless of worker count, and the
+//! dot/axpy reductions stay serial below their parallelism threshold at
+//! thermal problem sizes. The 4RM model on a 41×41 two-die stack crosses
+//! the spmv parallel-dispatch threshold, so the sweep exercises the real
+//! parallel kernels — verified via the `par.spmv_parallel` counter, not
+//! assumed.
+
+use coolnet::prelude::*;
+
+/// A scenario with four event kinds (power map, DVFS scale, forced
+/// pressure + release, inlet excursion) on a stack big enough that the
+/// 4RM transient dispatches parallel spmv when threads > 1.
+fn fixture() -> (Benchmark, CoolingNetwork, ScenarioSpec) {
+    let dims = GridDims::new(41, 41);
+    let bench = Benchmark::iccad_scaled(1, dims);
+    let net = straight::build(dims, &bench.tsv, Dir::East, &StraightParams::default()).unwrap();
+    let watts = bench.power_maps[0].total().value();
+    let spec = ScenarioSpec {
+        name: "determinism-fixture".to_owned(),
+        duration: 0.08,
+        dt: 1e-3,
+        control_interval: 10,
+        model: ModelChoice::FourRm,
+        controller: ScenarioSpec::preset_controller(),
+        p_initial: Pascal::from_kilopascals(10.0),
+        events: vec![
+            ScenarioEvent {
+                at: 0.0,
+                action: EventAction::PowerMap {
+                    die: 0,
+                    map: coolnet::cases::floorplan::hotspot_quadrant(dims, watts, 1),
+                },
+            },
+            ScenarioEvent {
+                at: 0.02,
+                action: EventAction::PowerScale { scale: 1.2 },
+            },
+            ScenarioEvent {
+                at: 0.03,
+                action: EventAction::ForcePressure {
+                    p_sys: Pascal::from_kilopascals(2.0),
+                },
+            },
+            ScenarioEvent {
+                at: 0.05,
+                action: EventAction::ReleasePressure,
+            },
+            ScenarioEvent {
+                at: 0.06,
+                action: EventAction::InletTemperature {
+                    t_inlet: Kelvin::new(305.0),
+                },
+            },
+        ],
+    };
+    spec.validate().unwrap();
+    (bench, net, spec)
+}
+
+fn run_at(
+    bench: &Benchmark,
+    net: &CoolingNetwork,
+    spec: &ScenarioSpec,
+    threads: usize,
+) -> ScenarioTrace {
+    let thermal = ThermalConfig {
+        solver_threads: threads,
+        ..ThermalConfig::default()
+    };
+    run_scenario(bench, net, spec, &thermal).unwrap()
+}
+
+#[test]
+fn trace_is_bit_identical_across_solver_threads_and_runs() {
+    let (bench, net, spec) = fixture();
+    let reference = run_at(&bench, &net, &spec, 1);
+    assert_eq!(reference.intervals.len(), 8);
+
+    // Across runs: same process, fresh integrators, identical bits.
+    let again = run_at(&bench, &net, &spec, 1);
+    assert_eq!(reference.fingerprint(), again.fingerprint());
+    assert_eq!(reference, again);
+
+    // Across solver-thread counts — and the sweep must actually reach
+    // the parallel kernels at 4 threads, or the claim is vacuous.
+    for threads in [2usize, 4] {
+        let before = coolnet_obs::snapshot();
+        let t = run_at(&bench, &net, &spec, threads);
+        let after = coolnet_obs::snapshot();
+        assert_eq!(
+            reference.fingerprint(),
+            t.fingerprint(),
+            "trace diverged at solver_threads = {threads}"
+        );
+        assert_eq!(reference, t);
+        if threads == 4 {
+            assert!(
+                after.counter_delta(&before, "par.spmv_parallel") > 0,
+                "4-thread run never dispatched a parallel spmv: sweep is vacuous"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_survives_a_serde_round_trip_of_the_spec() {
+    let (bench, net, spec) = fixture();
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(spec, back);
+    let a = run_at(&bench, &net, &spec, 1);
+    let b = run_at(&bench, &net, &back, 1);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn scored_metrics_are_finite_and_consistent() {
+    let (bench, net, spec) = fixture();
+    let trace = run_at(&bench, &net, &spec, 1);
+    assert!(trace.peak_t_max().value().is_finite());
+    assert!(trace.peak_gradient().value() > 0.0);
+    assert!(trace.peak_stress().value() > 0.0);
+    assert!(trace.pumping_energy() > 0.0);
+    // Forced episode visible: intervals 3 and 4 pinned at 2 kPa.
+    assert!(trace.intervals[3].forced && trace.intervals[4].forced);
+    assert_eq!(trace.intervals[3].p_sys.to_kilopascals(), 2.0);
+    // Inlet excursion visible from interval 6 on.
+    assert_eq!(trace.intervals[6].t_inlet.value(), 305.0);
+    // The stress proxy is a local gradient, bounded by the global ΔT.
+    for s in &trace.intervals {
+        assert_eq!(s.stress.len(), bench.num_dies);
+        for k in &s.stress {
+            assert!(k.value() >= 0.0 && k.value() <= s.delta_t.value() + 1e-12);
+        }
+    }
+}
