@@ -125,7 +125,10 @@ Fix: add `///` above the item (attributes in between are fine)."
 A design query must be bit-for-bit replayable: job spec + seed must give
 an identical DesignResult (the two-step evaluation of the source paper
 only reproduces under that contract, and the eval-cache transparency
-tests pin it). This lint flags constructs whose behavior can differ
+tests pin it). The contract now reaches end to end: generated-case specs
+(coolnet-cases) must expand identically everywhere and corpus-fed jobs
+(coolnet-serve) must replay, so those crates are in scope alongside the
+solvers. This lint flags constructs whose behavior can differ
 between runs in non-test solver/opt code: std HashMap/HashSet (iteration
 and drain order are randomized per process), wall-clock reads
 (Instant::now / SystemTime) feeding values, and unseeded RNG construction
@@ -199,9 +202,14 @@ pub fn lint_scope(lint: &str) -> &'static [&'static str] {
         // and floorplan generators are user-facing API now.
         DOC_COVERAGE => &["units", "sparse", "core", "obs", "cases"],
         // Everything that feeds a replayable DesignResult: the solvers,
-        // the models, the network builders and the optimizer. bench and
-        // obs are deliberately out of scope (wall-clock is their job).
-        DETERMINISM => &["sparse", "flow", "thermal", "opt", "network"],
+        // the models, the network builders, the optimizer — and, since
+        // the generated-case corpus and corpus-fed jobs became part of
+        // the replay contract, the case generators and the job service.
+        // bench and obs are deliberately out of scope (wall-clock is
+        // their job).
+        DETERMINISM => &[
+            "sparse", "flow", "thermal", "opt", "network", "cases", "serve",
+        ],
         // Lock discipline applies workspace-wide: any crate can hold
         // state shared across SA workers or future concurrent jobs.
         SHARED_STATE => &[
@@ -884,6 +892,29 @@ mod tests {\n\
         let src = "// analyze:allow(determinism)\n\
                    type Map<K, V> = std::collections::HashMap<K, V>;\n";
         assert!(run(determinism, src).is_empty());
+    }
+
+    #[test]
+    fn determinism_scope_covers_case_generators_and_job_service() {
+        // Regression for the RNG-stability bug: `floorplan::synthetic`
+        // shipped on `rand::StdRng` while this lint's scope skipped
+        // `cases`, so a swap to `thread_rng()` (or a rand upgrade
+        // changing the stream) would never have been flagged even though
+        // generated power maps are part of the replay contract. The same
+        // held for `serve`, whose job specs now embed generated cases.
+        let injected = scan("let mut rng = rand::thread_rng();\n");
+        for crate_dir in ["cases", "serve"] {
+            let mut out = Vec::new();
+            check_file(crate_dir, &injected, &mut out);
+            assert!(
+                out.iter().any(|v| v.lint == DETERMINISM),
+                "thread_rng in `{crate_dir}` must be flagged"
+            );
+        }
+        // bench stays out of scope: wall-clock and ad-hoc RNG are its job.
+        let mut out = Vec::new();
+        check_file("bench", &injected, &mut out);
+        assert!(out.iter().all(|v| v.lint != DETERMINISM));
     }
 
     // -- shared-state ------------------------------------------------------

@@ -23,12 +23,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bench = opts.benchmark(1);
 
     // 1-D design limits are calibrated to the 1-D model's own scale: with
-    // no lateral spreading, hotspot gradients are grossly over-predicted.
-    let limits = WidthModLimits {
-        delta_t: Kelvin::new(45.0),
-        t_max: bench.t_max_limit,
-    };
+    // no lateral spreading, hotspot gradients are grossly over-predicted
+    // (at 41×41 the full-width floor sits ~50 K above the real 4RM
+    // answer), so fixed kelvin limits would be meaningless across grids.
+    // Instead, take the model's own full-width high-pressure floor and
+    // leave a narrow feasibility band above it for the designer to trade
+    // width against.
     let menu = [40e-6, 60e-6, 80e-6, 100e-6];
+    let floor = {
+        let model = widthmod::OneDimModel::new(&bench);
+        model.predict(
+            &vec![menu[menu.len() - 1]; model.num_channels()],
+            Pascal::from_kilopascals(1000.0),
+        )
+    };
+    let limits = WidthModLimits {
+        delta_t: Kelvin::new(floor.delta_t.value() + 3.0),
+        t_max: Kelvin::new(floor.t_max.value() + 2.0),
+    };
     let Some(design) = widthmod::design(&bench, &menu, limits, 8) else {
         println!("1-D designer found no feasible design");
         return Ok(());

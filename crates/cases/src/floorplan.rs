@@ -6,10 +6,9 @@
 //! hotspot blocks (cores, accelerators) of varying intensity. Generation is
 //! seeded and fully deterministic so benchmark results are reproducible.
 
+use crate::gen::CaseRng;
 use coolnet_grid::GridDims;
 use coolnet_thermal::PowerMap;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Generates a synthetic floorplan power map.
 ///
@@ -18,6 +17,12 @@ use rand::{Rng, SeedableRng};
 /// * `hotspot_fraction` — fraction of `total` concentrated in hotspot
 ///   blocks (the rest is uniform background). `0.75` yields a "high and
 ///   highly varied" profile like case 5; `0.5` a moderate one.
+///
+/// The block count is drawn from 4–8; use
+/// [`synthetic_blocks`] to fix it explicitly. All randomness comes from
+/// the crate-local [`CaseRng`] splitmix64 stream, so the map is a stable
+/// pure function of `(dims, total, seed, hotspot_fraction)` — it cannot
+/// shift under a dependency bump the way an external RNG's stream can.
 ///
 /// # Panics
 ///
@@ -33,6 +38,40 @@ use rand::{Rng, SeedableRng};
 /// assert!((p.total().value() - 21.0).abs() < 1e-9);
 /// ```
 pub fn synthetic(dims: GridDims, total: f64, seed: u64, hotspot_fraction: f64) -> PowerMap {
+    let mut rng = CaseRng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // Hotspot blocks: 4–8 "cores" of 8–20% die width each.
+    let num_blocks = usize::from(rng.range_u16(4, 8));
+    fill(dims, total, hotspot_fraction, num_blocks, &mut rng)
+}
+
+/// [`synthetic`] with an explicit hotspot block count — the form the
+/// case generator uses, where the count is a [`CaseSpec`] field.
+///
+/// [`CaseSpec`]: crate::gen::CaseSpec
+///
+/// # Panics
+///
+/// Panics if `total < 0`, `hotspot_fraction` is outside `[0, 1]`, or
+/// `num_blocks == 0`.
+pub fn synthetic_blocks(
+    dims: GridDims,
+    total: f64,
+    seed: u64,
+    hotspot_fraction: f64,
+    num_blocks: usize,
+) -> PowerMap {
+    assert!(num_blocks > 0, "num_blocks must be at least 1");
+    let mut rng = CaseRng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    fill(dims, total, hotspot_fraction, num_blocks, &mut rng)
+}
+
+fn fill(
+    dims: GridDims,
+    total: f64,
+    hotspot_fraction: f64,
+    num_blocks: usize,
+    rng: &mut CaseRng,
+) -> PowerMap {
     assert!(total >= 0.0, "total power must be non-negative");
     assert!(
         (0.0..=1.0).contains(&hotspot_fraction),
@@ -42,26 +81,21 @@ pub fn synthetic(dims: GridDims, total: f64, seed: u64, hotspot_fraction: f64) -
     if total == 0.0 {
         return map;
     }
-    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15));
 
     // Background.
     let background = total * (1.0 - hotspot_fraction);
     map.add_block(0, 0, dims.width() - 1, dims.height() - 1, background);
 
-    // Hotspot blocks: 4–8 "cores" of 8–20% die width each.
-    let num_blocks = rng.gen_range(4..=8);
-    let weights: Vec<f64> = (0..num_blocks)
-        .map(|_| rng.gen_range(0.5..2.0f64))
-        .collect();
+    let weights: Vec<f64> = (0..num_blocks).map(|_| rng.uniform(0.5, 2.0)).collect();
     let weight_sum: f64 = weights.iter().sum();
     let hotspot_total = total * hotspot_fraction;
     for w in weights {
-        let bw = (dims.width() as f64 * rng.gen_range(0.08..0.20)) as u16;
-        let bh = (dims.height() as f64 * rng.gen_range(0.08..0.20)) as u16;
+        let bw = (f64::from(dims.width()) * rng.uniform(0.08, 0.20)) as u16;
+        let bh = (f64::from(dims.height()) * rng.uniform(0.08, 0.20)) as u16;
         let bw = bw.max(1).min(dims.width() - 1);
         let bh = bh.max(1).min(dims.height() - 1);
-        let x0 = rng.gen_range(0..=(dims.width() - 1 - bw));
-        let y0 = rng.gen_range(0..=(dims.height() - 1 - bh));
+        let x0 = rng.range_u16(0, dims.width() - 1 - bw);
+        let y0 = rng.range_u16(0, dims.height() - 1 - bh);
         map.add_block(x0, y0, x0 + bw, y0 + bh, hotspot_total * w / weight_sum);
     }
     // Guard against floating point drift.
@@ -124,6 +158,25 @@ pub fn hotspot_quadrant(dims: GridDims, total: f64, quadrant: u8) -> PowerMap {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn golden_map_is_pinned() {
+        // Golden-value pin: `synthetic` must be a stable pure function of
+        // its arguments forever. These literals were captured from the
+        // splitmix64-backed implementation; if this test fails, committed
+        // benchmarks and BENCH artifacts have silently changed meaning.
+        let p = synthetic(GridDims::new(21, 21), 10.0, 7, 0.6);
+        assert!((p.total().value() - 10.0).abs() < 1e-9);
+        let vals = p.values();
+        let expect = [
+            (0usize, f64::from_bits(0x3F82_9372_5BB8_04BF)),
+            (220, f64::from_bits(0x3FB0_BF38_C58A_229B)),
+            (440, f64::from_bits(0x3F82_9372_5BB8_04BF)),
+        ];
+        for (idx, want) in expect {
+            assert_eq!(vals[idx].to_bits(), want.to_bits(), "cell {idx}");
+        }
+    }
 
     #[test]
     fn total_is_exact() {

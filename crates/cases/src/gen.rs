@@ -1,0 +1,451 @@
+//! Parameterized case generation: a seeded corpus of benchmark specs.
+//!
+//! The five reconstructed ICCAD cases (Table 2) are a thin net for a
+//! system meant to handle arbitrary stacks. This module widens coverage
+//! with a deterministic, serde-round-trippable [`CaseSpec`] — every knob
+//! a benchmark has, as data — and a seeded sampler
+//! [`corpus`]`(seed, n)` that draws `n` specs from documented parameter
+//! ranges. Expansion ([`CaseSpec::expand`]) is a pure function of the
+//! spec: the same spec produces bit-identical power maps on every
+//! platform and under every dependency version, because all randomness
+//! comes from the crate-local [`CaseRng`] (a splitmix64 stream) rather
+//! than an external RNG crate whose stream may change between releases.
+//!
+//! # Parameter ranges
+//!
+//! The geometric ranges are grounded in the through-chip microchannel
+//! literature (arXiv 2307.16495 and the DAC'17 source paper's Table 2):
+//!
+//! | parameter          | range                   | notes                                |
+//! |--------------------|-------------------------|--------------------------------------|
+//! | grid side          | 15–41 cells (odd)       | reduced-scale dies; 41 kept rare     |
+//! | dies               | 1–3                     | Table 2 spans 2–3                    |
+//! | cell pitch         | 50–200 µm               | 100 µm in the contest cases          |
+//! | channel height     | 100–400 µm              | Table 2 uses 200/400 µm              |
+//! | power density      | 2–8 mW/cell             | brackets the contest's ~4 mW/cell    |
+//! | hotspot fraction   | 0.30–0.85               | case 5's "highly varied" is 0.75     |
+//! | hotspot blocks     | 3–8                     | MPSoC-style core count               |
+//! | TSV density        | 0.30–1.00               | fraction of alternating sites kept   |
+//! | `ΔT*`              | 8–20 K                  | Table 2 spans 10–15 K                |
+//! | `T*_max`           | 338–368 K               | Table 2 spans 338.15–358.15 K        |
+//! | restricted region  | ~20% of cases           | case-3-style centered block          |
+//! | matched layers     | ~15% of multi-die cases | case-4-style constraint              |
+//!
+//! # Examples
+//!
+//! ```
+//! use coolnet_cases::gen::corpus;
+//!
+//! let specs = corpus(7, 10);
+//! assert_eq!(specs.len(), 10);
+//! // Deterministic: the same seed gives the same corpus.
+//! assert_eq!(specs, corpus(7, 10));
+//! let bench = specs[0].expand();
+//! assert!((bench.total_power() - specs[0].total_power).abs() < 1e-9);
+//! ```
+
+use crate::{floorplan, Benchmark};
+use coolnet_grid::{tsv, CellMask, GridDims};
+use coolnet_thermal::PowerMap;
+use coolnet_units::Kelvin;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic splitmix64 pseudo-random stream.
+///
+/// This is the crate's only randomness source. It is deliberately *not*
+/// an external RNG: `rand`'s `StdRng` documents that its stream may
+/// change between major versions, which would silently reshuffle every
+/// committed benchmark on a dependency bump. splitmix64 is a fixed,
+/// published algorithm (Steele et al., "Fast splittable pseudorandom
+/// number generators"), so the stream is stable forever.
+#[derive(Debug, Clone)]
+pub struct CaseRng {
+    state: u64,
+}
+
+impl CaseRng {
+    /// Creates a stream from a seed. Any seed (including 0) is fine —
+    /// the first output is already a full mixing of the seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` built from the top 53 bits.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// A uniform integer in `lo..=hi` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u16(&mut self, lo: u16, hi: u16) -> u16 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = f64::from(hi - lo) + 1.0;
+        lo + (self.unit() * span) as u16
+    }
+}
+
+/// Every knob of a benchmark, as serde-round-trippable data.
+///
+/// [`expand`](Self::expand) turns a spec into a [`Benchmark`]
+/// deterministically; two structurally equal specs expand to bit-equal
+/// benchmarks. Produced by [`corpus`] or written by hand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseSpec {
+    /// Human-readable label (`gen-007` for corpus entries).
+    pub name: String,
+    /// Master seed for the power maps and the TSV thinning.
+    pub seed: u64,
+    /// Number of dies in the stack (≥ 1).
+    pub num_dies: usize,
+    /// Grid side length in basic cells (square grid, ≥ 11).
+    pub grid: u16,
+    /// Basic-cell pitch in meters.
+    pub pitch: f64,
+    /// Channel height `h_c` in meters.
+    pub channel_height: f64,
+    /// Total power across all dies, watts.
+    pub total_power: f64,
+    /// Fraction of each die's power concentrated in hotspot blocks.
+    pub hotspot_fraction: f64,
+    /// Number of hotspot blocks per die (≥ 1).
+    pub hotspot_blocks: usize,
+    /// Fraction of the alternating TSV sites actually reserved (`1.0`
+    /// is the paper's full alternating pattern).
+    pub tsv_density: f64,
+    /// Optional restricted (no-channel) rectangle `[x0, y0, x1, y1]`,
+    /// inclusive bounds.
+    pub restricted: Option<[u16; 4]>,
+    /// Case-4-style matched inlets/outlets across layers.
+    pub matched_layers: bool,
+    /// Thermal gradient constraint `ΔT*` in kelvin.
+    pub delta_t_limit: f64,
+    /// Peak temperature constraint `T*_max` in kelvin.
+    pub t_max_limit: f64,
+}
+
+impl CaseSpec {
+    /// Validates the spec without expanding it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("name must not be empty".into());
+        }
+        if self.num_dies == 0 {
+            return Err("num_dies must be at least 1".into());
+        }
+        if self.grid < 11 {
+            return Err(format!("grid {} is below the 11-cell minimum", self.grid));
+        }
+        if !(self.pitch > 0.0 && self.pitch.is_finite()) {
+            return Err(format!("pitch {} must be positive and finite", self.pitch));
+        }
+        if !(self.channel_height > 0.0 && self.channel_height.is_finite()) {
+            return Err(format!(
+                "channel_height {} must be positive and finite",
+                self.channel_height
+            ));
+        }
+        if !(self.total_power >= 0.0 && self.total_power.is_finite()) {
+            return Err(format!(
+                "total_power {} must be non-negative and finite",
+                self.total_power
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.hotspot_fraction) {
+            return Err(format!(
+                "hotspot_fraction {} must be in [0, 1]",
+                self.hotspot_fraction
+            ));
+        }
+        if self.hotspot_blocks == 0 {
+            return Err("hotspot_blocks must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.tsv_density) {
+            return Err(format!(
+                "tsv_density {} must be in [0, 1]",
+                self.tsv_density
+            ));
+        }
+        if let Some([x0, y0, x1, y1]) = self.restricted {
+            if x0 > x1 || y0 > y1 || x1 >= self.grid || y1 >= self.grid {
+                return Err(format!(
+                    "restricted rectangle [{x0}, {y0}, {x1}, {y1}] is out of range"
+                ));
+            }
+        }
+        if !(self.delta_t_limit > 0.0 && self.delta_t_limit.is_finite()) {
+            return Err(format!(
+                "delta_t_limit {} must be positive and finite",
+                self.delta_t_limit
+            ));
+        }
+        if !(self.t_max_limit > 0.0 && self.t_max_limit.is_finite()) {
+            return Err(format!(
+                "t_max_limit {} must be positive and finite",
+                self.t_max_limit
+            ));
+        }
+        Ok(())
+    }
+
+    /// The square grid of this spec.
+    pub fn dims(&self) -> GridDims {
+        GridDims::new(self.grid, self.grid)
+    }
+
+    /// Expands the spec into a concrete [`Benchmark`] — a pure function
+    /// of the spec's fields (power maps, TSV mask and restricted region
+    /// are all derived from `seed` via the crate-local [`CaseRng`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`validate`](Self::validate) fails.
+    pub fn expand(&self) -> Benchmark {
+        if let Err(e) = self.validate() {
+            panic!("invalid CaseSpec `{}`: {e}", self.name);
+        }
+        let dims = self.dims();
+        let per_die = self.total_power / self.num_dies as f64;
+        let power_maps: Vec<PowerMap> = (0..self.num_dies)
+            .map(|die| {
+                floorplan::synthetic_blocks(
+                    dims,
+                    per_die,
+                    // Distinct stream per die, stable across dies counts.
+                    self.seed ^ (die as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+                    self.hotspot_fraction,
+                    self.hotspot_blocks,
+                )
+            })
+            .collect();
+
+        // Thin the alternating TSV pattern to the requested density. The
+        // mask iterates row-major, so the kept subset is deterministic.
+        let mut kept = CellMask::new(dims);
+        let mut rng = CaseRng::new(self.seed ^ 0x7C15_9E37_79B9_7F4A);
+        for cell in tsv::alternating(dims).iter() {
+            if rng.unit() < self.tsv_density {
+                kept.insert(cell);
+            }
+        }
+
+        let mut restricted = CellMask::new(dims);
+        if let Some([x0, y0, x1, y1]) = self.restricted {
+            restricted.insert_rect(x0, y0, x1, y1);
+        }
+
+        Benchmark {
+            id: 0,
+            num_dies: self.num_dies,
+            channel_height: self.channel_height,
+            dims,
+            pitch: self.pitch,
+            power_maps,
+            tsv: kept,
+            restricted,
+            matched_layers: self.matched_layers,
+            delta_t_limit: Kelvin::new(self.delta_t_limit),
+            t_max_limit: Kelvin::new(self.t_max_limit),
+        }
+    }
+}
+
+/// Grid side lengths the sampler draws from, with repeats as weights:
+/// small dies dominate (cheap to sweep densely), 41 stays in the pool so
+/// the corpus always exercises grids large enough to engage the parallel
+/// sparse kernels (`coolnet_sparse::par::MIN_PAR_NNZ`).
+const GRID_POOL: [u16; 9] = [15, 15, 17, 17, 19, 21, 21, 25, 41];
+
+/// Draws `n` case specs from the documented parameter ranges (see the
+/// module docs) using a splitmix64 stream seeded by `seed`. The sampler
+/// is deterministic and order-stable: `corpus(s, n)` is a prefix of
+/// `corpus(s, n + k)`.
+pub fn corpus(seed: u64, n: usize) -> Vec<CaseSpec> {
+    let mut rng = CaseRng::new(seed ^ 0xC0FF_EE00_D1FF_B33F);
+    (0..n)
+        .map(|i| {
+            let grid = GRID_POOL[rng.range_u16(0, GRID_POOL.len() as u16 - 1) as usize];
+            let num_dies = usize::from(rng.range_u16(1, 3));
+            let pitch = rng.uniform(50e-6, 200e-6);
+            let channel_height = rng.uniform(100e-6, 400e-6);
+            let density = rng.uniform(2e-3, 8e-3);
+            let cells = f64::from(grid) * f64::from(grid);
+            let total_power = density * cells * num_dies as f64;
+            let hotspot_fraction = rng.uniform(0.30, 0.85);
+            let hotspot_blocks = usize::from(rng.range_u16(3, 8));
+            let tsv_density = rng.uniform(0.30, 1.0);
+            // ~20% of cases get a case-3-style centered restricted block
+            // with odd bounds (so a liquid ring lands on TSV-free lines).
+            let restricted = if rng.unit() < 0.20 {
+                let c = grid / 2;
+                let r = ((f64::from(grid) * 0.09) as u16).max(1);
+                let odd = |v: u16| if v.is_multiple_of(2) { v + 1 } else { v };
+                Some([odd(c - r), odd(c - r), odd(c + r), odd(c + r)])
+            } else {
+                None
+            };
+            let matched_layers = num_dies > 1 && rng.unit() < 0.15;
+            let delta_t_limit = rng.uniform(8.0, 20.0);
+            let t_max_limit = rng.uniform(338.0, 368.0);
+            CaseSpec {
+                name: format!("gen-{i:03}"),
+                seed: rng.next_u64(),
+                num_dies,
+                grid,
+                pitch,
+                channel_height,
+                total_power,
+                hotspot_fraction,
+                hotspot_blocks,
+                tsv_density,
+                restricted,
+                matched_layers,
+                delta_t_limit,
+                t_max_limit,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_stream_is_stable() {
+        // Published splitmix64 test vectors: seed 0's first output is
+        // 0xE220A8397B1DCDAF. Pinned so the stream can never silently
+        // change (the whole point of owning the generator).
+        let mut rng = CaseRng::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+        let mut rng = CaseRng::new(1234567);
+        assert_eq!(rng.next_u64(), 0x599E_D017_FB08_FC85);
+        assert_eq!(rng.next_u64(), 0x2C73_F084_5854_0FA5);
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut rng = CaseRng::new(9);
+        for _ in 0..1000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_is_inclusive_and_covers_endpoints() {
+        let mut rng = CaseRng::new(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.range_u16(2, 6);
+            assert!((2..=6).contains(&v));
+            seen[(v - 2) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all endpoints drawn: {seen:?}");
+    }
+
+    #[test]
+    fn corpus_is_deterministic_and_prefix_stable() {
+        let a = corpus(42, 8);
+        let b = corpus(42, 12);
+        assert_eq!(a[..], b[..8]);
+        assert_ne!(corpus(42, 8), corpus(43, 8));
+    }
+
+    #[test]
+    fn corpus_respects_documented_ranges() {
+        for spec in corpus(7, 200) {
+            assert!(spec.validate().is_ok(), "{spec:?}");
+            assert!(GRID_POOL.contains(&spec.grid));
+            assert!((1..=3).contains(&spec.num_dies));
+            assert!((50e-6..200e-6).contains(&spec.pitch));
+            assert!((100e-6..400e-6).contains(&spec.channel_height));
+            assert!((0.30..0.85).contains(&spec.hotspot_fraction));
+            assert!((3..=8).contains(&spec.hotspot_blocks));
+            assert!((0.30..1.0).contains(&spec.tsv_density));
+            assert!((8.0..20.0).contains(&spec.delta_t_limit));
+            assert!((338.0..368.0).contains(&spec.t_max_limit));
+            let per_cell = spec.total_power
+                / (f64::from(spec.grid) * f64::from(spec.grid) * spec.num_dies as f64);
+            assert!((2e-3..8e-3).contains(&per_cell));
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_matches_spec() {
+        let spec = &corpus(11, 3)[2];
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(a.power_maps, b.power_maps);
+        assert_eq!(a.tsv, b.tsv);
+        assert_eq!(a.num_dies, spec.num_dies);
+        assert!((a.total_power() - spec.total_power).abs() < 1e-9);
+        assert_eq!(a.delta_t_limit.value(), spec.delta_t_limit);
+    }
+
+    #[test]
+    fn tsv_thinning_is_a_subset_of_alternating() {
+        let mut spec = corpus(5, 1).remove(0);
+        spec.tsv_density = 0.5;
+        let bench = spec.expand();
+        let full = tsv::alternating(bench.dims);
+        for cell in bench.tsv.iter() {
+            assert!(full.contains(cell));
+        }
+        assert!(bench.tsv.len() < full.len());
+        spec.tsv_density = 1.0;
+        assert_eq!(spec.expand().tsv.len(), full.len());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_expansion() {
+        let spec = &corpus(3, 5)[4];
+        let json = serde_json::to_string(spec).expect("serialize");
+        let back: CaseSpec = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(*spec, back);
+        assert_eq!(spec.expand().power_maps, back.expand().power_maps);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut spec = corpus(1, 1).remove(0);
+        spec.grid = 9;
+        assert!(spec.validate().unwrap_err().contains("11-cell"));
+        let mut spec = corpus(1, 1).remove(0);
+        spec.hotspot_fraction = 1.5;
+        assert!(spec.validate().is_err());
+        let mut spec = corpus(1, 1).remove(0);
+        spec.restricted = Some([5, 5, 99, 99]);
+        assert!(spec.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CaseSpec")]
+    fn expand_panics_on_invalid_spec() {
+        let mut spec = corpus(1, 1).remove(0);
+        spec.num_dies = 0;
+        spec.expand();
+    }
+}

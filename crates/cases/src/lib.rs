@@ -28,6 +28,10 @@ pub mod files;
 /// floorplans and the RNG-free migrating-hotspot maps the scenario
 /// engine's presets rotate through.
 pub mod floorplan;
+/// Parameterized case generation: [`gen::CaseSpec`], the crate-local
+/// deterministic [`gen::CaseRng`] splitmix64 stream, and the seeded
+/// corpus sampler [`gen::corpus`].
+pub mod gen;
 
 use coolnet_grid::{tsv, CellMask, GridDims};
 use coolnet_network::CoolingNetwork;

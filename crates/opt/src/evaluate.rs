@@ -62,6 +62,9 @@ pub struct Evaluator {
     /// Previous solution, used to warm-start the next solve.
     last: RefCell<Option<ThermalSolution>>,
     probes: RefCell<usize>,
+    /// Coolant supply temperature (`T_in`): the physical floor for every
+    /// steady-state temperature the simulator can legitimately report.
+    t_inlet: Kelvin,
 }
 
 impl Evaluator {
@@ -138,7 +141,15 @@ impl Evaluator {
             total_unit_flow,
             last: RefCell::new(None),
             probes: RefCell::new(0),
+            t_inlet: config.t_inlet,
         })
+    }
+
+    /// The coolant supply temperature (`T_in`). By the maximum principle
+    /// no steady-state die temperature can sit below it, so any peak
+    /// limit at or under this value is infeasible without probing.
+    pub fn inlet_temperature(&self) -> Kelvin {
+        self.t_inlet
     }
 
     /// Convenience: the benchmark's flow configuration.

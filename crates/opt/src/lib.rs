@@ -50,6 +50,7 @@
 
 pub mod baseline;
 pub mod control;
+pub mod differential;
 pub mod evalcache;
 pub mod evaluate;
 pub mod netscore;
@@ -62,6 +63,7 @@ pub mod treeopt;
 pub mod widthmod;
 
 pub use control::{CancelToken, CutPoint, SearchControl, StopReason};
+pub use differential::{run_case, CaseReport, DiffConfig};
 pub use evaluate::{Evaluator, ModelChoice, Profile};
 pub use netscore::{evaluate_problem1, evaluate_problem2, NetworkScore};
 pub use result::DesignResult;

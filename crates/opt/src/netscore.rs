@@ -59,6 +59,15 @@ pub fn evaluate_problem1(
     t_max_limit: Kelvin,
     opts: &PressureSearchOptions,
 ) -> Result<NetworkScore, ThermalError> {
+    // Maximum principle: steady-state temperatures are bounded below by
+    // the coolant supply, so a peak limit at or under `T_in` can never
+    // be met. Deciding this up front matters beyond speed — at extreme
+    // pressures the advection discretization can undershoot the inlet
+    // temperature, and an unbounded pressure expansion chasing an
+    // impossible limit would mistake that artifact for feasibility.
+    if t_max_limit <= ev.inlet_temperature() {
+        return Ok(NetworkScore::Infeasible);
+    }
     // Line 1: solve (11).
     let mut f = |p: Pascal| ev.profile(p).map(|pr| pr.delta_t.value());
     let r = minimize_pressure_for_gradient(&mut f, delta_t_limit, opts)?;
@@ -106,6 +115,11 @@ pub fn evaluate_problem2(
     t_max_limit: Kelvin,
     opts: &PressureSearchOptions,
 ) -> Result<NetworkScore, ThermalError> {
+    // Same maximum-principle guard as Problem 1: no pressure can pull
+    // the peak below the coolant supply temperature.
+    if t_max_limit <= ev.inlet_temperature() {
+        return Ok(NetworkScore::Infeasible);
+    }
     let p_star = ev.pressure_for_power(w_pump_limit);
     let prof_star = ev.profile(p_star)?;
     // T_max decreases with pressure: if even the cap violates it, no
@@ -216,6 +230,25 @@ mod tests {
         let score = evaluate_problem1(&ev, Kelvin::new(1e-3), bench.t_max_limit, &opts()).unwrap();
         assert!(!score.is_feasible());
         assert!(score.objective().is_infinite());
+    }
+
+    #[test]
+    fn peak_limit_below_inlet_is_infeasible_without_probing() {
+        // Pre-fix, a sub-inlet `T*_max` sent `min_pressure_for_peak`
+        // doubling into the GPa range, where the advection scheme
+        // undershoots the 300 K supply and the search reported the
+        // impossible limit as met (t_max ≈ 299 K at ~4.6 GPa).
+        let (bench, net) = setup(1);
+        let ev = Evaluator::new(&bench, &net, ModelChoice::fast()).unwrap();
+        for limit in [299.0, 300.0] {
+            let p1 =
+                evaluate_problem1(&ev, bench.delta_t_limit, Kelvin::new(limit), &opts()).unwrap();
+            let p2 =
+                evaluate_problem2(&ev, bench.w_pump_limit(), Kelvin::new(limit), &opts()).unwrap();
+            assert!(!p1.is_feasible(), "problem 1 at T*_max = {limit} K");
+            assert!(!p2.is_feasible(), "problem 2 at T*_max = {limit} K");
+        }
+        assert_eq!(ev.probe_count(), 0, "the guard must decide without probing");
     }
 
     #[test]

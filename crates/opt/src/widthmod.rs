@@ -396,10 +396,13 @@ mod tests {
     }
 
     fn limits() -> WidthModLimits {
-        // Calibrated to the 1-D model's over-predicted gradient scale.
+        // Calibrated to the 1-D model's over-predicted gradient scale:
+        // on case 1 at 21×21 the full-width prediction floors at
+        // ΔT ≈ 55.6 K / t_max ≈ 357.5 K as pressure grows, so these
+        // leave a modest feasibility band above that floor.
         WidthModLimits {
-            delta_t: Kelvin::new(40.0),
-            t_max: Kelvin::new(358.15),
+            delta_t: Kelvin::new(58.0),
+            t_max: Kelvin::new(359.15),
         }
     }
 

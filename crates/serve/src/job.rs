@@ -16,6 +16,7 @@
 //! metrics deltas — reports what the run cost and is excluded from the
 //! contract.
 
+use coolnet_cases::gen::CaseSpec;
 use coolnet_cases::Benchmark;
 use coolnet_grid::GridDims;
 use coolnet_obs::MetricsDelta;
@@ -90,8 +91,15 @@ pub struct FaultSpec {
 pub struct JobSpec {
     /// Caller-chosen identifier, echoed in the artifact.
     pub id: String,
-    /// ICCAD-style benchmark case, `1..=5`.
+    /// ICCAD-style benchmark case, `1..=5` — or `0` when the job carries
+    /// a generated [`case_spec`](Self::case_spec) instead.
     pub case: usize,
+    /// Generated benchmark spec (corpus-fed jobs). When present, `case`
+    /// must be the `0` sentinel and the job runs on
+    /// [`CaseSpec::expand`] instead of an ICCAD case; the spec is part
+    /// of the job's serde surface, so the replay contract covers it.
+    #[serde(default)]
+    pub case_spec: Option<CaseSpec>,
     /// Which §3 problem to solve.
     pub problem: Problem,
     /// Base RNG seed of the search.
@@ -132,6 +140,7 @@ impl JobSpec {
         Self {
             id: id.into(),
             case,
+            case_spec: None,
             problem,
             seed,
             grid: GridSpec::default(),
@@ -153,8 +162,22 @@ impl JobSpec {
         if self.id.is_empty() {
             return Err("job id must not be empty".into());
         }
-        if !(1..=5).contains(&self.case) {
-            return Err(format!("case {} is not in 1..=5", self.case));
+        match &self.case_spec {
+            Some(spec) => {
+                if self.case != 0 {
+                    return Err(format!(
+                        "case {} conflicts with case_spec; use the 0 sentinel",
+                        self.case
+                    ));
+                }
+                spec.validate()
+                    .map_err(|e| format!("case_spec `{}`: {e}", spec.name))?;
+            }
+            None => {
+                if !(1..=5).contains(&self.case) {
+                    return Err(format!("case {} is not in 1..=5", self.case));
+                }
+            }
         }
         if self.grid.width < 11 || self.grid.height < 11 {
             return Err(format!(
@@ -173,9 +196,14 @@ impl JobSpec {
         Ok(())
     }
 
-    /// The benchmark this spec runs on.
+    /// The benchmark this spec runs on: the expanded `case_spec` when
+    /// present (`grid` is ignored — the spec carries its own), else the
+    /// ICCAD case scaled to `grid`.
     pub(crate) fn benchmark(&self) -> Benchmark {
-        Benchmark::iccad_scaled(self.case, self.grid.dims())
+        match &self.case_spec {
+            Some(spec) => spec.expand(),
+            None => Benchmark::iccad_scaled(self.case, self.grid.dims()),
+        }
     }
 
     /// The resolved search options: explicit `options` if given, else the

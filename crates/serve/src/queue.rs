@@ -253,6 +253,9 @@ fn watchdog_loop(shared: &Shared, shutdown: &AtomicBool) {
     while !shutdown.load(Ordering::Acquire) {
         {
             let mut watches = lock_recover(&shared.watches);
+            // Deadline enforcement is inherently wall-clock; expiry only
+            // cancels work, it never feeds a DesignResult.
+            // analyze:allow(determinism)
             let now = Instant::now();
             watches.retain(|w| {
                 if w.done.load(Ordering::Acquire) {
@@ -319,6 +322,9 @@ impl EvalExec for PooledExec<'_> {
 /// retries, then (optionally) verify replay. Never panics — every
 /// attempt runs under `catch_unwind`.
 fn run_job(shared: &Shared, spec: &JobSpec, token: &CancelToken) -> JobArtifact {
+    // Wall-time telemetry for the artifact's `wall_ms`; the design
+    // payload itself stays a pure function of spec + seed.
+    // analyze:allow(determinism)
     let started = Instant::now();
     let before = coolnet_obs::snapshot();
     if let Err(error) = spec.validate() {

@@ -1,0 +1,71 @@
+//! Corpus-fed job specs: `examples/corpus_jobs.json` (written by
+//! `diff_bench --emit-jobs`) parses into valid `JobSpec`s carrying
+//! embedded generated cases, and one runs end to end through the queue.
+
+use coolnet_serve::{JobOutcome, JobQueue, JobSpec, QueueOptions};
+
+fn load() -> Vec<JobSpec> {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/corpus_jobs.json"
+    );
+    let data = std::fs::read_to_string(path).expect("read examples/corpus_jobs.json");
+    serde_json::from_str(&data).expect("parse corpus job specs")
+}
+
+#[test]
+fn example_specs_parse_and_validate() {
+    let jobs = load();
+    assert!(jobs.len() >= 2, "example must hold several corpus jobs");
+    for job in &jobs {
+        assert_eq!(
+            job.case, 0,
+            "{}: corpus jobs use the 0 case sentinel",
+            job.id
+        );
+        let spec = job.case_spec.as_ref().expect("corpus job embeds a spec");
+        assert!(job.id.ends_with(&spec.name), "{} vs {}", job.id, spec.name);
+        job.validate().unwrap_or_else(|e| panic!("{}: {e}", job.id));
+    }
+}
+
+#[test]
+fn sentinel_without_spec_and_spec_with_case_are_rejected() {
+    let mut jobs = load();
+    let mut bare = jobs.remove(0);
+    bare.case_spec = None;
+    assert!(bare.validate().is_err(), "case 0 without a spec must fail");
+    let mut clash = jobs.remove(0);
+    clash.case = 3;
+    assert!(
+        clash.validate().is_err(),
+        "case_spec with case != 0 must fail"
+    );
+}
+
+#[test]
+fn corpus_job_runs_end_to_end() {
+    let job = load()
+        .into_iter()
+        .min_by_key(|j| j.case_spec.as_ref().map_or(u16::MAX, |s| s.grid))
+        .expect("example holds at least one job");
+    let queue = JobQueue::new(QueueOptions {
+        concurrency: 1,
+        pool_threads: 2,
+        backoff_ms: 0,
+        ..QueueOptions::default()
+    });
+    let report = queue.run_batch(vec![job]);
+    assert_eq!(report.jobs.len(), 1);
+    let artifact = &report.jobs[0];
+    assert_eq!(
+        artifact.outcome,
+        JobOutcome::Completed,
+        "corpus job failed: {artifact:?}"
+    );
+    let design = artifact
+        .design
+        .as_ref()
+        .expect("completed job has a design");
+    assert!(design.objective.is_finite() && design.objective > 0.0);
+}
